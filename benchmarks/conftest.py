@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one experiment point of a paper figure. pytest-benchmark
+measures the *wall time* of regenerating the point (the simulator's own
+speed); the *simulated* turn-around — the number the paper reports — is
+attached as ``extra_info`` and asserted against the expected shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and compare the ``sim_ms`` extra-info columns with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def bench_once(benchmark, fn):
+    """Run a whole-shape check exactly once under the benchmark fixture, so
+    the assertion still executes in ``--benchmark-only`` mode."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def record(benchmark, result) -> None:
+    """Attach an ExperimentResult's headline numbers to the benchmark."""
+    benchmark.extra_info["n"] = result.server_count
+    benchmark.extra_info["topology"] = result.topology
+    benchmark.extra_info["sim_ms"] = round(result.mean_turnaround_ms, 1)
+    benchmark.extra_info["wire_cells"] = result.wire_cells
+    benchmark.extra_info["causal_ok"] = result.causal_ok

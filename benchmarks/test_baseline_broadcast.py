@@ -1,0 +1,112 @@
+"""§2 baseline comparison: vector-clock causal broadcast vs the
+domain-partitioned matrix-clock MOM.
+
+The related-work systems ([13], [17]) keep stamps at O(n) by *broadcasting
+everything*: a logical unicast floods n-1 packets whose clock processing
+every member must perform. The paper's approach keeps messages
+point-to-point and shrinks the matrix state with domains. This bench
+quantifies the trade: packets and wire cells per logical message, and
+turn-around, across group sizes.
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.baselines import DaisyChain
+from repro.bench import run_baseline_unicast, run_remote_unicast
+
+NS = [10, 30, 50]
+ROUNDS = 10
+
+
+def run_daisy_baseline(group_count, group_size, rounds=ROUNDS):
+    """Ping-pong across the whole Daisy chain; returns (mean_rtt, wire
+    cells, packets, logical messages)."""
+    chain = DaisyChain(group_count, group_size)
+    far = chain.node_count - 1
+    state = {"rounds": 0, "sent_at": 0.0, "rtts": []}
+
+    def pong(origin, payload):
+        chain.send(far, 0, payload)
+
+    def ping(origin, payload):
+        state["rtts"].append(chain.sim.now - state["sent_at"])
+        state["rounds"] += 1
+        if state["rounds"] < rounds:
+            state["sent_at"] = chain.sim.now
+            chain.send(0, far, state["rounds"])
+
+    chain.set_handler(far, pong)
+    chain.set_handler(0, ping)
+    state["sent_at"] = 0.0
+    chain.send(0, far, 0)
+    chain.run_until_idle()
+    mean_rtt = sum(state["rtts"]) / len(state["rtts"])
+    return mean_rtt, chain.wire_cells, chain.packets_sent, 2 * rounds
+
+
+@pytest.mark.parametrize("n", NS)
+def test_baseline_point(benchmark, n):
+    result = benchmark.pedantic(
+        run_baseline_unicast,
+        kwargs=dict(server_count=n, rounds=ROUNDS),
+        iterations=1,
+        rounds=2,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+
+
+def test_wire_packets_per_logical_message(benchmark):
+    baseline, mom = bench_once(
+        benchmark,
+        lambda: (
+            run_baseline_unicast(50, rounds=ROUNDS),
+            run_remote_unicast(50, topology="bus", rounds=ROUNDS),
+        ),
+    )
+    assert baseline.hops / baseline.messages == 49
+    assert mom.hops / mom.messages <= 3
+
+
+def test_wire_cells_comparison(benchmark):
+    baseline, mom = bench_once(
+        benchmark,
+        lambda: (
+            run_baseline_unicast(50, rounds=ROUNDS),
+            run_remote_unicast(50, topology="bus", rounds=ROUNDS),
+        ),
+    )
+    # baseline: ~n packets × n cells = ~n² cells per logical message;
+    # domained MOM: ≤3 stamps of s² = n cells each.
+    baseline_per_msg = baseline.wire_cells / baseline.messages
+    mom_per_msg = mom.wire_cells / mom.messages
+    assert baseline_per_msg > 10 * mom_per_msg
+
+
+def test_daisy_baseline_vs_matrix_domains(benchmark):
+    """Both scale by grouping — but the Daisy still floods each group it
+    crosses, so its per-message packet count is (groups crossed)×(s-1)
+    versus the MOM's one packet per domain hop."""
+    n = 49  # daisy: 8 groups of 7 (7*6+... pick 8 groups of 7 -> 8*6+1=49)
+    daisy_rtt, daisy_cells, daisy_packets, daisy_msgs = bench_once(
+        benchmark, lambda: run_daisy_baseline(8, 7)
+    )
+    mom = run_remote_unicast(n, topology="daisy", rounds=ROUNDS, domain_size=7)
+    daisy_packets_per_msg = daisy_packets / daisy_msgs
+    mom_packets_per_msg = mom.hops / mom.messages
+    assert daisy_packets_per_msg > 3 * mom_packets_per_msg
+    assert daisy_cells / daisy_msgs > (mom.wire_cells / mom.messages) / 3
+
+
+def test_turnaround_comparison_at_scale(benchmark):
+    """The broadcast baseline's sender serializes n-1 transmissions per
+    message, so even its latency loses to the routed MOM at size."""
+    baseline, mom = bench_once(
+        benchmark,
+        lambda: (
+            run_baseline_unicast(50, rounds=5),
+            run_remote_unicast(50, topology="bus", rounds=5),
+        ),
+    )
+    assert mom.mean_turnaround_ms < baseline.mean_turnaround_ms

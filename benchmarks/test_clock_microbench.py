@@ -1,0 +1,62 @@
+"""Microbenchmarks of the clock data structures themselves.
+
+Not a paper figure — an engineering regression guard: the simulator's
+throughput is dominated by ``prepare_send`` / ``can_deliver`` / ``deliver``
+at domain size s, so these keep the hot path honest and quantify the
+asymmetry the Updates algorithm introduces (cheap wire, same merge).
+"""
+
+import pytest
+
+from repro.clocks import MatrixClock, UpdatesClock
+
+SIZES = [10, 50, 150]
+
+
+def pingpong_pair(clock_cls, size):
+    a = clock_cls(size, 0)
+    b = clock_cls(size, 1)
+    # warm the clocks so deltas are steady-state
+    for _ in range(3):
+        b.deliver(a.prepare_send(1))
+        a.deliver(b.prepare_send(0))
+    return a, b
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("clock_cls", [MatrixClock, UpdatesClock],
+                         ids=["matrix", "updates"])
+def test_prepare_send(benchmark, clock_cls, size):
+    a, b = pingpong_pair(clock_cls, size)
+
+    def op():
+        stamp = a.prepare_send(1)
+        b.deliver(stamp)
+        back = b.prepare_send(0)
+        a.deliver(back)
+        return stamp
+
+    stamp = benchmark(op)
+    benchmark.extra_info["wire_cells"] = stamp.wire_cells
+    benchmark.extra_info["size"] = size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_full_matrix_stamp_cells_are_quadratic(benchmark, size):
+    a, _ = pingpong_pair(MatrixClock, size)
+    stamp = benchmark(a.prepare_send, 1)
+    assert stamp.wire_cells == size * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_updates_stamp_cells_constant(benchmark, size):
+    a, _ = pingpong_pair(UpdatesClock, size)
+    stamp = benchmark(a.prepare_send, 1)
+    assert stamp.wire_cells <= 2
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_snapshot_cost(benchmark, size):
+    a, b = pingpong_pair(MatrixClock, size)
+    snapshot = benchmark(a.snapshot)
+    assert len(snapshot) == size

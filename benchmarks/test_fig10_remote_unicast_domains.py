@@ -1,0 +1,54 @@
+"""Figure 10: remote unicast WITH domains of causality (bus of ~√n
+domains).
+
+Paper series (ms): 10→159 up to 150→218 — a shallow linear slope. Ours
+must stay within the same band (≈160–220 ms across the whole sweep), fit a
+line with a small positive slope, and never exhibit the flat MOM's
+quadratic blow-up.
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import PAPER_FIG10, linear_fit, run_remote_unicast
+
+NS = sorted(PAPER_FIG10)
+ROUNDS = 10
+
+
+@pytest.mark.parametrize("n", NS)
+def test_fig10_point(benchmark, n):
+    result = benchmark.pedantic(
+        run_remote_unicast,
+        kwargs=dict(server_count=n, topology="bus", rounds=ROUNDS),
+        iterations=1,
+        rounds=2,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+    assert result.mean_turnaround_ms == pytest.approx(PAPER_FIG10[n], rel=0.25)
+
+
+def test_fig10_linear_shape(benchmark):
+    values = bench_once(
+        benchmark,
+        lambda: [
+            run_remote_unicast(
+                n, topology="bus", rounds=ROUNDS
+            ).mean_turnaround_ms
+            for n in NS
+        ],
+    )
+    fit = linear_fit(NS, values)
+    assert 0.0 < fit.coeffs[0] < 1.0, "slope must be shallow and positive"
+    # 15x more servers must cost far less than 2x the time
+    assert values[-1] < 1.3 * values[0]
+
+
+def test_fig10_routers_add_fixed_hops(benchmark):
+    """The higher intercept vs Figure 7 is the 3-hop route: 6 channel sends
+    per round trip instead of 2."""
+    result = bench_once(
+        benchmark, lambda: run_remote_unicast(50, topology="bus", rounds=5)
+    )
+    assert result.hops == result.messages * 3

@@ -1,0 +1,66 @@
+"""Figure 11: cost comparison WITH vs WITHOUT domains of causality.
+
+The paper's headline picture: the flat curve starts lower but grows
+quadratically; the domained curve starts higher (three routing hops) but
+stays linear. They cross between 40 and 50 servers, and at 150 servers the
+flat MOM is several times slower.
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import run_remote_unicast
+from repro.bench.figures import figure11
+
+ROUNDS = 10
+
+
+@pytest.mark.parametrize("n", [10, 50, 150])
+@pytest.mark.parametrize("kind", ["flat", "bus"])
+def test_fig11_point(benchmark, n, kind):
+    result = benchmark.pedantic(
+        run_remote_unicast,
+        kwargs=dict(server_count=n, topology=kind, rounds=ROUNDS),
+        iterations=1,
+        rounds=2,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+
+
+def test_fig11_crossover_in_paper_band(benchmark):
+    flat40, bus40, flat60, bus60 = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(40, topology="flat", rounds=ROUNDS),
+            run_remote_unicast(40, topology="bus", rounds=ROUNDS),
+            run_remote_unicast(60, topology="flat", rounds=ROUNDS),
+            run_remote_unicast(60, topology="bus", rounds=ROUNDS),
+        ),
+    )
+    assert flat40.mean_turnaround_ms < bus40.mean_turnaround_ms, (
+        "below the crossover the flat MOM must win"
+    )
+    assert bus60.mean_turnaround_ms < flat60.mean_turnaround_ms, (
+        "above the crossover the domains must win"
+    )
+
+
+def test_fig11_blowout_at_scale(benchmark):
+    flat, domained = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(150, topology="flat", rounds=5),
+            run_remote_unicast(150, topology="bus", rounds=5),
+        ),
+    )
+    assert flat.mean_turnaround_ms > 4 * domained.mean_turnaround_ms, (
+        "at n=150 the quadratic flat MOM must be several times slower"
+    )
+
+
+def test_fig11_figure_object_reports_crossover(benchmark):
+    result = bench_once(benchmark, lambda: figure11(ns=[30, 40, 50, 60], rounds=5))
+    assert any("crossover" in note or "win" in note for note in result.notes)
+    winners = [row["winner"] for row in result.rows]
+    assert winners[0] == "flat" and winners[-1] == "domains"

@@ -1,0 +1,47 @@
+"""Figure 7: remote unicast WITHOUT domains of causality.
+
+Paper series (ms): 10→61, 20→69, 30→88, 40→136, 50→201; quadratic fit.
+Ours must pass near the anchors and grow quadratically (leading
+coefficient ≈ 0.052 ms/server², within the paper's 0.03–0.11 band).
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import PAPER_FIG7, quadratic_fit, run_remote_unicast
+
+NS = sorted(PAPER_FIG7)
+ROUNDS = 10
+
+
+@pytest.mark.parametrize("n", NS)
+def test_fig7_point(benchmark, n):
+    result = benchmark.pedantic(
+        run_remote_unicast,
+        kwargs=dict(server_count=n, topology="flat", rounds=ROUNDS),
+        iterations=1,
+        rounds=2,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+    # shape agreement: within 35% of the paper's measurement at each point
+    assert result.mean_turnaround_ms == pytest.approx(
+        PAPER_FIG7[n], rel=0.35
+    )
+
+
+def test_fig7_quadratic_shape(benchmark):
+    values = bench_once(
+        benchmark,
+        lambda: [
+            run_remote_unicast(
+                n, topology="flat", rounds=ROUNDS
+            ).mean_turnaround_ms
+            for n in NS
+        ],
+    )
+    fit = quadratic_fit(NS, values)
+    assert fit.r_squared > 0.99
+    assert 0.02 < fit.coeffs[0] < 0.12, (
+        f"quadratic coefficient {fit.coeffs[0]} out of the paper's band"
+    )

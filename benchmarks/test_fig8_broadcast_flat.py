@@ -1,0 +1,58 @@
+"""Figure 8: broadcast WITHOUT domains of causality.
+
+Paper series (ms): 10→636, 20→1382, 30→2771, 40→4187, 50→6613, 60→8933,
+90→25323; the paper overlays a quadratic fit. Absolute values differ (the
+paper's constant term includes JVM overheads we don't model), but the
+growth must be strongly superlinear with the same ordering, and the
+quadratic coefficient of our fit must land within ~2x of the paper's
+(ours ≈ 3.9 ms/server², paper ≈ 4.1).
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import PAPER_FIG8, quadratic_fit, run_broadcast
+
+NS = [10, 20, 30, 50, 90]
+ROUNDS = 3
+
+
+@pytest.mark.parametrize("n", NS)
+def test_fig8_point(benchmark, n):
+    result = benchmark.pedantic(
+        run_broadcast,
+        kwargs=dict(server_count=n, topology="flat", rounds=ROUNDS),
+        iterations=1,
+        rounds=1,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+    # same side of the ballpark: within a factor ~2.4 of the paper's point
+    assert PAPER_FIG8[n] / 2.4 < result.mean_turnaround_ms < PAPER_FIG8[n] * 2.4
+
+
+def test_fig8_quadratic_shape(benchmark):
+    values = bench_once(
+        benchmark,
+        lambda: [
+            run_broadcast(n, topology="flat", rounds=ROUNDS).mean_turnaround_ms
+            for n in NS
+        ],
+    )
+    ours = quadratic_fit(NS, values)
+    paper = quadratic_fit(NS, [PAPER_FIG8[n] for n in NS])
+    assert ours.r_squared > 0.99
+    assert paper.coeffs[0] / 2 < ours.coeffs[0] < paper.coeffs[0] * 2, (
+        f"quadratic growth {ours.coeffs[0]:.2f} vs paper {paper.coeffs[0]:.2f}"
+    )
+
+
+def test_fig8_superlinear_growth(benchmark):
+    t10, t90 = bench_once(
+        benchmark,
+        lambda: (
+            run_broadcast(10, rounds=ROUNDS).mean_turnaround_ms,
+            run_broadcast(90, rounds=ROUNDS).mean_turnaround_ms,
+        ),
+    )
+    assert t90 / t10 > 9 * 2, "broadcast must grow much faster than n"

@@ -1,0 +1,80 @@
+"""Figure 9 ablation: bus vs daisy vs tree organizations (§6.2).
+
+The paper only *measures* the bus but derives the costs of the others:
+the bus crosses at most 3 domains (C ≈ 3s²); a tree crosses ≈ 2d+1
+domains (logarithmic but with a bigger constant K′ > K); a daisy's
+worst-case route crosses every domain. The measured ordering at a fixed n
+must reproduce that analysis.
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import run_remote_unicast
+from repro.topology.cost import bus_unicast_cost, tree_unicast_cost
+
+N = 60
+ROUNDS = 10
+
+
+@pytest.mark.parametrize("kind", ["flat", "bus", "daisy", "tree"])
+def test_fig9_point(benchmark, kind):
+    result = benchmark.pedantic(
+        run_remote_unicast,
+        kwargs=dict(server_count=N, topology=kind, rounds=ROUNDS),
+        iterations=1,
+        rounds=2,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+
+
+def test_fig9_measured_ordering(benchmark):
+    times = bench_once(
+        benchmark,
+        lambda: {
+            kind: run_remote_unicast(
+                N, topology=kind, rounds=ROUNDS
+            ).mean_turnaround_ms
+            for kind in ("flat", "bus", "daisy", "tree")
+        },
+    )
+    assert times["bus"] < times["flat"], "past the crossover the bus wins"
+    assert times["daisy"] > times["bus"], "the daisy's long chain is worse"
+    assert times["daisy"] > times["flat"], (
+        "at n=60 a ~8-domain daisy worst-case is worse than even the flat MOM"
+    )
+
+
+def test_fig9_state_is_what_domains_shrink(benchmark):
+    flat, domained_results = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(N, topology="flat", rounds=2),
+            [
+                run_remote_unicast(N, topology=kind, rounds=2)
+                for kind in ("bus", "daisy", "tree")
+            ],
+        ),
+    )
+    for domained in domained_results:
+        assert domained.clock_state_cells < flat.clock_state_cells / 10
+
+
+def test_fig9_analytic_tree_vs_bus_tradeoff(benchmark):
+    """§6.2: with fixed s and k a tree is asymptotically better (log n vs
+    n) but carries a larger constant, so the bus can win at moderate n."""
+    moderate = 64
+    huge = 10_000
+    costs = bench_once(
+        benchmark,
+        lambda: (
+            bus_unicast_cost(moderate, 8),
+            tree_unicast_cost(moderate, 8, 2),
+            tree_unicast_cost(huge, 8, 2),
+            bus_unicast_cost(huge),
+        ),
+    )
+    bus_moderate, tree_moderate, tree_huge, bus_huge = costs
+    assert bus_moderate <= tree_moderate
+    assert tree_huge < bus_huge

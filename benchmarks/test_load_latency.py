@@ -1,0 +1,75 @@
+"""Latency under load: the queueing consequence of O(n²) per-message cost.
+
+Not a paper figure — the paper measures unloaded turn-around — but the
+direct operational translation of its complaint: at n=50 the flat MOM
+spends ~45 ms of CPU per message, so any source sustaining more than
+~22 msg/s saturates a server; the domained MOM's ~15 ms per hop triples
+the sustainable rate. An open-loop source sweeps the sending period and
+the sink records true sojourn times (intended-send to delivery).
+"""
+
+import pytest
+
+from conftest import bench_once
+from repro.bench import OpenLoopDriver, SinkAgent
+from repro.mom import BusConfig, MessageBus
+from repro.topology import bus as bus_topology
+from repro.topology import single_domain
+
+N = 50
+COUNT = 40
+
+
+def run_load(topology, period_ms, count=COUNT):
+    mom = MessageBus(BusConfig(topology=topology))
+    sink = SinkAgent()
+    sink_id = mom.deploy(sink, topology.server_count - 1)
+    driver = OpenLoopDriver(period_ms=period_ms, count=count)
+    driver.bind(sink_id)
+    mom.deploy(driver, 0)
+    mom.start()
+    mom.run_until_idle()
+    assert sink.received == count
+    return sink.sojourn_ms
+
+
+@pytest.mark.parametrize("period", [100.0, 50.0, 25.0, 10.0])
+@pytest.mark.parametrize("kind", ["flat", "bus"])
+def test_load_point(benchmark, kind, period):
+    topology = single_domain(N) if kind == "flat" else bus_topology(N)
+    sojourns = benchmark.pedantic(
+        run_load, args=(topology, period), iterations=1, rounds=1
+    )
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["period_ms"] = period
+    benchmark.extra_info["sojourn_p50"] = round(
+        sorted(sojourns)[len(sojourns) // 2], 1
+    )
+    benchmark.extra_info["sojourn_max"] = round(max(sojourns), 1)
+
+
+def test_flat_saturates_below_service_time(benchmark):
+    light, heavy = bench_once(
+        benchmark,
+        lambda: (
+            run_load(single_domain(N), 100.0),
+            run_load(single_domain(N), 10.0),
+        ),
+    )
+    # under light load sojourn is flat; past saturation it grows linearly
+    # with the message index (queue build-up)
+    assert max(light) < 1.2 * min(light)
+    assert heavy[-1] > 5 * heavy[0]
+
+
+def test_domains_triple_the_sustainable_rate(benchmark):
+    flat, domained = bench_once(
+        benchmark,
+        lambda: (
+            run_load(single_domain(N), 25.0),
+            run_load(bus_topology(N), 25.0),
+        ),
+    )
+    # 25 ms/msg overloads the flat MOM (45 ms service) but not the bus
+    assert max(flat) > 2 * max(domained)
+    assert max(domained) < 3 * min(domained)

@@ -1,0 +1,42 @@
+"""§6.1's first series: unicast on the local server.
+
+The local bus bypasses the channel entirely (Figure 1), so the time is a
+small constant independent of the system size — the baseline against which
+the remote series' causality cost is visible.
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import run_local_unicast
+
+NS = [10, 50, 150]
+ROUNDS = 20
+
+
+@pytest.mark.parametrize("n", NS)
+def test_local_point(benchmark, n):
+    result = benchmark.pedantic(
+        run_local_unicast,
+        kwargs=dict(server_count=n, topology="flat", rounds=ROUNDS),
+        iterations=1,
+        rounds=2,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+
+
+def test_local_is_constant_in_n(benchmark):
+    values = bench_once(
+        benchmark,
+        lambda: [
+            run_local_unicast(n, rounds=ROUNDS).mean_turnaround_ms for n in NS
+        ],
+    )
+    assert max(values) == pytest.approx(min(values))
+
+
+def test_local_uses_no_network_and_no_stamps(benchmark):
+    result = bench_once(benchmark, lambda: run_local_unicast(50, rounds=5))
+    assert result.wire_cells == 0
+    assert result.hops == 0

@@ -1,0 +1,126 @@
+"""§7 ablation: application-driven optimal splitting.
+
+The conclusion sketches two ways to pick domains — by network architecture
+or by application topology. This bench builds a clustered application
+(three communities talking mostly internally), derives a decomposition
+from its traffic with the §7 partitioner, and compares it against the flat
+MOM and an application-blind uniform bus under the §6.2 cost model AND
+under live simulation.
+"""
+
+import pytest
+
+from repro.bench.harness import make_topology
+from repro.mom import BusConfig, MessageBus
+from repro.mom.agent import Agent
+from repro.topology import (
+    CommunicationGraph,
+    bus as bus_topology,
+    estimate_traffic_cost,
+    partition_communication_graph,
+    single_domain,
+    validate_topology,
+)
+
+CLUSTERS = 4
+SIZE = 4
+N = CLUSTERS * SIZE
+
+
+def cluster_members(cluster):
+    """Clusters are *strided* across the id space (cluster = server mod k):
+    an application's communication structure has no reason to align with
+    server numbering, and a blind contiguous split cuts every one of these
+    clusters into pieces."""
+    return [s for s in range(N) if s % CLUSTERS == cluster]
+
+
+def clustered_traffic():
+    comm = CommunicationGraph(N)
+    for c in range(CLUSTERS):
+        members = cluster_members(c)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                comm.add_traffic(a, b, 10.0)
+    for c in range(CLUSTERS - 1):
+        comm.add_traffic(cluster_members(c)[0], cluster_members(c + 1)[0], 1.0)
+    return comm
+
+
+class ClusterTalker(Agent):
+    """Talks to every peer in its cluster each round, occasionally across."""
+
+    def __init__(self, peers, rounds):
+        super().__init__()
+        self.peers = peers
+        self.rounds = rounds
+        self.sent_rounds = 0
+
+    def on_boot(self, ctx):
+        self._round(ctx)
+
+    def react(self, ctx, sender, payload):
+        if payload == "kick" and self.sent_rounds < self.rounds:
+            self._round(ctx)
+
+    def _round(self, ctx):
+        self.sent_rounds += 1
+        for peer in self.peers:
+            ctx.send(peer, "data")
+        ctx.send(ctx.my_id, "kick")
+
+
+def run_live(topology, rounds=3):
+    mom = MessageBus(BusConfig(topology=topology, validate=False))
+    ids = {}
+    talkers = []
+    for server in topology.servers:
+        talker = ClusterTalker([], rounds)
+        ids[server] = mom.deploy(talker, server)
+        talkers.append((server, talker))
+    for server, talker in talkers:
+        talker.peers = [
+            ids[s] for s in cluster_members(server % CLUSTERS) if s != server
+        ]
+    mom.start()
+    mom.run_until_idle()
+    assert mom.check_app_causality().respects_causality
+    return mom
+
+
+def test_partitioner_beats_flat_and_blind_bus_analytically(benchmark):
+    comm = clustered_traffic()
+    partitioned = benchmark(partition_communication_graph, comm, SIZE)
+    validate_topology(partitioned)
+    flat_cost = estimate_traffic_cost(single_domain(N), comm)
+    # "blind" = the default √n-sized bus, which slices the 6-server
+    # clusters across ~4-server domains and forces heavy intra-cluster
+    # traffic through routers
+    blind_cost = estimate_traffic_cost(bus_topology(N), comm)
+    smart_cost = estimate_traffic_cost(partitioned, comm)
+    assert smart_cost < flat_cost / 3
+    assert smart_cost < blind_cost
+
+
+def test_partitioner_beats_flat_in_live_simulation(benchmark):
+    comm = clustered_traffic()
+    partitioned = partition_communication_graph(comm, SIZE)
+
+    def compute():
+        return run_live(single_domain(N)).sim.now, run_live(partitioned).sim.now
+
+    flat_time, smart_time = benchmark.pedantic(compute, iterations=1, rounds=1)
+    assert smart_time < flat_time
+
+
+@pytest.mark.parametrize("kind", ["flat", "partitioned"])
+def test_partition_live_point(benchmark, kind):
+    comm = clustered_traffic()
+    topology = (
+        single_domain(N)
+        if kind == "flat"
+        else partition_communication_graph(comm, SIZE)
+    )
+    mom = benchmark.pedantic(run_live, args=(topology,), iterations=1, rounds=1)
+    benchmark.extra_info["sim_ms"] = round(mom.sim.now, 1)
+    benchmark.extra_info["wire_cells"] = mom.network.cells_transmitted

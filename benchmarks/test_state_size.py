@@ -1,0 +1,66 @@
+"""§1's state argument: matrix clocks need O(n³) global state
+(n servers × n² cells); domain decomposition makes it near-linear.
+
+Also measures disk traffic (§3's "high disk I/O activity") per delivered
+message, flat vs domained.
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import run_local_unicast, run_remote_unicast
+
+NS = [10, 50, 150]
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.parametrize("kind", ["flat", "bus"])
+def test_state_point(benchmark, n, kind):
+    result = benchmark.pedantic(
+        run_local_unicast,
+        kwargs=dict(server_count=n, topology=kind, rounds=1),
+        iterations=1,
+        rounds=2,
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["topology"] = kind
+    benchmark.extra_info["state_cells"] = result.clock_state_cells
+
+
+def test_flat_state_is_cubic(benchmark):
+    small, large = bench_once(
+        benchmark,
+        lambda: (
+            run_local_unicast(10, topology="flat", rounds=1),
+            run_local_unicast(100, topology="flat", rounds=1),
+        ),
+    )
+    assert small.clock_state_cells == 10 ** 3
+    assert large.clock_state_cells == 100 ** 3
+
+
+def test_bus_state_is_near_linear(benchmark):
+    small, large = bench_once(
+        benchmark,
+        lambda: (
+            run_local_unicast(10, topology="bus", rounds=1),
+            run_local_unicast(100, topology="bus", rounds=1),
+        ),
+    )
+    growth = large.clock_state_cells / small.clock_state_cells
+    # n grew 10x; near-linear state grows ~O(n·s) = O(n^1.5) here, far from
+    # the flat MOM's 1000x
+    assert growth < 100
+
+
+def test_disk_traffic_per_message_shrinks_with_domains(benchmark):
+    flat, domained = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(90, topology="flat", rounds=5),
+            run_remote_unicast(90, topology="bus", rounds=5),
+        ),
+    )
+    flat_per_hop = flat.persisted_cells / flat.hops
+    domained_per_hop = domained.persisted_cells / domained.hops
+    assert domained_per_hop < flat_per_hop / 20

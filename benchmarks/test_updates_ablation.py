@@ -1,0 +1,95 @@
+"""Appendix-A ablation: full-matrix stamps vs the Updates algorithm.
+
+§3's claim, quantified: the Updates optimization shrinks the *message*
+size (to O(1) cells in steady-state unicast) but leaves the per-server
+state and its persistent image at O(n²) — so it alone cannot make the MOM
+scale, which is why §4 adds domains. We measure both wire footprints and
+both turn-around curves, plus the combination (updates + domains +
+journaling persistence), which is the cheapest of all.
+"""
+
+import pytest
+
+from conftest import bench_once, record
+from repro.bench import run_remote_unicast
+from repro.simulation.costs import CostModel
+
+NS = [10, 30, 50]
+ROUNDS = 10
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.parametrize("clock", ["matrix", "updates"])
+def test_updates_point(benchmark, n, clock):
+    result = benchmark.pedantic(
+        run_remote_unicast,
+        kwargs=dict(server_count=n, topology="flat", rounds=ROUNDS, clock=clock),
+        iterations=1,
+        rounds=2,
+    )
+    record(benchmark, result)
+    assert result.causal_ok
+
+
+def test_wire_footprint_collapses(benchmark):
+    full, delta = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(50, rounds=ROUNDS, clock="matrix"),
+            run_remote_unicast(50, rounds=ROUNDS, clock="updates"),
+        ),
+    )
+    per_hop_full = full.wire_cells / full.hops
+    per_hop_delta = delta.wire_cells / delta.hops
+    assert per_hop_full == 2500
+    assert per_hop_delta <= 3
+
+
+def test_persistence_still_quadratic_with_updates(benchmark):
+    """With the default full-image persistence the Updates run still pays
+    O(n²) disk traffic per message — §3's second problem."""
+    small, large = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(10, rounds=ROUNDS, clock="updates"),
+            run_remote_unicast(50, rounds=ROUNDS, clock="updates"),
+        ),
+    )
+    per_msg_small = small.persisted_cells / small.hops
+    per_msg_large = large.persisted_cells / large.hops
+    assert per_msg_large > 15 * per_msg_small
+
+
+def test_journaling_persistence_flattens_updates_unicast(benchmark):
+    """Updates + dirty-only persistence: the remaining causality cost is
+    O(1) per message, so turn-around stops depending on n entirely."""
+    model = CostModel(persist_dirty_only=True)
+    small, large = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(
+                10, rounds=ROUNDS, clock="updates", cost_model=model
+            ),
+            run_remote_unicast(
+                50, rounds=ROUNDS, clock="updates", cost_model=model
+            ),
+        ),
+    )
+    assert large.mean_turnaround_ms == pytest.approx(
+        small.mean_turnaround_ms, rel=0.02
+    )
+
+
+def test_updates_plus_domains_is_cheapest(benchmark):
+    model = CostModel(persist_dirty_only=True)
+    flat_full, combo = bench_once(
+        benchmark,
+        lambda: (
+            run_remote_unicast(90, rounds=5, clock="matrix"),
+            run_remote_unicast(
+                90, rounds=5, topology="bus", clock="updates", cost_model=model
+            ),
+        ),
+    )
+    assert combo.mean_turnaround_ms < flat_full.mean_turnaround_ms
+    assert combo.wire_cells < flat_full.wire_cells / 50

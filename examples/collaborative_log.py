@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Replicated-log update propagation — the matrix-clock use case of §1.
+
+"Such shared knowledge is needed in many instances involving close
+cooperation, such as replica update management and collaborative work."
+
+Each site keeps a replica of an append-only document log. Edits flow
+through a hub agent that fans them out to every replica; a reviewer's
+response causally follows the draft it reviews, so with causal delivery
+no replica can ever apply the response before the draft — across any
+number of domain hops. (Fanning out from the hub matters: N independent
+unicasts from the *author* would leave each replica's copy of the draft
+concurrent with the review, a classic multicast-vs-unicast pitfall this
+example deliberately avoids.)
+
+The example also reads the matrix clocks directly to show the "A knows
+that B knows about C" knowledge level [Wuu–Bernstein 1984] that plain
+vector clocks cannot express.
+
+Run:  python examples/collaborative_log.py
+"""
+
+from repro import Agent, BusConfig, MessageBus, daisy
+
+
+class EditorHub(Agent):
+    """Fans every incoming edit out to all replicas except its author.
+
+    The hub's per-destination FIFO, preserved end to end by the domain
+    protocol, is what makes "draft before review" hold at every replica.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.replicas = []
+        self.forwarded = 0
+
+    def react(self, ctx, sender, payload):
+        self.forwarded += 1
+        for replica in self.replicas:
+            if replica != sender:
+                ctx.send(replica, payload)
+
+
+class Replica(Agent):
+    """One site's replica of the shared log."""
+
+    def __init__(self, hub):
+        super().__init__()
+        self.hub = hub
+        self.log = []  # applied edits, in local apply order
+
+    def edit(self, ctx, text, responding_to=None):
+        entry = (str(ctx.my_id), text, responding_to)
+        self.log.append(entry)
+        ctx.send(self.hub, entry)
+
+    def on_boot(self, ctx):
+        if ctx.my_id.server == 0:
+            self.edit(ctx, "initial draft: causality is easy?")
+
+    def react(self, ctx, sender, payload):
+        author, text, responding_to = payload
+        if responding_to is not None:
+            applied_texts = [t for _, t, _ in self.log]
+            assert responding_to in applied_texts, (
+                f"replica {ctx.my_id} got a response before its target!"
+            )
+        self.log.append(payload)
+        if ctx.my_id.server == 8 and responding_to is None:
+            self.edit(
+                ctx,
+                "review: no - needs matrix clocks",
+                responding_to=text,
+            )
+
+
+def main():
+    # a daisy of 3-server domains: sites chained like branch offices;
+    # the author (S0) and the reviewer (S8) sit at opposite ends, four
+    # domain hops apart.
+    topology = daisy(9, 3)
+    print(topology.describe())
+    print()
+
+    mom = MessageBus(BusConfig(topology=topology, record_hop_trace=True))
+    hub = EditorHub()
+    hub_id = mom.deploy(hub, 4)  # hub at the middle site
+    replicas = []
+    for server in topology.servers:
+        if server == 4:
+            continue
+        replica = Replica(hub_id)
+        mom.deploy(replica, server)
+        replicas.append(replica)
+    hub.replicas = [replica.agent_id for replica in replicas]
+
+    mom.start()
+    mom.run_until_idle()
+
+    print("replica logs:")
+    for replica in replicas:
+        print(f"  {replica.agent_id}: {len(replica.log)} entries")
+        for _, text, responding in replica.log:
+            arrow = f"   (responds to: {responding!r})" if responding else ""
+            print(f"      - {text!r}{arrow}")
+        texts = [t for _, t, _ in replica.log]
+        assert texts.index("initial draft: causality is easy?") < texts.index(
+            "review: no - needs matrix clocks"
+        )
+
+    # Shared knowledge, read off a matrix clock: in the middle domain, what
+    # does the hub's server know about what its neighbours know?
+    channel = mom.server(4).channel
+    domain_id = topology.domains_of(4)[0].domain_id
+    item = channel.domain_items[domain_id]
+    print()
+    print(f"matrix clock of server 4 in domain {domain_id!r} "
+          f"(cell [i][j] = messages i->j that server 4 knows about):")
+    for i in range(item.clock.size):
+        print(f"    {[item.clock.cell(i, j) for j in range(item.clock.size)]}")
+
+    report = mom.check_app_causality()
+    print(f"\ncausal delivery: {report.summary()}")
+    for domain_report in mom.check_domain_causality().values():
+        print(f"  {domain_report.summary()}")
+    assert report.respects_causality
+
+
+if __name__ == "__main__":
+    main()

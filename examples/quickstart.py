@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: boot a domained MOM, exchange messages, check causality.
+
+Builds the paper's Figure-2 topology (8 servers, 4 domains, 3 causal
+router-servers), deploys a couple of agents, routes a message from S1 to
+S8 across three domains — transparently, exactly like the paper's example
+— and verifies the recorded trace respects causal order.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Agent,
+    BusConfig,
+    EchoAgent,
+    MessageBus,
+    from_domain_map,
+    validate_topology,
+)
+
+
+class Greeter(Agent):
+    """Sends one greeting at boot and reports the echoed reply."""
+
+    def __init__(self, partner):
+        super().__init__()
+        self.partner = partner
+        self.replies = []
+
+    def on_boot(self, ctx):
+        print(f"[{ctx.now:7.1f} ms] {ctx.my_id} sends greeting to {self.partner}")
+        ctx.send(self.partner, "hello across the domains")
+
+    def react(self, ctx, sender, payload):
+        self.replies.append(payload)
+        print(f"[{ctx.now:7.1f} ms] {ctx.my_id} got echo back: {payload!r}")
+
+
+def main():
+    # The paper's Figure 2, 0-indexed: domains A{S1,S2,S3}, B{S4,S5},
+    # C{S7,S8}, D{S3,S5,S6,S7}; S3, S5, S7 are causal router-servers.
+    topology = from_domain_map(
+        {
+            "A": [0, 1, 2],
+            "B": [3, 4],
+            "C": [6, 7],
+            "D": [2, 4, 5, 6],
+        }
+    )
+    validate_topology(topology)  # acyclic domain graph: the theorem applies
+    print(topology.describe())
+    print()
+
+    mom = MessageBus(BusConfig(topology=topology))
+    echo_on_s8 = mom.deploy(EchoAgent(), server_id=7)
+    greeter = Greeter(partner=echo_on_s8)
+    mom.deploy(greeter, server_id=0)
+
+    mom.start()
+    mom.run_until_idle()
+
+    print()
+    print(f"notifications sent : {mom.metrics.counter('bus.notifications').value}")
+    print(f"channel hops       : {mom.metrics.counter('channel.hops_sent').value} "
+          "(S1->S3, S3->S7, S7->S8 and back: routing is invisible to agents)")
+    report = mom.check_app_causality()
+    print(f"causal delivery    : {report.summary()}")
+    assert greeter.replies == ["hello across the domains"]
+    assert report.respects_causality
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Stock-exchange quotation feed — the paper's motivating workload (§1).
+
+A quote publisher and a *correction* publisher feed a topic; trading desks
+across several sites subscribe. The correction causally follows the bad
+quote it amends (the corrections desk saw the quote before issuing the
+fix), so causal delivery guarantees no subscriber ever sees the correction
+before the quote it corrects — on any site, across any number of domain
+hops, even though the two publications come from different servers.
+
+The MOM is organized as a bus of domains: one domain per trading site plus
+a backbone — the decomposition that keeps matrix-clock costs linear (§6.2).
+
+Run:  python examples/stock_ticker.py
+"""
+
+from repro import Agent, BusConfig, MessageBus, bus_topology
+from repro.pubsub import Delivery, Publish, Subscribe, TopicAgent
+from repro.simulation.network import UniformLatency
+
+
+class QuotePublisher(Agent):
+    """Publishes a stream of quotes for one symbol."""
+
+    def __init__(self, topic, quotes):
+        super().__init__()
+        self.topic = topic
+        self.quotes = quotes
+
+    def on_boot(self, ctx):
+        for symbol, price in self.quotes:
+            ctx.send(self.topic, Publish(("QUOTE", symbol, price)))
+
+    def react(self, ctx, sender, payload):
+        pass  # publishers do not consume the feed
+
+
+class CorrectionsDesk(Agent):
+    """Subscribes to the feed; when it sees a fat-finger quote it publishes
+    a correction — a message that causally depends on the bad quote."""
+
+    def __init__(self, topic, bad_price_threshold):
+        super().__init__()
+        self.topic = topic
+        self.threshold = bad_price_threshold
+        self.corrections = 0
+
+    def on_boot(self, ctx):
+        ctx.send(self.topic, Subscribe(ctx.my_id))
+
+    def react(self, ctx, sender, payload):
+        if not isinstance(payload, Delivery):
+            return
+        kind, symbol, price = payload.body
+        if kind == "QUOTE" and price > self.threshold:
+            self.corrections += 1
+            ctx.send(self.topic, Publish(("CORRECTION", symbol, price / 100)))
+
+
+class TradingDesk(Agent):
+    """A subscriber that books trades; it must never act on a corrected
+    quote after... before seeing the correction that supersedes it."""
+
+    def __init__(self, topic, name):
+        super().__init__()
+        self.topic = topic
+        self.name = name
+        self.tape = []
+
+    def on_boot(self, ctx):
+        ctx.send(self.topic, Subscribe(ctx.my_id))
+
+    def react(self, ctx, sender, payload):
+        if isinstance(payload, Delivery):
+            self.tape.append(payload.body)
+
+
+def main():
+    # 16 servers in ~4-server site domains joined by a backbone.
+    topology = bus_topology(16)
+    print(topology.describe())
+    print()
+
+    mom = MessageBus(
+        BusConfig(
+            topology=topology,
+            latency=UniformLatency(0.2, 12.0),  # WAN jitter between sites
+            seed=2024,
+        )
+    )
+
+    topic = TopicAgent()
+    topic_id = mom.deploy(topic, server_id=5)
+
+    desks = []
+    for server in (0, 1, 8, 9, 12):  # desks spread over different sites
+        desk = TradingDesk(topic_id, name=f"desk@S{server}")
+        mom.deploy(desk, server)
+        desks.append(desk)
+
+    corrections = CorrectionsDesk(topic_id, bad_price_threshold=1000.0)
+    mom.deploy(corrections, server_id=14)
+
+    publisher = QuotePublisher(
+        topic_id,
+        quotes=[
+            ("ACME", 101.2),
+            ("ACME", 101.4),
+            ("ACME", 10140.0),  # fat-finger: will be corrected
+            ("ACME", 101.5),
+        ],
+    )
+    mom.deploy(publisher, server_id=2)
+
+    mom.start()
+    mom.run_until_idle()
+
+    print(f"corrections issued: {corrections.corrections}")
+    for desk in desks:
+        quote_pos = desk.tape.index(("QUOTE", "ACME", 10140.0))
+        corr_pos = next(
+            i for i, entry in enumerate(desk.tape) if entry[0] == "CORRECTION"
+        )
+        status = "OK" if quote_pos < corr_pos else "ANOMALY"
+        print(
+            f"  {desk.name}: saw bad quote at tape[{quote_pos}], "
+            f"correction at tape[{corr_pos}] -> {status}"
+        )
+        assert quote_pos < corr_pos, (
+            "causal delivery must order the correction after the bad quote"
+        )
+
+    report = mom.check_app_causality()
+    print(f"causal delivery: {report.summary()}")
+    assert report.respects_causality
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-use-pep517`` works in environments without the
+``wheel`` package (e.g. offline boxes).
+"""
+
+from setuptools import setup
+
+setup()

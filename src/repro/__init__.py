@@ -1,0 +1,142 @@
+"""repro — a reproduction of *Preserving Causality in a Scalable
+Message-Oriented Middleware* (Laumay, Bruneton, Bellissard, Krakowiak;
+Middleware 2001).
+
+The package rebuilds the paper's whole stack:
+
+- :mod:`repro.clocks` — Lamport / vector / matrix clocks and the
+  Appendix-A "Updates" delta algorithm;
+- :mod:`repro.causality` — the §4.2 formalism (traces, chains, virtual
+  traces) with executable checkers and the Figure-4 counterexample;
+- :mod:`repro.topology` — domains of causality, acyclicity validation,
+  routing, the Figure-9 organizations, the §6.2 cost model and the §7
+  partitioning heuristics;
+- :mod:`repro.simulation` — the deterministic discrete-event substrate
+  standing in for the paper's testbed;
+- :mod:`repro.mom` — the AAA MOM: agent servers (Engine + Channel),
+  persistent agents, atomic reactions, causal router-servers, crash
+  recovery;
+- :mod:`repro.pubsub` — topic/queue destinations on top of the agent API;
+- :mod:`repro.bench` — the harness regenerating every figure of §6.
+
+Quickstart::
+
+    from repro import BusConfig, MessageBus, EchoAgent, bus_topology
+
+    topo = bus_topology(16)               # 16 servers, ~4 domains + backbone
+    mom = MessageBus(BusConfig(topology=topo))
+    echo = mom.deploy(EchoAgent(), server_id=14)
+    ...                                   # deploy your agents, start, run
+    mom.start(); mom.run_until_idle()
+    assert mom.check_app_causality().respects_causality
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    TopologyError,
+    CyclicDomainGraphError,
+    RoutingError,
+    ClockError,
+    CausalityViolationError,
+    TraceError,
+    SimulationError,
+    TransportError,
+    ServerCrashedError,
+    PersistenceError,
+    AgentError,
+)
+from repro.clocks import (
+    LamportClock,
+    VectorClock,
+    CausalBroadcastClock,
+    MatrixClock,
+    UpdatesClock,
+)
+from repro.causality import (
+    Message,
+    Trace,
+    Membership,
+    Chain,
+    CausalOrder,
+    check_trace,
+    check_all_domains,
+    find_cycle_path,
+    build_violation_trace,
+)
+from repro.topology import (
+    Domain,
+    Topology,
+    single_domain,
+    daisy,
+    tree,
+    ring,
+    from_domain_map,
+    validate_topology,
+    build_routing_tables,
+)
+from repro.topology import bus as bus_topology
+from repro.simulation import CostModel, Simulator
+from repro.mom import (
+    Agent,
+    ReactionContext,
+    FunctionAgent,
+    EchoAgent,
+    AgentId,
+    BusConfig,
+    MessageBus,
+    FailureInjector,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "CyclicDomainGraphError",
+    "RoutingError",
+    "ClockError",
+    "CausalityViolationError",
+    "TraceError",
+    "SimulationError",
+    "TransportError",
+    "ServerCrashedError",
+    "PersistenceError",
+    "AgentError",
+    "LamportClock",
+    "VectorClock",
+    "CausalBroadcastClock",
+    "MatrixClock",
+    "UpdatesClock",
+    "Message",
+    "Trace",
+    "Membership",
+    "Chain",
+    "CausalOrder",
+    "check_trace",
+    "check_all_domains",
+    "find_cycle_path",
+    "build_violation_trace",
+    "Domain",
+    "Topology",
+    "single_domain",
+    "bus_topology",
+    "daisy",
+    "tree",
+    "ring",
+    "from_domain_map",
+    "validate_topology",
+    "build_routing_tables",
+    "CostModel",
+    "Simulator",
+    "Agent",
+    "ReactionContext",
+    "FunctionAgent",
+    "EchoAgent",
+    "AgentId",
+    "BusConfig",
+    "MessageBus",
+    "FailureInjector",
+    "__version__",
+]

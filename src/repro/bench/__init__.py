@@ -1,0 +1,72 @@
+"""The benchmark harness: regenerate every figure of §6.
+
+- :mod:`repro.bench.workloads` — the §6.1 measurement protocol as agents:
+  a ping-pong driver and a broadcast driver, both driven from a main agent
+  on server 0;
+- :mod:`repro.bench.harness` — one-call experiment runners returning
+  structured results (simulated turn-around times, wire cells, clock
+  state, disk traffic);
+- :mod:`repro.bench.fits` — the least-squares fits the paper overlays
+  (quadratic for Figures 7/8, linear for Figure 10);
+- :mod:`repro.bench.figures` — per-figure sweeps with the paper's series
+  embedded for side-by-side comparison;
+- ``python -m repro.bench <figure>`` — prints any figure's table.
+"""
+
+from repro.bench.workloads import (
+    PingPongDriver,
+    BroadcastDriver,
+    OpenLoopDriver,
+    SinkAgent,
+)
+from repro.bench.harness import (
+    ExperimentResult,
+    run_remote_unicast,
+    run_local_unicast,
+    run_broadcast,
+    run_baseline_unicast,
+    farthest_plain_server,
+)
+from repro.bench.fits import linear_fit, quadratic_fit, FitResult
+from repro.bench.figures import (
+    FigureResult,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    updates_ablation,
+    local_unicast_table,
+    state_size_table,
+    PAPER_FIG7,
+    PAPER_FIG8,
+    PAPER_FIG10,
+)
+
+__all__ = [
+    "PingPongDriver",
+    "BroadcastDriver",
+    "OpenLoopDriver",
+    "SinkAgent",
+    "ExperimentResult",
+    "run_remote_unicast",
+    "run_local_unicast",
+    "run_broadcast",
+    "run_baseline_unicast",
+    "farthest_plain_server",
+    "linear_fit",
+    "quadratic_fit",
+    "FitResult",
+    "FigureResult",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "updates_ablation",
+    "local_unicast_table",
+    "state_size_table",
+    "PAPER_FIG7",
+    "PAPER_FIG8",
+    "PAPER_FIG10",
+]

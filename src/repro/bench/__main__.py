@@ -1,0 +1,73 @@
+"""CLI: regenerate any figure of the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench fig7
+    python -m repro.bench fig8 --rounds 3
+    python -m repro.bench fig10 fig11
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.bench import figures
+
+_FIGURES: Dict[str, Callable[..., "figures.FigureResult"]] = {
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "fig9": figures.figure9,
+    "fig10": figures.figure10,
+    "fig11": figures.figure11,
+    "updates": figures.updates_ablation,
+    "local": figures.local_unicast_table,
+    "state": figures.state_size_table,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the evaluation figures of Laumay et al. 2001",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        choices=sorted(_FIGURES) + ["all", "report"],
+        help="which figure(s) to regenerate; 'report' emits full markdown",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help="override the per-point round count (0 = per-figure default)",
+    )
+    args = parser.parse_args(argv)
+
+    if "report" in args.figures:
+        from repro.bench.report import generate_report
+
+        print(generate_report())
+        return 0
+
+    names = sorted(_FIGURES) if "all" in args.figures else args.figures
+    for name in names:
+        fn = _FIGURES[name]
+        started = time.perf_counter()
+        if args.rounds and name != "state":
+            result = fn(rounds=args.rounds)
+        else:
+            result = fn()
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s wall time]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Least-squares fits: the curves the paper overlays on its figures.
+
+Figures 7 and 8 are annotated with a "quadratic fit", Figure 10 with a
+"linear fit"; we compute the same fits (plus R²) for both the paper's
+series and ours, so EXPERIMENTS.md can report shape agreement rather than
+eyeballed similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A polynomial fit ``y ≈ Σ coeffs[i] · x^(deg-i)`` with its R²."""
+
+    degree: int
+    coeffs: Tuple[float, ...]
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return float(np.polyval(self.coeffs, x))
+
+    @property
+    def leading(self) -> float:
+        """The highest-order coefficient (the growth rate that matters)."""
+        return self.coeffs[0]
+
+    def describe(self) -> str:
+        terms = []
+        degree = self.degree
+        for i, c in enumerate(self.coeffs):
+            power = degree - i
+            if power == 0:
+                terms.append(f"{c:.3g}")
+            elif power == 1:
+                terms.append(f"{c:.3g}·n")
+            else:
+                terms.append(f"{c:.3g}·n^{power}")
+        return " + ".join(terms) + f"   (R²={self.r_squared:.4f})"
+
+
+def _fit(xs: Sequence[float], ys: Sequence[float], degree: int) -> FitResult:
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"xs and ys must have equal length ({len(xs)} vs {len(ys)})"
+        )
+    if len(xs) < degree + 1:
+        raise ConfigurationError(
+            f"need at least {degree + 1} points for a degree-{degree} fit, "
+            f"got {len(xs)}"
+        )
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    coeffs = np.polyfit(x, y, degree)
+    predicted = np.polyval(coeffs, x)
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return FitResult(degree=degree, coeffs=tuple(float(c) for c in coeffs),
+                     r_squared=r_squared)
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y ≈ a·n + b`` (Figure 10's overlay)."""
+    return _fit(xs, ys, 1)
+
+
+def quadratic_fit(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y ≈ a·n² + b·n + c`` (Figures 7 and 8's overlay)."""
+    return _fit(xs, ys, 2)

@@ -1,0 +1,241 @@
+"""Process paths and message chains (§4.2).
+
+Paths live on the *membership* structure (which process is in which domain);
+chains live on a *trace*. The two meet through ``Chain.path()``: the path
+associated with a chain, which is what the minimality / directness / cycle
+definitions apply to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.causality.message import Message
+from repro.causality.trace import Trace
+from repro.errors import TraceError, TopologyError
+
+
+class Membership:
+    """The ``R ⊆ P × D`` distribution of processes among domains (§4.2).
+
+    A process may belong to several domains — such processes are the causal
+    router-servers of §4.1.
+    """
+
+    def __init__(self, domains: Dict[Hashable, Iterable[Hashable]]):
+        """``domains`` maps each domain identifier to its member processes."""
+        self._domains: Dict[Hashable, FrozenSet[Hashable]] = {}
+        self._of_process: Dict[Hashable, Set[Hashable]] = {}
+        for domain, members in domains.items():
+            member_set = frozenset(members)
+            if not member_set:
+                raise TopologyError(f"domain {domain!r} has no members")
+            self._domains[domain] = member_set
+            for process in member_set:
+                self._of_process.setdefault(process, set()).add(domain)
+
+    @property
+    def domains(self) -> List[Hashable]:
+        return list(self._domains)
+
+    @property
+    def processes(self) -> List[Hashable]:
+        return list(self._of_process)
+
+    def members(self, domain: Hashable) -> FrozenSet[Hashable]:
+        try:
+            return self._domains[domain]
+        except KeyError:
+            raise TopologyError(f"unknown domain {domain!r}") from None
+
+    def domains_of(self, process: Hashable) -> FrozenSet[Hashable]:
+        return frozenset(self._of_process.get(process, ()))
+
+    def common_domains(
+        self, first: Hashable, second: Hashable
+    ) -> FrozenSet[Hashable]:
+        """Domains containing both processes (non-empty iff they can exchange
+        messages directly, since messages are intra-domain)."""
+        return self.domains_of(first) & self.domains_of(second)
+
+    def share_domain(self, first: Hashable, second: Hashable) -> bool:
+        return bool(self.common_domains(first, second))
+
+    def routers(self) -> List[Hashable]:
+        """Processes belonging to two or more domains (§4.1's causal
+        router-servers)."""
+        return [
+            process
+            for process, domains in self._of_process.items()
+            if len(domains) >= 2
+        ]
+
+    def domain_messages(self, trace: Trace, domain: Hashable) -> List[Message]:
+        """The messages of ``trace`` with source and destination in ``domain``
+        — the restriction set used by "respects causality in d"."""
+        members = self.members(domain)
+        return [
+            message
+            for message in trace.messages
+            if message.src in members and message.dst in members
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Membership(domains={len(self._domains)}, "
+            f"processes={len(self._of_process)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Paths (§4.2)
+# ----------------------------------------------------------------------
+
+
+def is_path(processes: Sequence[Hashable], membership: Membership) -> bool:
+    """A nonempty sequence is a path iff consecutive processes share a domain."""
+    if not processes:
+        return False
+    return all(
+        membership.share_domain(processes[i], processes[i + 1])
+        for i in range(len(processes) - 1)
+    )
+
+
+def is_direct_path(processes: Sequence[Hashable], membership: Membership) -> bool:
+    """Direct path: a path in which all processes are different (no loops)."""
+    return is_path(processes, membership) and len(set(processes)) == len(processes)
+
+
+def is_minimal_path(processes: Sequence[Hashable], membership: Membership) -> bool:
+    """Minimal path: direct, and never "lingers" in a domain —
+    non-consecutive processes share no domain (``i+1 < j ⇒ no common d``)."""
+    if not is_direct_path(processes, membership):
+        return False
+    count = len(processes)
+    return all(
+        not membership.share_domain(processes[i], processes[j])
+        for i in range(count)
+        for j in range(i + 2, count)
+    )
+
+
+def is_cycle(processes: Sequence[Hashable], membership: Membership) -> bool:
+    """§4.2 cycle: a direct path whose source and destination share a domain,
+    while no single domain includes every process of the path."""
+    if len(processes) < 2:
+        return False
+    if not is_direct_path(processes, membership):
+        return False
+    if not membership.share_domain(processes[0], processes[-1]):
+        return False
+    all_processes = set(processes)
+    return not any(
+        all_processes <= membership.members(domain)
+        for domain in membership.domains
+    )
+
+
+# ----------------------------------------------------------------------
+# Chains (§4.2)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A message chain: each message (after the first) is sent by the
+    receiver of the previous one, after receiving it.
+
+    Chains are the paper's model of *indirect* communication across domains:
+    a virtual message from ``src(m1)`` to ``dst(mk)``.
+    """
+
+    messages: Tuple[Message, ...]
+
+    def __post_init__(self):
+        if not self.messages:
+            raise TraceError("a chain must contain at least one message")
+        for first, second in zip(self.messages, self.messages[1:]):
+            if first.dst != second.src:
+                raise TraceError(
+                    f"not a chain: {first!r} is received by {first.dst!r} "
+                    f"but {second!r} is sent by {second.src!r}"
+                )
+
+    @classmethod
+    def of(cls, *messages: Message) -> "Chain":
+        return cls(tuple(messages))
+
+    @property
+    def source(self) -> Hashable:
+        return self.messages[0].src
+
+    @property
+    def destination(self) -> Hashable:
+        return self.messages[-1].dst
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def path(self) -> Tuple[Hashable, ...]:
+        """The associated process path ``(src(m1), ..., src(mk), dst(mk))``."""
+        return tuple(m.src for m in self.messages) + (self.destination,)
+
+    def is_valid_in(self, trace: Trace) -> bool:
+        """Check the local-order side condition ``mi <p mi+1`` at each relay."""
+        return all(
+            trace.locally_before(first.dst, first, second)
+            for first, second in zip(self.messages, self.messages[1:])
+        )
+
+    def is_direct(self, membership: Membership) -> bool:
+        return is_direct_path(self.path(), membership)
+
+    def is_minimal(self, membership: Membership) -> bool:
+        return is_minimal_path(self.path(), membership)
+
+    def __repr__(self) -> str:
+        route = " -> ".join(repr(p) for p in self.path())
+        return f"Chain({route}; {len(self.messages)} messages)"
+
+
+def reduce_to_direct_chain(chain: Chain, trace: Trace) -> Chain:
+    """Lemma 1's construction: from any chain with ``source ≠ destination``,
+    obtain a *direct* chain with the same endpoints whose first message is
+    sent no earlier than the original's and whose last is received no later.
+
+    The construction mirrors the proof: while the associated path repeats a
+    process (``p_i = p_j``, ``i < j``), splice the chain around the repeat
+    and recurse.
+    """
+    if chain.source == chain.destination:
+        raise TraceError("Lemma 1 requires distinct source and destination")
+    messages = list(chain.messages)
+    while True:
+        path = [m.src for m in messages] + [messages[-1].dst]
+        seen: Dict[Hashable, int] = {}
+        repeat: Tuple[int, int] = ()
+        for index, process in enumerate(path):
+            if process in seen:
+                repeat = (seen[process], index)
+                break
+            seen[process] = index
+        if not repeat:
+            reduced = Chain(tuple(messages))
+            if not reduced.is_valid_in(trace):
+                raise TraceError(
+                    "Lemma 1 reduction produced an invalid chain; "
+                    "the input trace is not correct"
+                )
+            return reduced
+        i, j = repeat
+        if i == 0 and j == len(path) - 1:
+            # p = q, excluded by the precondition; unreachable on valid input.
+            raise TraceError("chain source equals destination after reduction")
+        if i == 0:
+            messages = messages[j:]
+        elif j == len(path) - 1:
+            messages = messages[:i]
+        else:
+            messages = messages[:i] + messages[j:]

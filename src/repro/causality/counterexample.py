@@ -1,0 +1,133 @@
+"""The Figure-4(a) construction: cycles break causality.
+
+Part 1 of the theorem's proof (§4.3) is constructive: given any cycle in the
+domain structure, there is a correct trace that respects causality in every
+domain yet violates it globally. This module finds such a cycle in an
+arbitrary membership and materializes the violating trace, so tests (and the
+``theorem_demo`` example) can exhibit the break both formally and — by
+replaying the same schedule through the MOM with validation disabled — in
+the running system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.causality.chains import Chain, Membership, is_cycle
+from repro.causality.message import Message
+from repro.causality.trace import EventKind, Trace
+from repro.errors import TopologyError
+
+
+def _domain_graph(membership: Membership) -> nx.Graph:
+    """The §4.2 domain interconnection graph: domains are vertices, and two
+    domains are adjacent iff some process belongs to both."""
+    graph = nx.Graph()
+    graph.add_nodes_from(membership.domains)
+    domains = membership.domains
+    for i, first in enumerate(domains):
+        for second in domains[i + 1 :]:
+            shared = membership.members(first) & membership.members(second)
+            if shared:
+                graph.add_edge(first, second, shared=sorted(shared, key=repr))
+    return graph
+
+
+def find_cycle_path(membership: Membership) -> Optional[Tuple[Hashable, ...]]:
+    """Find a §4.2 cycle: a direct process path whose endpoints share a
+    domain while no single domain contains every process on it.
+
+    The search walks simple cycles of the domain graph and greedily picks a
+    distinct router process for each consecutive domain pair. Returns
+    ``None`` when the membership admits no such path (e.g. the domain graph
+    is acyclic, or its only cycles collapse onto a single ubiquitous
+    process).
+    """
+    graph = _domain_graph(membership)
+    for domain_cycle in nx.cycle_basis(graph):
+        if len(domain_cycle) < 3:
+            continue
+        path = _pick_routers(domain_cycle, membership)
+        if path is not None and is_cycle(path, membership):
+            return path
+    return None
+
+
+def _pick_routers(
+    domain_cycle: Sequence[Hashable], membership: Membership
+) -> Optional[Tuple[Hashable, ...]]:
+    """Choose one distinct process per consecutive domain pair of the cycle.
+
+    For the domain cycle ``(d0, ..., dk-1)`` (closing ``dk-1 — d0``), the
+    returned process path ``(r0, ..., rk-1)`` has ``ri`` in
+    ``d_i ∩ d_{i+1 mod k}``; consecutive processes then share ``d_{i+1}``
+    and the endpoints share ``d0``.
+    """
+    count = len(domain_cycle)
+    chosen: List[Hashable] = []
+    taken: set = set()
+    for i in range(count):
+        here = domain_cycle[i]
+        there = domain_cycle[(i + 1) % count]
+        shared = membership.members(here) & membership.members(there)
+        candidates = [process for process in shared if process not in taken]
+        if not candidates:
+            return None
+        router = sorted(candidates, key=repr)[0]
+        chosen.append(router)
+        taken.add(router)
+    return tuple(chosen)
+
+
+def build_violation_trace(
+    path: Sequence[Hashable], membership: Membership
+) -> Tuple[Trace, Message, Chain]:
+    """Materialize the Figure-4(a) trace over a cycle path.
+
+    With ``path = (p, p1, ..., pi, ..., q)``:
+
+    - ``p`` first sends the direct message ``n`` to ``q`` (they share a
+      domain, since the path is a cycle), then starts the relay chain
+      ``m1: p→p1``, ``m2: p1→p2``, ..., ``mc: pi→q``;
+    - ``q`` receives the end of the chain *before* ``n``.
+
+    ``n ≺ m1 ≺ ... ≺ mc`` (rules 1 and 2 of §4.2), so receiving ``mc``
+    before ``n`` violates causality globally; yet no single domain sees both
+    ``n`` and the entire chain, so every per-domain restriction is clean.
+
+    Returns:
+        ``(trace, n, chain)`` — the full trace, the violated direct message,
+        and the relay chain, ready for the checkers.
+
+    Raises:
+        TopologyError: if ``path`` is not a §4.2 cycle in ``membership``.
+    """
+    if not is_cycle(path, membership):
+        raise TopologyError(
+            f"{path!r} is not a cycle of the given membership; "
+            "build_violation_trace needs a genuine §4.2 cycle"
+        )
+    source, target = path[0], path[-1]
+    direct = Message(("violation", "n"), source, target)
+    relay_messages = tuple(
+        Message(("violation", "m", index), path[index], path[index + 1])
+        for index in range(len(path) - 1)
+    )
+    chain = Chain(relay_messages)
+
+    histories: Dict[Hashable, List[Tuple[EventKind, Message]]] = {
+        process: [] for process in path
+    }
+    histories[source].append((EventKind.SEND, direct))
+    histories[source].append((EventKind.SEND, relay_messages[0]))
+    for index in range(1, len(relay_messages)):
+        relay = path[index]
+        histories[relay].append((EventKind.RECEIVE, relay_messages[index - 1]))
+        histories[relay].append((EventKind.SEND, relay_messages[index]))
+    histories[target].append((EventKind.RECEIVE, relay_messages[-1]))
+    histories[target].append((EventKind.RECEIVE, direct))
+
+    trace = Trace.from_histories(histories)
+    return trace, direct, chain

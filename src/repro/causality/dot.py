@@ -1,0 +1,89 @@
+"""Graphviz (DOT) exports: message graphs and domain graphs.
+
+``dot -Tsvg`` renders these into the pictures papers put in figures:
+the causal message graph of a trace (sends/receives as ports on process
+timelines would need LaTeX; the message-level DAG is what DOT does well)
+and the domain interconnection graph with router annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.causality.order import CausalOrder
+from repro.causality.trace import Trace
+from repro.topology.domains import Topology
+from repro.topology.graph import domain_graph
+
+
+def _quote(value: Hashable) -> str:
+    text = str(value)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def trace_to_dot(trace: Trace, direct_only: bool = True) -> str:
+    """The causal DAG of a trace's messages.
+
+    Nodes are messages (labelled ``mid src→dst``); edges are causal
+    precedence. With ``direct_only`` (default) only the covering relation
+    is drawn — transitive edges clutter; without it the full ≺ is emitted.
+    """
+    order = CausalOrder(trace)
+    messages = trace.messages
+    lines: List[str] = [
+        "digraph causality {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=10, fontname="monospace"];',
+    ]
+    for message in messages:
+        label = f"{message.mid}\\n{message.src} -> {message.dst}"
+        lines.append(f"  {_quote(message.mid)} [label={_quote(label)}];")
+    pairs = [
+        (a, b)
+        for a in messages
+        for b in messages
+        if a.mid != b.mid and order.precedes(a, b)
+    ]
+    if direct_only:
+        direct = []
+        for a, b in pairs:
+            if not any(
+                order.precedes(a, c) and order.precedes(c, b)
+                for c in messages
+                if c.mid not in (a.mid, b.mid)
+            ):
+                direct.append((a, b))
+        pairs = direct
+    for a, b in pairs:
+        lines.append(f"  {_quote(a.mid)} -> {_quote(b.mid)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def topology_to_dot(topology: Topology) -> str:
+    """The §4.2 domain interconnection graph, with shared routers on the
+    edges and member lists in the nodes."""
+    graph = domain_graph(topology)
+    lines: List[str] = [
+        "graph domains {",
+        "  layout=neato;",
+        '  node [shape=ellipse, fontsize=11, fontname="sans-serif"];',
+    ]
+    for domain in topology.domains:
+        members = ", ".join(
+            f"S{s}{'*' if topology.is_router(s) else ''}"
+            for s in domain.servers
+        )
+        label = f"{domain.domain_id}\\n{members}"
+        lines.append(
+            f"  {_quote(domain.domain_id)} [label={_quote(label)}];"
+        )
+    for first, second, data in sorted(graph.edges(data=True)):
+        shared = ", ".join(f"S{s}" for s in data["shared"])
+        lines.append(
+            f"  {_quote(first)} -- {_quote(second)} "
+            f"[label={_quote(shared)}, fontsize=9];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Messages as §4.2 defines them.
+
+A computation is a set of messages ``M = {m1, ..., mq}``; each message has a
+sender ``src(m)`` and a *different* receiver ``dst(m)``. Identity matters
+(the same (src, dst) pair exchanges many messages), so every message carries
+a unique ``mid``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import TraceError
+
+_mid_counter = itertools.count()
+
+
+def fresh_mid() -> int:
+    """Allocate a process-wide unique message identifier.
+
+    Only convenience constructors use this; traces replayed from the MOM
+    carry the MOM's own identifiers.
+    """
+    return next(_mid_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application-level message from ``src`` to ``dst``.
+
+    Attributes:
+        mid: unique identifier (unique within one trace).
+        src: sending process.
+        dst: receiving process; must differ from ``src`` (§4.2).
+        payload: opaque application data, ignored by all causality machinery
+            but handy when a trace doubles as a debugging artifact.
+    """
+
+    mid: Hashable
+    src: Hashable
+    dst: Hashable
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.src == self.dst:
+            raise TraceError(
+                f"message {self.mid!r}: src and dst must differ "
+                f"(both {self.src!r}); §4.2 requires distinct endpoints"
+            )
+
+    @classmethod
+    def between(cls, src: Hashable, dst: Hashable, payload: Any = None) -> "Message":
+        """Create a message with a fresh auto-allocated ``mid``."""
+        return cls(fresh_mid(), src, dst, payload)
+
+    def __repr__(self) -> str:
+        return f"Message({self.mid!r}: {self.src!r}->{self.dst!r})"

@@ -1,0 +1,135 @@
+"""The causal-precedence relation ``≺`` on messages (§4.2).
+
+``m ≺ m'`` iff one of:
+
+1. both sent by the same process ``p`` and ``m <p m'``;
+2. ``m`` received by ``p``, which later sends ``m'`` (``m <p m'``);
+3. transitivity through some message ``n``.
+
+A trace is *correct* iff ``≺`` is a partial order (no two distinct messages
+precede each other), and a correct trace *respects causality* iff every
+process receives messages in an order that agrees with ``≺``.
+
+The relation is materialized as a sparse DAG over messages: per process,
+each send is linked to the next send (rule 1 via transitivity) and each
+receive to the next send (rule 2 via transitivity). Reachability queries
+then implement ``≺`` exactly, with memoized descendant sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.causality.message import Message
+from repro.causality.trace import EventKind, Trace
+
+
+class CausalOrder:
+    """The ``≺`` relation derived from one trace, with query memoization."""
+
+    def __init__(self, trace: Trace):
+        self._trace = trace
+        self._succ: Dict[Hashable, Set[Hashable]] = {}
+        self._descendants: Dict[Hashable, Set[Hashable]] = {}
+        self._cycle_witness: Optional[Tuple[Hashable, ...]] = None
+        self._correct: Optional[bool] = None
+        self._build()
+
+    def _build(self) -> None:
+        for process in self._trace.processes:
+            history = self._trace.events_of(process)
+            # Link every event's message to the next *send* at this process:
+            # - send -> next send encodes rule 1 (chained, transitively full);
+            # - receive -> next send encodes rule 2 (ditto).
+            next_send_after: List[Optional[Hashable]] = [None] * len(history)
+            upcoming: Optional[Hashable] = None
+            for index in range(len(history) - 1, -1, -1):
+                next_send_after[index] = upcoming
+                if history[index].kind is EventKind.SEND:
+                    upcoming = history[index].message.mid
+            for index, event in enumerate(history):
+                target = next_send_after[index]
+                mid = event.message.mid
+                self._succ.setdefault(mid, set())
+                if target is not None:
+                    self._succ[mid].add(target)
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+
+    def _descendants_of(self, mid: Hashable) -> Set[Hashable]:
+        """All messages strictly causally after ``mid`` (memoized DFS).
+
+        Safe on cyclic graphs (incorrect traces): a message on a ≺-cycle
+        ends up in its own descendant set, which :meth:`is_correct` uses as
+        the cycle detector.
+        """
+        cached = self._descendants.get(mid)
+        if cached is not None:
+            return cached
+        seen: Set[Hashable] = set()
+        stack = list(self._succ.get(mid, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            done = self._descendants.get(current)
+            if done is not None:
+                seen |= done
+                continue
+            stack.extend(self._succ.get(current, ()))
+        self._descendants[mid] = seen
+        return seen
+
+    def precedes(self, first: Message, second: Message) -> bool:
+        """The paper's ``first ≺ second``."""
+        if first.mid == second.mid:
+            return False
+        return second.mid in self._descendants_of(first.mid)
+
+    def concurrent(self, first: Message, second: Message) -> bool:
+        """Neither message causally precedes the other."""
+        return not self.precedes(first, second) and not self.precedes(second, first)
+
+    # ------------------------------------------------------------------
+    # Trace predicates
+    # ------------------------------------------------------------------
+
+    def is_correct(self) -> bool:
+        """§4.2 correctness: ``≺`` is a partial order (antisymmetric).
+
+        Equivalent to acyclicity of the precedence graph.
+        """
+        if self._correct is None:
+            self._correct = all(
+                message.mid not in self._descendants_of(message.mid)
+                for message in self._trace.messages
+            )
+        return self._correct
+
+    def delivery_violations(self) -> List[Tuple[Hashable, Message, Message]]:
+        """All causal-delivery violations in the trace.
+
+        Returns triples ``(process, earlier, later)`` where ``earlier ≺
+        later`` yet ``process`` received ``later`` first. Empty iff the
+        trace respects causality.
+        """
+        violations: List[Tuple[Hashable, Message, Message]] = []
+        for process in self._trace.processes:
+            received = self._trace.received_in_order(process)
+            for i, first_received in enumerate(received):
+                for later_received in received[i + 1 :]:
+                    if self.precedes(later_received, first_received):
+                        violations.append(
+                            (process, later_received, first_received)
+                        )
+        return violations
+
+    def respects_causality(self) -> bool:
+        """§4.2: every process's receive order agrees with ``≺``."""
+        return not self.delivery_violations()
+
+    def __repr__(self) -> str:
+        return f"CausalOrder(over {self._trace!r})"

@@ -1,0 +1,144 @@
+"""Virtual traces (§4.2, Figure 3).
+
+A virtual trace collapses selected minimal chains of a real trace into
+single *virtual messages* between processes of different domains. The
+selected chains must not "cross over": if ``mi`` and ``mi+1`` are
+consecutive in a chain, the relaying process must not send a message of
+another selected chain between receiving ``mi`` and sending ``mi+1``.
+
+The theorem (§4.3) is stated over virtual traces: any virtual trace
+associated with a correct trace that respects causality per-domain respects
+causality globally — iff the domain graph is acyclic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.causality.chains import Chain, Membership
+from repro.causality.message import Message
+from repro.causality.trace import Event, EventKind, Trace
+from repro.errors import TraceError
+
+
+def chains_cross_over(first: Chain, second: Chain, trace: Trace) -> bool:
+    """Does ``second`` violate the no-crossover condition against ``first``?
+
+    True iff some message of ``second`` is sent by a relay of ``first``
+    strictly between that relay's receive of ``m_i`` and send of ``m_{i+1}``
+    (Figure 3(a)). The test is asymmetric; the virtual-trace validator
+    checks both directions.
+    """
+    for early, late in zip(first.messages, first.messages[1:]):
+        relay = early.dst
+        low = trace.local_index(relay, early)
+        high = trace.local_index(relay, late)
+        for message in second.messages:
+            if message.src != relay:
+                continue
+            position = trace.local_index(relay, message)
+            if low < position < high:
+                return True
+    return False
+
+
+class VirtualTrace:
+    """A real trace plus a set of non-crossing minimal chains, each viewed
+    as one virtual message.
+
+    The derived trace (:meth:`derive`) replaces each chain by a direct
+    message from the chain's source to its destination — placed, in the
+    local orders, where the chain's first send and last receive sat — and
+    drops the chain's interior events. Standard checkers then apply to the
+    derived trace; in particular "respects causality globally" for the
+    virtual trace means :meth:`derive` followed by the usual check.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        chains: Sequence[Chain],
+        membership: Optional[Membership] = None,
+    ):
+        """Validate and freeze a virtual trace.
+
+        Args:
+            trace: the underlying real trace.
+            chains: the chain set ``C``; every real message may appear in at
+                most one chain, each chain must be locally valid in
+                ``trace``, and no two chains may cross over.
+            membership: when provided, each chain is additionally required
+                to be *minimal* (§4.2's definition needs the domain
+                structure; omit for purely structural uses).
+
+        Raises:
+            TraceError: on any validation failure.
+        """
+        self._trace = trace
+        self._chains = tuple(chains)
+        used: Set[Hashable] = set()
+        for chain in self._chains:
+            if not chain.is_valid_in(trace):
+                raise TraceError(f"{chain!r} is not a chain of the given trace")
+            if membership is not None and not chain.is_minimal(membership):
+                raise TraceError(f"{chain!r} is not minimal in the given domains")
+            for message in chain.messages:
+                if message.mid in used:
+                    raise TraceError(
+                        f"message {message.mid!r} appears in two chains"
+                    )
+                used.add(message.mid)
+        for first, second in itertools.permutations(self._chains, 2):
+            if chains_cross_over(first, second, trace):
+                raise TraceError(
+                    f"chains cross over (Figure 3a): {first!r} / {second!r}"
+                )
+        self._chain_mids = used
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    @property
+    def chains(self) -> Tuple[Chain, ...]:
+        return self._chains
+
+    def derive(self) -> Trace:
+        """The derived trace in which each chain is one virtual message.
+
+        Virtual messages get identifiers ``("virtual", k)`` for the k-th
+        chain; untouched real messages keep theirs.
+        """
+        starts: Dict[Tuple[Hashable, Hashable], Message] = {}
+        ends: Dict[Tuple[Hashable, Hashable], Message] = {}
+        for index, chain in enumerate(self._chains):
+            virtual = Message(
+                ("virtual", index),
+                chain.source,
+                chain.destination,
+                payload=chain,
+            )
+            first, last = chain.messages[0], chain.messages[-1]
+            starts[(first.src, first.mid)] = virtual
+            ends[(last.dst, last.mid)] = virtual
+
+        histories: Dict[Hashable, List[Tuple[EventKind, Message]]] = {}
+        for process in self._trace.processes:
+            local: List[Tuple[EventKind, Message]] = []
+            for event in self._trace.events_of(process):
+                mid = event.message.mid
+                key = (process, mid)
+                if event.kind is EventKind.SEND and key in starts:
+                    local.append((EventKind.SEND, starts[key]))
+                elif event.kind is EventKind.RECEIVE and key in ends:
+                    local.append((EventKind.RECEIVE, ends[key]))
+                elif mid in self._chain_mids:
+                    continue
+                else:
+                    local.append((event.kind, event.message))
+            histories[process] = local
+        return Trace.from_histories(histories)
+
+    def __repr__(self) -> str:
+        return f"VirtualTrace(chains={len(self._chains)}, over {self._trace!r})"

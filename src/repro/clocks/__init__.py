@@ -1,0 +1,40 @@
+"""Logical clocks: Lamport, vector, and matrix clocks.
+
+This package implements the clock hierarchy the paper builds on (§1, §3):
+
+- :mod:`repro.clocks.lamport` — scalar Lamport clocks [Lamport 1978], the
+  weakest logical time; kept as a baseline and for total-order tiebreaks.
+- :mod:`repro.clocks.vector` — vector clocks, which characterize causal
+  precedence exactly, plus the Birman–Schiper–Stephenson causal-broadcast
+  delivery test used by the related-work baselines (§2).
+- :mod:`repro.clocks.matrix` — matrix clocks in the Wuu–Bernstein style the
+  AAA MOM uses: cell ``M[i][j]`` counts messages sent by server *i* to
+  server *j*, and the Raynal–Schiper–Toueg condition decides when a stamped
+  message is deliverable. Stamps carry the full s×s matrix.
+- :mod:`repro.clocks.updates` — the **Updates** optimization of Appendix A:
+  identical delivery semantics, but stamps carry only the matrix cells
+  modified since the previous send to the same destination.
+
+All clock implementations share the :class:`~repro.clocks.base.CausalClock`
+interface so the MOM channel is generic over the stamping strategy.
+"""
+
+from repro.clocks.base import CausalClock, Stamp
+from repro.clocks.lamport import LamportClock
+from repro.clocks.vector import VectorClock, CausalBroadcastClock, VectorStamp
+from repro.clocks.matrix import MatrixClock, MatrixStamp
+from repro.clocks.updates import UpdatesClock, UpdateStamp, CellUpdate
+
+__all__ = [
+    "CausalClock",
+    "Stamp",
+    "LamportClock",
+    "VectorClock",
+    "CausalBroadcastClock",
+    "VectorStamp",
+    "MatrixClock",
+    "MatrixStamp",
+    "UpdatesClock",
+    "UpdateStamp",
+    "CellUpdate",
+]

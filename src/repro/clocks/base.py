@@ -1,0 +1,124 @@
+"""Common interface for the causal clocks used by the MOM channel.
+
+The channel (:mod:`repro.mom.channel`) is written against this interface, so
+the classic full-matrix algorithm and the Appendix-A Updates algorithm are
+interchangeable per domain — which is what makes the stamp-size ablation
+(``benchmarks/test_updates_ablation.py``) a one-line configuration change.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+
+class Stamp(abc.ABC):
+    """A causal timestamp piggybacked on one message (§5, "piggybacks
+    messages with a matrix timestamp").
+
+    Concrete stamps know their own wire footprint so the simulator can
+    charge serialization and transmission costs without actually encoding
+    bytes.
+    """
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def sender(self) -> int:
+        """Domain-local index of the sending server."""
+
+    @property
+    @abc.abstractmethod
+    def wire_cells(self) -> int:
+        """Number of clock cells serialized on the wire for this stamp.
+
+        The paper's scalability argument is about exactly this quantity:
+        O(s²) for full-matrix stamps in a domain of s servers, and the
+        number of modified cells for the Updates algorithm.
+        """
+
+    @abc.abstractmethod
+    def entry(self, row: int, col: int) -> Any:
+        """Best-effort read of one matrix cell carried by the stamp.
+
+        Used by diagnostics and tests; the delivery test itself lives in the
+        clock, not the stamp.
+        """
+
+
+class CausalClock(abc.ABC):
+    """Per-domain causal ordering state held by one server's channel.
+
+    The protocol contract (matching §5's Sender/Receiver pseudocode):
+
+    1. the sender calls :meth:`prepare_send` to record the send and obtain
+       the stamp to piggyback;
+    2. the receiver calls :meth:`can_deliver`; while it returns ``False``
+       the message waits in the hold-back queue;
+    3. once deliverable, the receiver calls :meth:`deliver` exactly once,
+       merging the stamp into its local clock;
+    4. both sides call :meth:`dirty_cells` / :meth:`clear_dirty` so the
+       persistence layer can charge disk writes for modified cells only.
+    """
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of servers in the domain this clock covers."""
+
+    @property
+    @abc.abstractmethod
+    def owner(self) -> int:
+        """Domain-local index of the server holding this clock."""
+
+    @abc.abstractmethod
+    def prepare_send(self, dest: int) -> Stamp:
+        """Record a send from :attr:`owner` to ``dest`` and return the stamp."""
+
+    @abc.abstractmethod
+    def can_deliver(self, stamp: Stamp) -> bool:
+        """Raynal–Schiper–Toueg deliverability test at :attr:`owner`.
+
+        True iff the stamped message is the next one expected from its
+        sender (``W[s][me] == M[s][me] + 1``) and every message the sender
+        knew to be destined to us had already been delivered
+        (``W[k][me] <= M[k][me]`` for every other ``k``).
+        """
+
+    @abc.abstractmethod
+    def deliver(self, stamp: Stamp) -> None:
+        """Merge a deliverable stamp into the local clock (``M := max(M, W)``)."""
+
+    @abc.abstractmethod
+    def is_duplicate(self, stamp: Stamp) -> bool:
+        """Has the stamped message already been delivered here?
+
+        True iff the stamp's own send-count cell is not ahead of the local
+        clock (``W[s][me] <= M[s][me]``). This is how the channel suppresses
+        retransmissions after a crash: the matrix clock doubles as the
+        exactly-once filter, no extra bookkeeping needed.
+        """
+
+    @abc.abstractmethod
+    def cell(self, row: int, col: int) -> int:
+        """Current value of matrix cell ``(row, col)``."""
+
+    @abc.abstractmethod
+    def dirty_cells(self) -> int:
+        """Cells modified since the last :meth:`clear_dirty` (for disk-cost
+        accounting by the persistence layer)."""
+
+    @abc.abstractmethod
+    def clear_dirty(self) -> None:
+        """Reset the dirty-cell counter after a persistent checkpoint."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Any:
+        """Opaque, deep-copied state for crash/recovery persistence."""
+
+    @abc.abstractmethod
+    def restore(self, snapshot: Any) -> None:
+        """Reload state saved by :meth:`snapshot` (crash recovery)."""

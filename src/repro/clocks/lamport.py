@@ -1,0 +1,87 @@
+"""Scalar Lamport clocks [Lamport 1978].
+
+The paper cites Lamport's logical time (§1, [8]) as the original ordering
+mechanism that vector and matrix clocks refine. We keep a full implementation
+because (a) the trace tooling uses it to derive consistent total orders for
+reporting, and (b) it is the natural baseline when measuring what the richer
+clocks buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClockError
+
+
+@dataclass(frozen=True)
+class LamportStamp:
+    """Timestamp of a single event: ``(time, process)``.
+
+    The process identifier breaks ties, giving the classic total order that
+    extends causal precedence.
+    """
+
+    time: int
+    process: int
+
+    def __lt__(self, other: "LamportStamp") -> bool:
+        if not isinstance(other, LamportStamp):
+            return NotImplemented
+        return (self.time, self.process) < (other.time, other.process)
+
+    def __le__(self, other: "LamportStamp") -> bool:
+        if not isinstance(other, LamportStamp):
+            return NotImplemented
+        return (self.time, self.process) <= (other.time, other.process)
+
+
+class LamportClock:
+    """A scalar logical clock owned by one process.
+
+    Usage follows Lamport's three rules:
+
+    - :meth:`tick` before every local event;
+    - :meth:`stamp_send` when sending (tick + read);
+    - :meth:`observe` with the received timestamp when receiving.
+    """
+
+    __slots__ = ("_owner", "_time")
+
+    def __init__(self, owner: int):
+        if owner < 0:
+            raise ClockError(f"process index must be >= 0, got {owner}")
+        self._owner = owner
+        self._time = 0
+
+    @property
+    def owner(self) -> int:
+        """Index of the process owning this clock."""
+        return self._owner
+
+    @property
+    def time(self) -> int:
+        """Current scalar time (monotonically non-decreasing)."""
+        return self._time
+
+    def tick(self) -> LamportStamp:
+        """Advance the clock for a local event and return its stamp."""
+        self._time += 1
+        return LamportStamp(self._time, self._owner)
+
+    def stamp_send(self) -> LamportStamp:
+        """Advance the clock for a send event and return the stamp to attach."""
+        return self.tick()
+
+    def observe(self, received: LamportStamp) -> LamportStamp:
+        """Merge a received timestamp: ``t := max(t, received) + 1``.
+
+        Returns the stamp of the receive event itself.
+        """
+        if received.time < 0:
+            raise ClockError(f"negative timestamp received: {received}")
+        self._time = max(self._time, received.time) + 1
+        return LamportStamp(self._time, self._owner)
+
+    def __repr__(self) -> str:
+        return f"LamportClock(owner={self._owner}, time={self._time})"

@@ -1,0 +1,177 @@
+"""Matrix clocks with full-matrix stamps — the classic AAA algorithm (§3).
+
+Cell ``M[i][j]`` on a server counts, to that server's knowledge, how many
+messages server *i* has sent to server *j*. The owner's own row is always
+exact for its own sends; other rows reflect transitively learned knowledge
+("what A knows about what B knows about C", §1).
+
+A message from *s* to *r* is stamped with the sender's full matrix (after
+bumping ``M[s][r]``). The receiver applies the Raynal–Schiper–Toueg test:
+
+- ``W[s][r] == M[r-local][s][r] + 1`` — the message is the next expected
+  from *s* (per-sender FIFO towards *r*), and
+- ``W[k][r] <= M[r-local][k][r]`` for every ``k != s`` — every message the
+  sender knew to be en route to *r* has already been delivered at *r*.
+
+Together these guarantee causal delivery within the group covered by the
+clock; in the paper's architecture that group is one *domain of causality*
+(§4.1), so the clock size is s² for a domain of s servers — the quantity the
+whole paper is about shrinking.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Tuple
+
+from repro.clocks.base import CausalClock, Stamp
+from repro.errors import ClockError
+
+
+class MatrixStamp(Stamp):
+    """A full s×s matrix timestamp (the un-optimized wire format).
+
+    ``wire_cells`` is s² regardless of how many cells changed — this is the
+    O(n²) message-size term of §3 that motivates both the Updates algorithm
+    (Appendix A) and the domain decomposition.
+    """
+
+    __slots__ = ("_sender", "_dest", "_rows")
+
+    def __init__(self, sender: int, dest: int, rows: Tuple[Tuple[int, ...], ...]):
+        self._sender = sender
+        self._dest = dest
+        self._rows = rows
+
+    @property
+    def sender(self) -> int:
+        return self._sender
+
+    @property
+    def dest(self) -> int:
+        """Domain-local index of the destination server."""
+        return self._dest
+
+    @property
+    def wire_cells(self) -> int:
+        size = len(self._rows)
+        return size * size
+
+    def entry(self, row: int, col: int) -> int:
+        return self._rows[row][col]
+
+    @property
+    def size(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixStamp(sender={self._sender}, dest={self._dest}, "
+            f"size={len(self._rows)})"
+        )
+
+
+class MatrixClock(CausalClock):
+    """One server's matrix clock for one domain (full-stamp variant)."""
+
+    __slots__ = ("_size", "_owner", "_matrix", "_dirty")
+
+    def __init__(self, size: int, owner: int):
+        if size <= 0:
+            raise ClockError(f"matrix clock size must be positive, got {size}")
+        if not 0 <= owner < size:
+            raise ClockError(f"owner {owner} out of range for size {size}")
+        self._size = size
+        self._owner = owner
+        self._matrix: List[List[int]] = [[0] * size for _ in range(size)]
+        self._dirty = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def owner(self) -> int:
+        return self._owner
+
+    def cell(self, row: int, col: int) -> int:
+        return self._matrix[row][col]
+
+    def _check_peer(self, index: int, what: str) -> None:
+        if not 0 <= index < self._size:
+            raise ClockError(
+                f"{what} index {index} out of range for domain of size {self._size}"
+            )
+
+    def prepare_send(self, dest: int) -> MatrixStamp:
+        """Record a send to ``dest`` and return the full-matrix stamp."""
+        self._check_peer(dest, "destination")
+        if dest == self._owner:
+            raise ClockError("a server does not stamp messages to itself")
+        self._matrix[self._owner][dest] += 1
+        self._dirty += 1
+        rows = tuple(tuple(row) for row in self._matrix)
+        return MatrixStamp(self._owner, dest, rows)
+
+    def can_deliver(self, stamp: Stamp) -> bool:
+        if not isinstance(stamp, MatrixStamp):
+            raise ClockError(f"expected MatrixStamp, got {type(stamp).__name__}")
+        if stamp.size != self._size:
+            raise ClockError(
+                f"stamp size {stamp.size} does not match clock size {self._size}"
+            )
+        me = self._owner
+        sender = stamp.sender
+        self._check_peer(sender, "sender")
+        if stamp.entry(sender, me) != self._matrix[sender][me] + 1:
+            return False
+        return all(
+            stamp.entry(k, me) <= self._matrix[k][me]
+            for k in range(self._size)
+            if k != sender
+        )
+
+    def is_duplicate(self, stamp: Stamp) -> bool:
+        if not isinstance(stamp, MatrixStamp):
+            raise ClockError(f"expected MatrixStamp, got {type(stamp).__name__}")
+        self._check_peer(stamp.sender, "sender")
+        return (
+            stamp.entry(stamp.sender, self._owner)
+            <= self._matrix[stamp.sender][self._owner]
+        )
+
+    def deliver(self, stamp: Stamp) -> None:
+        """Merge a deliverable stamp: ``M := max(M, W)`` cellwise."""
+        if not self.can_deliver(stamp):
+            raise ClockError(
+                f"stamp {stamp} not deliverable at server {self._owner}; "
+                "call can_deliver first and hold the message back"
+            )
+        for i in range(self._size):
+            row = self._matrix[i]
+            stamped = stamp._rows[i]
+            for j in range(self._size):
+                value = stamped[j]
+                if value > row[j]:
+                    row[j] = value
+                    self._dirty += 1
+
+    def dirty_cells(self) -> int:
+        return self._dirty
+
+    def clear_dirty(self) -> None:
+        self._dirty = 0
+
+    def snapshot(self) -> List[List[int]]:
+        return [row[:] for row in self._matrix]
+
+    def restore(self, snapshot: List[List[int]]) -> None:
+        if len(snapshot) != self._size or any(
+            len(row) != self._size for row in snapshot
+        ):
+            raise ClockError("snapshot shape does not match clock size")
+        self._matrix = [list(row) for row in snapshot]
+        self._dirty = 0
+
+    def __repr__(self) -> str:
+        return f"MatrixClock(size={self._size}, owner={self._owner})"

@@ -1,0 +1,260 @@
+"""The **Updates** optimized matrix-clock algorithm (Appendix A).
+
+Instead of shipping the full s×s matrix on every message, each server keeps,
+per matrix cell, the local *modification state* (a per-server counter of
+clock modifications) and, per destination, the state value at the previous
+send to that destination. A stamp then carries only the cells modified since
+the previous send to the same destination — minus the cells whose current
+value was learned *from* that destination, which it necessarily already
+knows (the ``Mat[k,l].node ≠ j`` filter of Appendix A).
+
+Wire format aside, delivery semantics are identical to the classic
+full-matrix algorithm: the Raynal–Schiper–Toueg test decides deliverability
+and delivery max-merges the shipped cells. Two facts make the test sound on
+deltas:
+
+- the cell ``(sender, me)`` is always in the delta (it is bumped by the very
+  send being stamped), so the FIFO condition is directly checkable;
+- any cell *absent* from the delta was already shipped to us by an earlier
+  message from the same sender (or learned from us); the FIFO condition
+  guarantees those earlier messages were delivered first, so our local
+  matrix already dominates the absent cells and the ``W[k][me] <= M[k][me]``
+  comparisons only need to run over delta cells.
+
+The paper notes (§3) that even with this optimization the message size is
+still O(s²) *in the worst case* — e.g. a server that was silent for a long
+time ships almost everything it learned meanwhile — which is why domains are
+needed on top of it; §4.1 combines both.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.clocks.base import CausalClock, Stamp
+from repro.errors import ClockError
+
+
+@dataclass(frozen=True)
+class CellUpdate:
+    """One shipped matrix cell: ``Mat[row][col] = value`` at the sender."""
+
+    row: int
+    col: int
+    value: int
+
+
+class UpdateStamp(Stamp):
+    """A delta stamp: only the cells modified since the last send to
+    the same destination."""
+
+    __slots__ = ("_sender", "_dest", "_updates", "_index")
+
+    def __init__(self, sender: int, dest: int, updates: Tuple[CellUpdate, ...]):
+        self._sender = sender
+        self._dest = dest
+        self._updates = updates
+        self._index: Dict[Tuple[int, int], int] = {
+            (u.row, u.col): u.value for u in updates
+        }
+
+    @property
+    def sender(self) -> int:
+        return self._sender
+
+    @property
+    def dest(self) -> int:
+        """Domain-local index of the destination server."""
+        return self._dest
+
+    @property
+    def updates(self) -> Tuple[CellUpdate, ...]:
+        return self._updates
+
+    @property
+    def wire_cells(self) -> int:
+        """Cells actually serialized — the quantity the optimization shrinks."""
+        return len(self._updates)
+
+    def entry(self, row: int, col: int):
+        """Value shipped for cell ``(row, col)``, or ``None`` if not shipped."""
+        return self._index.get((row, col))
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateStamp(sender={self._sender}, dest={self._dest}, "
+            f"cells={len(self._updates)})"
+        )
+
+
+class UpdatesClock(CausalClock):
+    """Matrix clock with Appendix-A delta propagation.
+
+    State per Appendix A:
+
+    - ``State`` — the local modification counter (``self._state``);
+    - ``Mat[k][l] = (value, state, node)`` — cell value, the local ``State``
+      at its last modification, and the peer the value was learned from
+      (``owner`` itself for cells it bumped);
+    - ``Node[j].state`` — the local ``State`` at the previous send to ``j``
+      (``self._sent_state``), the per-destination high-water mark.
+    """
+
+    __slots__ = (
+        "_size",
+        "_owner",
+        "_value",
+        "_cstate",
+        "_origin",
+        "_sent_state",
+        "_state",
+        "_dirty",
+    )
+
+    def __init__(self, size: int, owner: int):
+        if size <= 0:
+            raise ClockError(f"matrix clock size must be positive, got {size}")
+        if not 0 <= owner < size:
+            raise ClockError(f"owner {owner} out of range for size {size}")
+        self._size = size
+        self._owner = owner
+        self._value: List[List[int]] = [[0] * size for _ in range(size)]
+        self._cstate: List[List[int]] = [[0] * size for _ in range(size)]
+        self._origin: List[List[int]] = [[owner] * size for _ in range(size)]
+        self._sent_state: List[int] = [0] * size
+        self._state = 0
+        self._dirty = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def owner(self) -> int:
+        return self._owner
+
+    def cell(self, row: int, col: int) -> int:
+        return self._value[row][col]
+
+    def _check_peer(self, index: int, what: str) -> None:
+        if not 0 <= index < self._size:
+            raise ClockError(
+                f"{what} index {index} out of range for domain of size {self._size}"
+            )
+
+    def prepare_send(self, dest: int) -> UpdateStamp:
+        """Record a send to ``dest`` and build the delta stamp.
+
+        Appendix A, "Sending from Si to Sj": bump ``Mat[i][j]``, then ship
+        every cell with ``state > Node[j].state`` whose value was not
+        learned from ``j``, and advance ``Node[j].state``.
+        """
+        self._check_peer(dest, "destination")
+        if dest == self._owner:
+            raise ClockError("a server does not stamp messages to itself")
+        me = self._owner
+        self._state += 1
+        self._value[me][dest] += 1
+        self._cstate[me][dest] = self._state
+        self._origin[me][dest] = me
+        self._dirty += 1
+
+        high_water = self._sent_state[dest]
+        updates = tuple(
+            CellUpdate(k, l, self._value[k][l])
+            for k in range(self._size)
+            for l in range(self._size)
+            if self._cstate[k][l] > high_water and self._origin[k][l] != dest
+        )
+        self._sent_state[dest] = self._state
+        return UpdateStamp(me, dest, updates)
+
+    def can_deliver(self, stamp: Stamp) -> bool:
+        """RST test evaluated on the delta (see module docstring for why
+        delta cells suffice)."""
+        if not isinstance(stamp, UpdateStamp):
+            raise ClockError(f"expected UpdateStamp, got {type(stamp).__name__}")
+        me = self._owner
+        sender = stamp.sender
+        self._check_peer(sender, "sender")
+        shipped = stamp.entry(sender, me)
+        if shipped is None:
+            raise ClockError(
+                f"malformed delta stamp from {sender}: missing its own "
+                f"({sender}, {me}) send-count cell"
+            )
+        if shipped != self._value[sender][me] + 1:
+            return False
+        return all(
+            update.value <= self._value[update.row][me]
+            for update in stamp.updates
+            if update.col == me and update.row != sender
+        )
+
+    def is_duplicate(self, stamp: Stamp) -> bool:
+        if not isinstance(stamp, UpdateStamp):
+            raise ClockError(f"expected UpdateStamp, got {type(stamp).__name__}")
+        self._check_peer(stamp.sender, "sender")
+        shipped = stamp.entry(stamp.sender, self._owner)
+        if shipped is None:
+            raise ClockError(
+                f"malformed delta stamp from {stamp.sender}: missing its own "
+                f"send-count cell"
+            )
+        return shipped <= self._value[stamp.sender][self._owner]
+
+    def deliver(self, stamp: Stamp) -> None:
+        """Apply a deliverable delta: max-merge every shipped cell.
+
+        Appendix A, "Receiving on Si from Sj": cells that grow are
+        re-stamped with the receiver's own ``State`` (so they propagate
+        onward) and tagged as learned from the sender (so they are not
+        echoed straight back).
+        """
+        if not self.can_deliver(stamp):
+            raise ClockError(
+                f"stamp {stamp} not deliverable at server {self._owner}; "
+                "call can_deliver first and hold the message back"
+            )
+        assert isinstance(stamp, UpdateStamp)
+        self._state += 1
+        for update in stamp.updates:
+            if update.value > self._value[update.row][update.col]:
+                self._value[update.row][update.col] = update.value
+                self._cstate[update.row][update.col] = self._state
+                self._origin[update.row][update.col] = stamp.sender
+                self._dirty += 1
+
+    def dirty_cells(self) -> int:
+        return self._dirty
+
+    def clear_dirty(self) -> None:
+        self._dirty = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "value": copy.deepcopy(self._value),
+            "cstate": copy.deepcopy(self._cstate),
+            "origin": copy.deepcopy(self._origin),
+            "sent_state": list(self._sent_state),
+            "state": self._state,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        value = snapshot["value"]
+        if len(value) != self._size or any(len(row) != self._size for row in value):
+            raise ClockError("snapshot shape does not match clock size")
+        self._value = copy.deepcopy(value)
+        self._cstate = copy.deepcopy(snapshot["cstate"])
+        self._origin = copy.deepcopy(snapshot["origin"])
+        self._sent_state = list(snapshot["sent_state"])
+        self._state = snapshot["state"]
+        self._dirty = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdatesClock(size={self._size}, owner={self._owner}, "
+            f"state={self._state})"
+        )

@@ -1,0 +1,187 @@
+"""Vector clocks and the causal-broadcast baseline.
+
+Vector clocks (§1, [14][21]) characterize causal precedence exactly: event
+*a* causally precedes *b* iff ``V(a) < V(b)`` componentwise. The related-work
+solutions the paper compares against (§2: hierarchical clusters [13], the
+Daisy architecture [17]) are built on vector clocks and *causal broadcast*;
+:class:`CausalBroadcastClock` implements the Birman–Schiper–Stephenson
+delivery rule those systems rely on, so our benchmarks can put a faithful
+baseline next to the matrix-clock MOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ClockError
+
+
+def _check_same_size(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ClockError(f"vector size mismatch: {len(a)} vs {len(b)}")
+
+
+@dataclass(frozen=True)
+class VectorStamp:
+    """An immutable vector timestamp together with its sender.
+
+    ``wire_cells`` mirrors the matrix stamps' accounting: a vector stamp
+    always serializes all *n* entries.
+    """
+
+    sender: int
+    entries: Tuple[int, ...]
+
+    @property
+    def wire_cells(self) -> int:
+        """Entries serialized on the wire (always the full vector)."""
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> int:
+        return self.entries[index]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def dominates(self, other: "VectorStamp") -> bool:
+        """True iff ``self >= other`` componentwise."""
+        _check_same_size(self.entries, other.entries)
+        return all(s >= o for s, o in zip(self.entries, other.entries))
+
+    def strictly_precedes(self, other: "VectorStamp") -> bool:
+        """The exact causal-precedence test: ``self < other``."""
+        _check_same_size(self.entries, other.entries)
+        return (
+            all(s <= o for s, o in zip(self.entries, other.entries))
+            and self.entries != other.entries
+        )
+
+    def concurrent_with(self, other: "VectorStamp") -> bool:
+        """True iff neither stamp precedes the other."""
+        return not self.strictly_precedes(other) and not other.strictly_precedes(self)
+
+
+class VectorClock:
+    """A vector clock owned by process ``owner`` in an n-process system."""
+
+    __slots__ = ("_owner", "_entries")
+
+    def __init__(self, size: int, owner: int):
+        if size <= 0:
+            raise ClockError(f"vector clock size must be positive, got {size}")
+        if not 0 <= owner < size:
+            raise ClockError(f"owner {owner} out of range for size {size}")
+        self._owner = owner
+        self._entries: List[int] = [0] * size
+
+    @property
+    def owner(self) -> int:
+        return self._owner
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    def read(self) -> VectorStamp:
+        """Snapshot the current vector without advancing it."""
+        return VectorStamp(self._owner, tuple(self._entries))
+
+    def tick(self) -> VectorStamp:
+        """Advance the local component (local or send event)."""
+        self._entries[self._owner] += 1
+        return self.read()
+
+    def stamp_send(self) -> VectorStamp:
+        """Advance and read, i.e. the stamp to attach to an outgoing message."""
+        return self.tick()
+
+    def observe(self, stamp: VectorStamp) -> VectorStamp:
+        """Merge a received stamp: componentwise max, then local tick."""
+        _check_same_size(self._entries, stamp.entries)
+        for i, value in enumerate(stamp.entries):
+            if value > self._entries[i]:
+                self._entries[i] = value
+        return self.tick()
+
+    def __repr__(self) -> str:
+        return f"VectorClock(owner={self._owner}, entries={self._entries})"
+
+
+class CausalBroadcastClock:
+    """Birman–Schiper–Stephenson causal broadcast delivery.
+
+    Every process broadcasts to the whole group. The clock tracks, per
+    process, how many of its broadcasts have been *delivered* locally. A
+    message from ``s`` stamped ``V`` is deliverable at ``r`` iff:
+
+    - ``V[s] == delivered[s] + 1`` (next broadcast from s, FIFO), and
+    - ``V[k] <= delivered[k]`` for all ``k != s`` (everything the sender had
+      seen has been delivered here too).
+
+    This is the engine behind the vector-clock related-work baselines (§2);
+    its scalability problem — every message must reach every process — is
+    exactly what the paper's domain decomposition avoids.
+    """
+
+    __slots__ = ("_owner", "_delivered", "_sent")
+
+    def __init__(self, size: int, owner: int):
+        if size <= 0:
+            raise ClockError(f"group size must be positive, got {size}")
+        if not 0 <= owner < size:
+            raise ClockError(f"owner {owner} out of range for size {size}")
+        self._owner = owner
+        self._delivered: List[int] = [0] * size
+        self._sent = 0
+
+    @property
+    def owner(self) -> int:
+        return self._owner
+
+    @property
+    def size(self) -> int:
+        return len(self._delivered)
+
+    def stamp_broadcast(self) -> VectorStamp:
+        """Stamp an outgoing broadcast.
+
+        The stamp carries the delivered-vector with the owner's component
+        set to the new broadcast sequence number. The local broadcast is
+        *not* self-delivered here; feed the stamp back through
+        :meth:`can_deliver`/:meth:`deliver` like any other copy.
+        """
+        self._sent += 1
+        entries = list(self._delivered)
+        entries[self._owner] = self._sent
+        return VectorStamp(self._owner, tuple(entries))
+
+    def can_deliver(self, stamp: VectorStamp) -> bool:
+        """The BSS deliverability test described in the class docstring."""
+        _check_same_size(self._delivered, stamp.entries)
+        sender = stamp.sender
+        if stamp.entries[sender] != self._delivered[sender] + 1:
+            return False
+        return all(
+            stamp.entries[k] <= self._delivered[k]
+            for k in range(len(self._delivered))
+            if k != sender
+        )
+
+    def deliver(self, stamp: VectorStamp) -> None:
+        """Mark a deliverable broadcast as delivered."""
+        if not self.can_deliver(stamp):
+            raise ClockError(
+                f"stamp {stamp} is not deliverable at process {self._owner}"
+            )
+        self._delivered[stamp.sender] += 1
+
+    def delivered_count(self, process: int) -> int:
+        """How many broadcasts from ``process`` have been delivered here."""
+        return self._delivered[process]
+
+    def __repr__(self) -> str:
+        return (
+            f"CausalBroadcastClock(owner={self._owner}, "
+            f"delivered={self._delivered}, sent={self._sent})"
+        )

@@ -1,0 +1,48 @@
+"""The AAA MOM (§3, §5), rebuilt on the simulation substrate.
+
+An agent server is an Engine (agent execution: persistent agents, atomic
+event/reaction) plus a Channel (reliable transmission, causal order,
+routing). Servers are grouped into domains of causality; each server holds
+one ``DomainItem`` — domain-local identity plus matrix clock — per domain
+it belongs to, and a static routing table (§5).
+
+Public surface:
+
+- :class:`~repro.mom.config.BusConfig` — everything an experiment
+  configures (topology, clock algorithm, cost model, network, seed);
+- :class:`~repro.mom.bus.MessageBus` — boots servers from a config, deploys
+  agents, runs the simulation, exposes traces and metrics;
+- :class:`~repro.mom.agent.Agent` / :class:`~repro.mom.agent.ReactionContext`
+  — the programming model (event/reaction, §3);
+- :class:`~repro.mom.failures.FailureInjector` — crash/recovery and
+  partition scheduling for the fault-tolerance tests.
+"""
+
+from repro.mom.identifiers import AgentId
+from repro.mom.payloads import Notification, Envelope
+from repro.mom.persistence import PersistentStore
+from repro.mom.domain_item import DomainItem
+from repro.mom.agent import Agent, ReactionContext, FunctionAgent, EchoAgent
+from repro.mom.config import BusConfig
+from repro.mom.server import AgentServer
+from repro.mom.bus import MessageBus
+from repro.mom.failures import FailureInjector
+from repro.mom.scenario import ScenarioResult, run_scenario
+
+__all__ = [
+    "AgentId",
+    "Notification",
+    "Envelope",
+    "PersistentStore",
+    "DomainItem",
+    "Agent",
+    "ReactionContext",
+    "FunctionAgent",
+    "EchoAgent",
+    "BusConfig",
+    "AgentServer",
+    "MessageBus",
+    "FailureInjector",
+    "ScenarioResult",
+    "run_scenario",
+]

@@ -1,0 +1,51 @@
+"""Scenario CLI: run a declarative MOM scenario and print the audit.
+
+Usage::
+
+    python -m repro.mom scenario.json
+    python -m repro.mom scenario.json --stats      # per-server table too
+    python -m repro.mom scenario.json --trace out.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.mom.scenario import run_scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mom",
+        description="run a declarative MOM scenario (see repro.mom.scenario)",
+    )
+    parser.add_argument("scenario", help="path to a scenario JSON file")
+    parser.add_argument(
+        "--stats", action="store_true", help="print the per-server table"
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", help="export the app trace as JSONL"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_scenario(args.scenario)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(result.summary())
+    if args.stats:
+        print()
+        print(result.bus.stats_table())
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            events = result.bus.export_app_trace(handle)
+        print(f"app trace ({events} events) written to {args.trace}")
+    return 0 if result.causal_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

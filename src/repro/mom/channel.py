@@ -1,0 +1,334 @@
+"""The Channel: reliable transmission, routing, and causal order (§5).
+
+Per the paper's pseudocode, the sender side stamps each outgoing message
+with the matrix clock of the domain the next hop lives in, and keeps it in
+QueueOUT until the receiver's transaction ACK arrives; the receiver side
+checks the stamp against its own domain clock, holds back messages that
+arrived too early, and — once deliverable — commits atomically: merge the
+clock, persist, hand the message to the local Engine (QueueIN) or back to
+QueueOUT for the next hop, then ACK.
+
+Crash-consistency invariants:
+
+- a hop is stamped, recorded in the unacked table and persisted in one
+  atomic step, so a sender crash never loses or double-counts a send — on
+  recovery every unacked envelope is retransmitted *with its original
+  stamp* and the receiver's matrix clock suppresses duplicates;
+- the receiver's clock merge, persistence, forwarding and ACK all happen
+  at the commit instant, so a receiver crash before commit simply means
+  "never received" (the sender retransmits), and after commit the
+  retransmission is recognized as a duplicate and re-ACKed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.clocks.base import Stamp
+from repro.errors import RoutingError, TopologyError
+from repro.mom.domain_item import DomainItem
+from repro.mom.payloads import ChannelAck, Envelope, Notification
+
+
+class Channel:
+    """One server's channel. Created by :class:`~repro.mom.server.AgentServer`."""
+
+    def __init__(self, server: "AgentServer"):  # noqa: F821 - forward ref
+        self._server = server
+        self._items: Dict[str, DomainItem] = {}
+        for domain in server.domains:
+            self._items[domain.domain_id] = DomainItem(
+                domain, server.server_id, server.config.clock_cls
+            )
+        self._hop_seq = 0
+        self._unacked: Dict[int, Envelope] = {}
+        self._holdback: Dict[str, List[Envelope]] = {
+            d: [] for d in self._items
+        }
+        self._pending_commits: Set[Tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def domain_items(self) -> Dict[str, DomainItem]:
+        return dict(self._items)
+
+    def item(self, domain_id: str) -> DomainItem:
+        try:
+            return self._items[domain_id]
+        except KeyError:
+            raise TopologyError(
+                f"server {self._server.server_id} is not in domain "
+                f"{domain_id!r} but received a message stamped for it"
+            ) from None
+
+    @property
+    def unacked_count(self) -> int:
+        return len(self._unacked)
+
+    @property
+    def heldback_count(self) -> int:
+        return sum(len(q) for q in self._holdback.values())
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+
+    def post(self, notification: Notification) -> None:
+        """Queue a notification for its next hop towards the destination.
+
+        Stamping, queueing in the unacked table and persistence happen
+        atomically now; the send cost is then charged on the processor and
+        the envelope leaves for the network when it elapses.
+        """
+        dest = notification.dest_server
+        me = self._server.server_id
+        if dest == me:
+            raise RoutingError(
+                "channel.post() called for a local destination; "
+                "local delivery is the engine's job"
+            )
+        next_hop = self._server.routing.next_hop(dest)
+        domain = self._server.topology.shared_domain(me, next_hop)
+        item = self._items[domain.domain_id]
+        stamp = item.clock.prepare_send(item.local_id(next_hop))
+
+        self._hop_seq += 1
+        envelope = Envelope(
+            notification=notification,
+            src_server=me,
+            dst_server=next_hop,
+            domain_id=domain.domain_id,
+            stamp=stamp,
+            hop_seq=self._hop_seq,
+        )
+        self._unacked[envelope.hop_seq] = envelope
+        self._persist_send_state(item)
+        # The hop's causal send instant is *now* — the stamping transaction —
+        # not the later wire transmit; recording here keeps the hop trace's
+        # local orders aligned with the matrix-clock protocol's view.
+        self._server.bus.record_hop_send(envelope)
+
+        cost = self._server.config.cost_model.send_cost(
+            stamp, item.clock.size, item.clock.dirty_cells()
+        )
+        item.clock.clear_dirty()
+        self._server.metrics.counter("channel.hops_sent").add()
+        self._server.metrics.counter("channel.cells_stamped").add(
+            stamp.wire_cells
+        )
+        epoch = self._server.epoch
+        self._server.processor.submit(cost, self._transmit, envelope, epoch, 1)
+
+    def _transmit(self, envelope: Envelope, epoch: int, attempt: int) -> None:
+        if epoch != self._server.epoch:
+            return
+        self._server.transport.send(
+            envelope.dst_server, envelope, cells=envelope.stamp.wire_cells
+        )
+        # Arm the transaction-ACK timer from the *wire* send instant —
+        # sender-side transmit queueing must not count against the receiver.
+        base = self._server.config.channel_ack_timeout_ms
+        timeout = min(base * (2 ** (attempt - 1)), base * 8)
+        self._server.sim.schedule(
+            timeout, self._check_ack, envelope.hop_seq, attempt, epoch
+        )
+
+    def _check_ack(self, hop_seq: int, attempt: int, epoch: int) -> None:
+        """§5's persistent QueueOUT, made live: if the transaction ACK has
+        not arrived, re-send the envelope with its *original* stamp — the
+        receiver's matrix clock and hold-back dedup make this idempotent.
+
+        This is what bridges receiver crashes: the transport acked mere
+        arrival, so envelopes wiped from the receiver's volatile hold-back
+        or pending-commit state would otherwise be lost forever.
+        """
+        if epoch != self._server.epoch:
+            return
+        envelope = self._unacked.get(hop_seq)
+        if envelope is None:
+            return  # acked; done
+        item = self._items[envelope.domain_id]
+        cost = self._server.config.cost_model.send_cost(
+            envelope.stamp, item.clock.size, 0
+        )
+        self._server.metrics.counter("channel.hops_resent").add()
+        self._server.processor.submit(
+            cost, self._transmit, envelope, epoch, attempt + 1
+        )
+
+    def resend_unacked(self) -> None:
+        """Crash recovery: retransmit every persisted-but-unacked envelope
+        with its original stamp (duplicates die at the receiver's clock)."""
+        for hop_seq in sorted(self._unacked):
+            envelope = self._unacked[hop_seq]
+            item = self._items[envelope.domain_id]
+            cost = self._server.config.cost_model.send_cost(
+                envelope.stamp, item.clock.size, 0
+            )
+            self._server.metrics.counter("channel.hops_resent").add()
+            epoch = self._server.epoch
+            self._server.processor.submit(
+                cost, self._transmit, envelope, epoch, 1
+            )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def on_packet(self, src: int, packet: Any) -> None:
+        """Transport upcall: an envelope or a channel-level ACK arrived."""
+        if isinstance(packet, ChannelAck):
+            self._on_ack(packet)
+            return
+        assert isinstance(packet, Envelope), packet
+        self._on_envelope(packet)
+
+    def _on_ack(self, ack: ChannelAck) -> None:
+        removed = self._unacked.pop(ack.hop_seq, None)
+        if removed is None:
+            return  # duplicate ACK after a retransmission
+        self._server.store.save(
+            "channel.unacked", self._snapshot_unacked(), owned=True
+        )
+        epoch = self._server.epoch
+        self._server.processor.submit(
+            self._server.config.cost_model.ack_ms, lambda _e: None, epoch
+        )
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        item = self.item(envelope.domain_id)
+        key = envelope.hop_mid()
+        if key in self._pending_commits:
+            return  # commit already charged; the retransmission is stale
+        if item.clock.is_duplicate(envelope.stamp):
+            self._server.metrics.counter("channel.duplicates").add()
+            self._ack(envelope)
+            return
+        if item.clock.can_deliver(envelope.stamp):
+            self._start_commit(envelope, item)
+        else:
+            queue = self._holdback[envelope.domain_id]
+            if any(held.hop_mid() == key for held in queue):
+                self._server.metrics.counter("channel.duplicates").add()
+                return  # a retransmitted copy is already waiting
+            queue.append(envelope)
+            self._server.metrics.counter("channel.heldback").add()
+
+    def _start_commit(self, envelope: Envelope, item: DomainItem) -> None:
+        """Charge the receive cost; the commit fires when it elapses."""
+        self._pending_commits.add(envelope.hop_mid())
+        cost = self._server.config.cost_model.recv_cost(
+            envelope.stamp, item.clock.size, envelope.stamp.wire_cells
+        )
+        epoch = self._server.epoch
+        self._server.processor.submit(cost, self._commit, envelope, epoch)
+
+    def _commit(self, envelope: Envelope, epoch: int) -> None:
+        """The receiver transaction of §5's pseudocode, at one instant:
+        merge the domain clock, persist, route the message onward (QueueIN
+        or QueueOUT), ACK, and release any unblocked held-back messages."""
+        if epoch != self._server.epoch:
+            return
+        self._pending_commits.discard(envelope.hop_mid())
+        item = self._items[envelope.domain_id]
+        item.clock.deliver(envelope.stamp)
+        item.clock.clear_dirty()
+        self._persist_clock(item)
+        self._server.metrics.counter("channel.hops_delivered").add()
+        self._server.bus.record_hop_receive(envelope)
+        self._ack(envelope)
+
+        if envelope.final_dest == self._server.server_id:
+            self._server.engine.enqueue(envelope.notification)
+        else:
+            self._server.metrics.counter("channel.forwarded").add()
+            self.post(envelope.notification)
+
+        self._release_holdback(envelope.domain_id)
+
+    def _ack(self, envelope: Envelope) -> None:
+        self._server.transport.send(
+            envelope.src_server, ChannelAck(envelope.hop_seq)
+        )
+
+    def _release_holdback(self, domain_id: str) -> None:
+        """Start commits for every held-back envelope the fresh clock state
+        now admits. One pass suffices per release: each commit that later
+        fires runs its own release."""
+        item = self._items[domain_id]
+        queue = self._holdback[domain_id]
+        ready = [
+            env
+            for env in queue
+            if env.hop_mid() not in self._pending_commits
+            and item.clock.can_deliver(env.stamp)
+        ]
+        if not ready:
+            return
+        remaining = []
+        for env in queue:
+            if env in ready:
+                continue
+            remaining.append(env)
+        self._holdback[domain_id] = remaining
+        for env in ready:
+            self._start_commit(env, item)
+
+    # ------------------------------------------------------------------
+    # Persistence / recovery
+    # ------------------------------------------------------------------
+
+    def _snapshot_unacked(self) -> Dict[int, Envelope]:
+        return dict(self._unacked)
+
+    def _persist_send_state(self, item: DomainItem) -> None:
+        cells = item.clock.size * item.clock.size
+        self._server.store.save(
+            f"channel.clock.{item.domain_id}",
+            item.clock.snapshot(),
+            cells=cells,
+            owned=True,
+        )
+        # Envelopes (and their stamps) are immutable; a shallow dict copy is
+        # a faithful snapshot.
+        self._server.store.save(
+            "channel.unacked", self._snapshot_unacked(), owned=True
+        )
+        self._server.store.save("channel.hop_seq", self._hop_seq)
+
+    def _persist_clock(self, item: DomainItem) -> None:
+        cells = item.clock.size * item.clock.size
+        self._server.store.save(
+            f"channel.clock.{item.domain_id}",
+            item.clock.snapshot(),
+            cells=cells,
+            owned=True,
+        )
+
+    def on_crash(self) -> None:
+        """Drop all volatile state (holdback queues, pending commits)."""
+        for queue in self._holdback.values():
+            queue.clear()
+        self._pending_commits.clear()
+        self._unacked.clear()
+
+    def on_recover(self) -> None:
+        """Reload clocks, the unacked table and the hop counter from the
+        persistent store, then retransmit everything unacked."""
+        for domain_id, item in self._items.items():
+            snapshot = self._server.store.load(f"channel.clock.{domain_id}")
+            if snapshot is not None:
+                item.clock.restore(snapshot)
+        self._unacked = self._server.store.load("channel.unacked", default={})
+        self._hop_seq = self._server.store.load("channel.hop_seq", default=0)
+        self.resend_unacked()
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel(server={self._server.server_id}, "
+            f"domains={sorted(self._items)}, unacked={len(self._unacked)}, "
+            f"heldback={self.heldback_count})"
+        )

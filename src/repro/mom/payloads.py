@@ -1,0 +1,91 @@
+"""Wire units: application notifications and per-hop envelopes.
+
+A :class:`Notification` is what agents exchange — the paper's
+application-level message. The channel carries it across each domain hop
+wrapped in an :class:`Envelope` holding the hop endpoints, the domain the
+hop uses and the piggybacked matrix timestamp (§5: "The Channel [...]
+piggybacks messages with a matrix timestamp corresponding to the domain to
+which the message is sent"). A multi-hop notification is therefore exactly
+a §4.2 *chain* of real messages realizing one virtual message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.clocks.base import Stamp
+from repro.mom.identifiers import AgentId
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One application-level message between two agents.
+
+    Attributes:
+        nid: bus-wide unique notification id (assigned at send).
+        sender: originating agent.
+        target: destination agent.
+        payload: opaque application data.
+        sent_at: simulated time of the originating agent's send (for
+            end-to-end latency metrics).
+    """
+
+    nid: int
+    sender: AgentId
+    target: AgentId
+    payload: Any
+    sent_at: float
+
+    @property
+    def dest_server(self) -> int:
+        return self.target.server
+
+    def __repr__(self) -> str:
+        return f"Notification(#{self.nid} {self.sender!r}->{self.target!r})"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One hop of a notification: a real intra-domain message.
+
+    Attributes:
+        notification: the carried application message.
+        src_server / dst_server: the hop's endpoints (global ids).
+        domain_id: the domain whose matrix clock stamped this hop.
+        stamp: the piggybacked causal timestamp.
+        hop_seq: per-sender sequence number used by the channel-level
+            transaction ACK (§5's ``Recv(ACK); Remove(evt)``).
+    """
+
+    notification: Notification
+    src_server: int
+    dst_server: int
+    domain_id: str
+    stamp: Stamp
+    hop_seq: int
+
+    @property
+    def final_dest(self) -> int:
+        """The notification's final destination server."""
+        return self.notification.dest_server
+
+    def hop_mid(self) -> tuple:
+        """A unique id for this hop message, for hop-level traces."""
+        return ("hop", self.src_server, self.hop_seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope({self.notification!r} hop "
+            f"S{self.src_server}->S{self.dst_server} in {self.domain_id}, "
+            f"seq={self.hop_seq})"
+        )
+
+
+@dataclass(frozen=True)
+class ChannelAck:
+    """Channel-level transaction acknowledgment: the receiver committed
+    the envelope with this ``hop_seq``; the sender may Remove it from
+    QueueOUT (§5's pseudocode, last three lines)."""
+
+    hop_seq: int

@@ -1,0 +1,38 @@
+"""Topic/queue destinations on top of the agent API.
+
+The AAA MOM shipped with a JMS binding (the JORAM product line, §1
+footnote 2); this package provides the same two destination kinds as plain
+agents, so the domain-specific examples can be written against a familiar
+messaging surface while everything underneath — routing, matrix clocks,
+domains — is the paper's machinery:
+
+- :class:`~repro.pubsub.destinations.TopicAgent` — publish/subscribe
+  fan-out. Because the MOM delivers causally, two publications where the
+  second causally depends on the first reach every subscriber in that
+  order (per-source FIFO plus cross-source causality — the property the
+  stock-ticker example demonstrates).
+- :class:`~repro.pubsub.destinations.QueueAgent` — point-to-point with
+  competing consumers, round-robin dispatch, durable buffering.
+"""
+
+from repro.pubsub.destinations import (
+    TopicAgent,
+    QueueAgent,
+    Subscribe,
+    Unsubscribe,
+    Publish,
+    Register,
+    Put,
+    Delivery,
+)
+
+__all__ = [
+    "TopicAgent",
+    "QueueAgent",
+    "Subscribe",
+    "Unsubscribe",
+    "Publish",
+    "Register",
+    "Put",
+    "Delivery",
+]

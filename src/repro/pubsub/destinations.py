@@ -1,0 +1,128 @@
+"""Destination agents: topics (pub/sub) and queues (point-to-point).
+
+Control messages are small frozen dataclasses; anything else sent to a
+destination is treated as an error (explicit beats implicit). Destination
+state — subscriber lists, buffered messages, round-robin position — lives
+in plain attributes and is therefore covered by the default agent
+snapshotting, i.e. it survives server crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.errors import AgentError
+from repro.mom.agent import Agent, ReactionContext
+from repro.mom.identifiers import AgentId
+
+
+@dataclass(frozen=True)
+class Subscribe:
+    """Ask a topic to add ``subscriber`` to its fan-out list."""
+
+    subscriber: AgentId
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    """Ask a topic to remove ``subscriber`` (idempotent)."""
+
+    subscriber: AgentId
+
+
+@dataclass(frozen=True)
+class Publish:
+    """Publish ``body`` to every current subscriber of a topic."""
+
+    body: Any
+
+
+@dataclass(frozen=True)
+class Register:
+    """Register ``consumer`` with a queue (competing consumers)."""
+
+    consumer: AgentId
+
+
+@dataclass(frozen=True)
+class Put:
+    """Enqueue ``body``; the queue dispatches it to one consumer."""
+
+    body: Any
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """What subscribers/consumers receive: the body plus provenance."""
+
+    source: AgentId
+    body: Any
+
+
+class TopicAgent(Agent):
+    """A publish/subscribe destination.
+
+    Subscriptions and publications are ordinary causal messages, so a
+    subscriber that subscribes *after* observing some publication will only
+    miss publications that causally precede its subscription — there is no
+    window in which fan-out order contradicts causal order.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.subscribers: List[AgentId] = []
+        self.published = 0
+
+    def react(self, ctx: ReactionContext, sender: AgentId, payload: Any) -> None:
+        if isinstance(payload, Subscribe):
+            if payload.subscriber not in self.subscribers:
+                self.subscribers.append(payload.subscriber)
+        elif isinstance(payload, Unsubscribe):
+            if payload.subscriber in self.subscribers:
+                self.subscribers.remove(payload.subscriber)
+        elif isinstance(payload, Publish):
+            self.published += 1
+            delivery = Delivery(source=sender, body=payload.body)
+            for subscriber in self.subscribers:
+                ctx.send(subscriber, delivery)
+        else:
+            raise AgentError(
+                f"topic {ctx.my_id!r} got unsupported payload {payload!r}"
+            )
+
+
+class QueueAgent(Agent):
+    """A point-to-point destination with competing consumers.
+
+    Messages put while no consumer is registered are buffered durably and
+    dispatched round robin as consumers appear.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.consumers: List[AgentId] = []
+        self.buffered: List[Delivery] = []
+        self._round_robin = 0
+
+    def react(self, ctx: ReactionContext, sender: AgentId, payload: Any) -> None:
+        if isinstance(payload, Register):
+            if payload.consumer not in self.consumers:
+                self.consumers.append(payload.consumer)
+            self._drain(ctx)
+        elif isinstance(payload, Put):
+            self.buffered.append(Delivery(source=sender, body=payload.body))
+            self._drain(ctx)
+        else:
+            raise AgentError(
+                f"queue {ctx.my_id!r} got unsupported payload {payload!r}"
+            )
+
+    def _drain(self, ctx: ReactionContext) -> None:
+        if not self.consumers:
+            return
+        while self.buffered:
+            delivery = self.buffered.pop(0)
+            consumer = self.consumers[self._round_robin % len(self.consumers)]
+            self._round_robin += 1
+            ctx.send(consumer, delivery)

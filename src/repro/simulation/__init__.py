@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's measurements ran on ten PCs and up to 150 JVMs; this package is
+the substitute substrate (see DESIGN.md §2): a single-threaded event kernel
+(:mod:`repro.simulation.kernel`), a message network with pluggable latency
+and loss (:mod:`repro.simulation.network`), a reliable at-least-once
+transport with duplicate suppression (:mod:`repro.simulation.transport`),
+the calibrated cost model that converts protocol work into simulated
+milliseconds (:mod:`repro.simulation.costs`), seeded randomness
+(:mod:`repro.simulation.rng`) and metrics (:mod:`repro.simulation.metrics`).
+
+Everything is deterministic given a seed: reruns reproduce identical event
+orders, timings and traces.
+"""
+
+from repro.simulation.kernel import Simulator, Processor, EventHandle
+from repro.simulation.rng import RngFactory
+from repro.simulation.costs import CostModel
+from repro.simulation.network import (
+    Network,
+    LatencyModel,
+    ConstantLatency,
+    UniformLatency,
+    ExponentialLatency,
+)
+from repro.simulation.transport import ReliableTransport
+from repro.simulation.metrics import MetricsRegistry, Counter, Samples
+
+__all__ = [
+    "Simulator",
+    "Processor",
+    "EventHandle",
+    "RngFactory",
+    "CostModel",
+    "Network",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "ReliableTransport",
+    "MetricsRegistry",
+    "Counter",
+    "Samples",
+]

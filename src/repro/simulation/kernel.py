@@ -1,0 +1,190 @@
+"""The discrete-event kernel: a clock and a priority queue of callbacks.
+
+Classic design: events are ``(time, sequence)``-ordered; the sequence number
+makes simultaneous events fire in scheduling order, which — together with
+seeded RNGs — makes every run bit-for-bit reproducible.
+
+:class:`Processor` models one server's single-threaded CPU (one JVM in the
+paper's setup): submitted work executes back to back, so a burst of sends —
+e.g. the broadcast of Figure 8 fanning out of server 0 — serializes exactly
+as it did on the real machines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """A scheduled callback; keep it to :meth:`cancel` the event."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """The event loop. All simulated components share one instance."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Events executed since construction (diagnostics)."""
+        return self._processed
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` ``delay`` ms from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired. Returns the number of events processed.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` fire.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() re-entered")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._queue[0]
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if head.cancelled:
+                    continue
+                self._now = head.time
+                head.fn(*head.args)
+                fired += 1
+                self._processed += 1
+            if until is not None and (
+                not self._queue or self._queue[0].time > until
+            ):
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return fired
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely; guard against runaway event storms."""
+        fired = self.run(max_events=max_events)
+        if self._queue and fired >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Scheduled-but-unfired events (including cancelled ones)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now:.3f}, pending={self.pending})"
+
+
+class Processor:
+    """A single-threaded CPU: submitted work runs sequentially.
+
+    Work submitted while the processor is busy queues behind the current
+    occupancy; the completion callback fires when the work *finishes*. Busy
+    time is accumulated for utilization reporting.
+    """
+
+    __slots__ = ("_sim", "_busy_until", "_busy_total", "_halted")
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._busy_until = 0.0
+        self._busy_total = 0.0
+        self._halted = False
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    @property
+    def busy_total(self) -> float:
+        """Total occupied milliseconds (for utilization metrics)."""
+        return self._busy_total
+
+    def halt(self) -> None:
+        """Refuse further work (server crash). Queued completions for work
+        already started are the caller's business to ignore."""
+        self._halted = True
+
+    def resume(self) -> None:
+        """Accept work again after :meth:`halt` (server recovery). Any
+        occupancy from before the crash is discarded."""
+        self._halted = False
+        self._busy_until = self._sim.now
+
+    def submit(self, duration: float, fn: Callable, *args: Any) -> EventHandle:
+        """Occupy the CPU for ``duration`` ms, then call ``fn(*args)``.
+
+        Raises:
+            SimulationError: if the processor is halted or ``duration`` is
+                negative.
+        """
+        if self._halted:
+            raise SimulationError("processor is halted (server crashed)")
+        if duration < 0:
+            raise SimulationError(f"negative work duration: {duration}")
+        start = max(self._sim.now, self._busy_until)
+        self._busy_until = start + duration
+        self._busy_total += duration
+        return self._sim.schedule_at(self._busy_until, fn, *args)
+
+    def __repr__(self) -> str:
+        return (
+            f"Processor(busy_until={self._busy_until:.3f}, "
+            f"busy_total={self._busy_total:.3f})"
+        )

@@ -1,0 +1,124 @@
+"""Lightweight metrics: counters and sample collections.
+
+Every experiment reports through a :class:`MetricsRegistry`; the bench
+harness turns registries into the rows of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (add {amount})"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Samples:
+    """A collection of float observations with summary statistics."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return math.nan
+        return float(np.mean(self._values))
+
+    @property
+    def std(self) -> float:
+        if len(self._values) < 2:
+            return 0.0
+        return float(np.std(self._values, ddof=1))
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else math.nan
+
+    def percentile(self, q: float) -> float:
+        if not self._values:
+            return math.nan
+        return float(np.percentile(self._values, q))
+
+    def __repr__(self) -> str:
+        return f"Samples({self.name}: n={self.count}, mean={self.mean:.3f})"
+
+
+class MetricsRegistry:
+    """Named counters and sample sets, created on first use."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._samples: Dict[str, Samples] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def samples(self, name: str) -> Samples:
+        samples = self._samples.get(name)
+        if samples is None:
+            samples = Samples(name)
+            self._samples[name] = samples
+        return samples
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten to ``{name: value}`` (counters) and
+        ``{name.mean/.p50/.p99: value}`` (samples)."""
+        flat: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        for name, samples in self._samples.items():
+            flat[f"{name}.count"] = samples.count
+            flat[f"{name}.mean"] = samples.mean
+            flat[f"{name}.p50"] = samples.percentile(50)
+            flat[f"{name}.p99"] = samples.percentile(99)
+        return flat
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={sorted(self._counters)}, "
+            f"samples={sorted(self._samples)})"
+        )

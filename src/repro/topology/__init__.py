@@ -1,0 +1,90 @@
+"""Domains of causality: topology definition, validation, routing, builders.
+
+The paper replaces the single-bus MOM by a "virtual multi-bus (or Snow
+Flake) architecture" (§4): servers are grouped into *domains of causality*,
+adjacent domains share exactly one *causal router-server*, and the domain
+interconnection graph must be acyclic for the per-domain protocol to be
+globally correct (§4.3).
+
+- :mod:`repro.topology.domains` — :class:`Domain` and :class:`Topology`,
+  the static description a :class:`~repro.mom.bus.MessageBus` boots from;
+- :mod:`repro.topology.graph` — the domain interconnection graph and the
+  structural validation (acyclicity, single shared router per domain pair,
+  no nested domains, connectivity);
+- :mod:`repro.topology.routing` — static shortest-path routing tables,
+  built at boot exactly as §5 describes;
+- :mod:`repro.topology.builders` — the organizations of Figure 9 (bus,
+  daisy, tree) plus the flat single-domain baseline;
+- :mod:`repro.topology.cost` — the analytic cost model of §6.2
+  (C ≈ (2d+1)s², n ≈ s·k^d, bus-vs-tree comparison);
+- :mod:`repro.topology.partition` — the §7 "optimal splitting" future work:
+  heuristics that derive a domain decomposition from a weighted application
+  communication graph.
+"""
+
+from repro.topology.domains import Domain, Topology
+from repro.topology.graph import (
+    domain_graph,
+    find_domain_cycle,
+    validate_topology,
+)
+from repro.topology.routing import RoutingTable, build_routing_tables, route
+from repro.topology.builders import (
+    single_domain,
+    bus,
+    daisy,
+    tree,
+    ring,
+    from_domain_map,
+    default_domain_size,
+)
+from repro.topology.cost import (
+    domain_message_cost,
+    tree_server_count,
+    bus_unicast_cost,
+    flat_unicast_cost,
+    tree_unicast_cost,
+    crossover_point,
+    topology_unicast_cost,
+)
+from repro.topology.partition import (
+    CommunicationGraph,
+    estimate_traffic_cost,
+    partition_communication_graph,
+)
+from repro.topology.repair import (
+    RepairAction,
+    DomainAbsorption,
+    repair_topology,
+)
+
+__all__ = [
+    "Domain",
+    "Topology",
+    "domain_graph",
+    "find_domain_cycle",
+    "validate_topology",
+    "RoutingTable",
+    "build_routing_tables",
+    "route",
+    "single_domain",
+    "bus",
+    "daisy",
+    "tree",
+    "ring",
+    "from_domain_map",
+    "default_domain_size",
+    "domain_message_cost",
+    "tree_server_count",
+    "bus_unicast_cost",
+    "flat_unicast_cost",
+    "tree_unicast_cost",
+    "crossover_point",
+    "topology_unicast_cost",
+    "CommunicationGraph",
+    "estimate_traffic_cost",
+    "partition_communication_graph",
+    "RepairAction",
+    "DomainAbsorption",
+    "repair_topology",
+]

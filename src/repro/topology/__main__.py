@@ -1,0 +1,148 @@
+"""Topology ops CLI: inspect, validate, repair and cost domain maps.
+
+A domain map is a JSON object ``{"domain-id": [server, ...], ...}`` —
+the same shape :func:`repro.topology.builders.from_domain_map` takes.
+
+Usage::
+
+    python -m repro.topology describe  map.json
+    python -m repro.topology validate  map.json
+    python -m repro.topology repair    map.json [--write fixed.json]
+    python -m repro.topology cost      map.json --src 0 --dst 7
+    python -m repro.topology generate  bus --servers 50 [--domain-size 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.topology import builders
+from repro.topology.builders import from_domain_map
+from repro.topology.cost import topology_unicast_cost
+from repro.topology.domains import Topology
+from repro.topology.graph import find_domain_cycle, validate_topology
+from repro.topology.repair import repair_topology
+from repro.topology.routing import build_routing_tables, route
+
+
+def _load(path: str) -> Topology:
+    with open(path) as handle:
+        mapping = json.load(handle)
+    return from_domain_map(mapping)
+
+
+def _to_mapping(topology: Topology) -> Dict[str, List[int]]:
+    return {d.domain_id: list(d.servers) for d in topology.domains}
+
+
+def cmd_describe(args) -> int:
+    topology = _load(args.path)
+    print(topology.describe())
+    cycle = find_domain_cycle(topology)
+    if cycle:
+        print(f"WARNING: domain graph has a cycle: {' -> '.join(cycle)}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    topology = _load(args.path)
+    try:
+        validate_topology(topology)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
+    print(
+        f"OK: {topology.server_count} servers, "
+        f"{len(topology.domains)} domains, "
+        f"{len(topology.routers)} causal router-servers, "
+        "domain graph acyclic"
+    )
+    return 0
+
+
+def cmd_repair(args) -> int:
+    topology = _load(args.path)
+    repaired, actions = repair_topology(topology)
+    if not actions:
+        print("already valid; nothing to do")
+    for action in actions:
+        print(f"  {action.describe()}")
+    print()
+    print(repaired.describe())
+    if args.write:
+        with open(args.write, "w") as handle:
+            json.dump(_to_mapping(repaired), handle, indent=2)
+        print(f"written to {args.write}")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    topology = _load(args.path)
+    validate_topology(topology)
+    tables = build_routing_tables(topology)
+    path = route(tables, args.src, args.dst)
+    cost = topology_unicast_cost(topology, args.src, args.dst)
+    pretty = " -> ".join(f"S{server}" for server in path)
+    print(f"route : {pretty}  ({len(path) - 1} hop(s))")
+    print(f"cost  : {cost:.0f} s²-units (§6.2 model)")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    if args.kind == "flat":
+        topology = builders.single_domain(args.servers)
+    elif args.kind == "bus":
+        topology = builders.bus(args.servers, args.domain_size)
+    elif args.kind == "daisy":
+        topology = builders.daisy(args.servers, args.domain_size)
+    else:
+        topology = builders.tree(
+            args.servers, fanout=args.fanout, domain_size=args.domain_size
+        )
+    print(json.dumps(_to_mapping(topology), indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.topology",
+        description="inspect / validate / repair domain-of-causality maps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn in (
+        ("describe", cmd_describe),
+        ("validate", cmd_validate),
+        ("repair", cmd_repair),
+        ("cost", cmd_cost),
+    ):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("path", help="JSON domain map")
+        cmd.set_defaults(fn=fn)
+        if name == "repair":
+            cmd.add_argument("--write", help="write the repaired map here")
+        if name == "cost":
+            cmd.add_argument("--src", type=int, required=True)
+            cmd.add_argument("--dst", type=int, required=True)
+
+    gen = sub.add_parser("generate")
+    gen.add_argument("kind", choices=["flat", "bus", "daisy", "tree"])
+    gen.add_argument("--servers", type=int, required=True)
+    gen.add_argument("--domain-size", type=int, default=0)
+    gen.add_argument("--fanout", type=int, default=2)
+    gen.set_defaults(fn=cmd_generate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

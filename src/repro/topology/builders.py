@@ -1,0 +1,207 @@
+"""Standard domain organizations (Figure 9) plus test topologies.
+
+The three organizations the paper evaluates or discusses:
+
+- **single domain** — the classical flat MOM, the "without domains of
+  causality" baseline of Figures 7 and 8;
+- **bus** (the paper's "Snow Flake") — one backbone domain interconnecting
+  k leaf domains through their routers; with leaves of ~√n servers this is
+  the organization behind Figure 10's linear curve;
+- **daisy** — a chain of domains, each sharing one router with the next;
+- **tree** — a hierarchy of domains with fixed fan-out, the organization
+  §6.2 analyses as potentially logarithmic (at a higher constant).
+
+``ring`` builds a *deliberately cyclic* decomposition — it fails
+validation, which is the point: the theorem tests boot it with validation
+disabled and demonstrate the causality break.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import TopologyError
+from repro.topology.domains import Domain, Topology
+
+
+def single_domain(server_count: int) -> Topology:
+    """The flat baseline: all servers in one domain, one n×n matrix clock."""
+    if server_count < 1:
+        raise TopologyError(f"need at least 1 server, got {server_count}")
+    return Topology([Domain("D0", tuple(range(server_count)))])
+
+
+def _leaf_sizes(server_count: int, leaf_size: int) -> List[int]:
+    """Split ``server_count`` servers into leaves of ~``leaf_size``, as
+    evenly as possible, every leaf having at least 2 servers."""
+    if leaf_size < 2:
+        raise TopologyError(f"domain size must be >= 2, got {leaf_size}")
+    leaf_count = max(1, round(server_count / leaf_size))
+    if server_count / leaf_count < 2:
+        leaf_count = server_count // 2
+    base = server_count // leaf_count
+    extra = server_count % leaf_count
+    return [base + (1 if i < extra else 0) for i in range(leaf_count)]
+
+
+def default_domain_size(server_count: int) -> int:
+    """The paper's choice for the bus organization: domains of ~√n servers
+    ("our splitting in √n domains of √n servers", §6.2)."""
+    return max(2, round(math.sqrt(server_count)))
+
+
+def bus(server_count: int, domain_size: int = 0) -> Topology:
+    """The bus (Snow Flake) organization of Figures 9 and 10.
+
+    Leaf domains ``D1..Dk`` partition the servers; the *last* server of
+    each leaf doubles as its causal router-server and the backbone domain
+    ``D0`` consists of exactly those k routers. The domain graph is a star
+    centred on ``D0`` — trivially acyclic.
+
+    Args:
+        server_count: total number of servers (ids ``0..n-1``).
+        domain_size: target leaf size; 0 (default) picks ~√n, the paper's
+            linear-cost configuration.
+
+    The last server of each leaf (rather than the first) is the router so
+    that server 0 — where the benchmarks place their main agent, following
+    §6.1 — is an ordinary leaf member and a remote unicast crosses the full
+    three-domain route (leaf → backbone → leaf).
+    """
+    if server_count < 1:
+        raise TopologyError(f"need at least 1 server, got {server_count}")
+    size = domain_size or default_domain_size(server_count)
+    sizes = _leaf_sizes(server_count, size)
+    if len(sizes) == 1:
+        return single_domain(server_count)
+    domains: List[Domain] = []
+    routers: List[int] = []
+    start = 0
+    for index, leaf in enumerate(sizes):
+        members = tuple(range(start, start + leaf))
+        domains.append(Domain(f"D{index + 1}", members))
+        routers.append(members[-1])
+        start += leaf
+    domains.insert(0, Domain("D0", tuple(routers)))
+    return Topology(domains)
+
+
+def daisy(server_count: int, domain_size: int = 0) -> Topology:
+    """The daisy organization of Figure 9: a chain of domains, consecutive
+    domains sharing exactly one router-server.
+
+    With domains of s servers, consecutive overlaps of one server give
+    ``n = k(s-1) + 1`` total servers; the last domain absorbs the
+    remainder.
+    """
+    if server_count < 1:
+        raise TopologyError(f"need at least 1 server, got {server_count}")
+    size = domain_size or default_domain_size(server_count)
+    if size < 2:
+        raise TopologyError(f"domain size must be >= 2, got {size}")
+    if server_count <= size:
+        return single_domain(server_count)
+    domains: List[Domain] = []
+    start = 0
+    index = 0
+    while start < server_count - 1:
+        end = min(start + size - 1, server_count - 1)
+        domains.append(Domain(f"D{index}", tuple(range(start, end + 1))))
+        start = end
+        index += 1
+    return Topology(domains)
+
+
+def tree(server_count: int, fanout: int = 2, domain_size: int = 0) -> Topology:
+    """The hierarchical organization of Figure 9: a tree of domains.
+
+    The root domain has ``domain_size`` servers; each domain spawns up to
+    ``fanout`` child domains, a child sharing one member of its parent (its
+    uplink router) and adding ``domain_size - 1`` fresh servers, breadth
+    first, until the server budget is consumed. §6.2's analysis:
+    ``n ≈ s·k^d`` and per-message cost ``≈ 2d·s²``, i.e. logarithmic in n —
+    at a larger constant than the bus, so a tree can lose to a bus at
+    moderate n.
+    """
+    if server_count < 1:
+        raise TopologyError(f"need at least 1 server, got {server_count}")
+    if fanout < 1:
+        raise TopologyError(f"fanout must be >= 1, got {fanout}")
+    size = domain_size or default_domain_size(server_count)
+    if size < 2:
+        raise TopologyError(f"domain size must be >= 2, got {size}")
+    if server_count <= size:
+        return single_domain(server_count)
+
+    domains: List[Domain] = []
+    root_members = tuple(range(min(size, server_count)))
+    domains.append(Domain("D0", root_members))
+    next_server = len(root_members)
+    # Each entry is a server that can serve as the uplink router of one
+    # future child domain; parents expose each member `fanout` times... no:
+    # each *domain* spawns up to `fanout` children, attached to distinct
+    # members where possible (spreading the router load).
+    expandable: List[tuple] = [("D0", root_members)]
+    index = 1
+    while next_server < server_count and expandable:
+        parent_id, parent_members = expandable.pop(0)
+        children = 0
+        for uplink in parent_members:
+            if children >= fanout or next_server >= server_count:
+                break
+            fresh = min(size - 1, server_count - next_server)
+            members = (uplink,) + tuple(range(next_server, next_server + fresh))
+            next_server += fresh
+            child_id = f"D{index}"
+            domains.append(Domain(child_id, members))
+            expandable.append((child_id, members[1:]))
+            index += 1
+            children += 1
+    if next_server < server_count:
+        raise TopologyError(
+            f"could not place all servers: fanout {fanout} and domain size "
+            f"{size} exhaust expansion at {next_server} of {server_count}"
+        )
+    return Topology(domains)
+
+
+def ring(domain_count: int, domain_size: int) -> Topology:
+    """A deliberately *cyclic* decomposition: a daisy chain closed into a
+    loop (the last domain shares a router with the first).
+
+    This violates the theorem's precondition and fails
+    :func:`~repro.topology.graph.validate_topology`; the theorem tests use
+    it to reproduce the Figure-4 causality break end to end.
+    """
+    if domain_count < 3:
+        raise TopologyError(
+            f"a ring needs at least 3 domains, got {domain_count}"
+        )
+    if domain_size < 2:
+        raise TopologyError(f"domain size must be >= 2, got {domain_size}")
+    stride = domain_size - 1
+    total = domain_count * stride
+    domains = []
+    for index in range(domain_count):
+        start = index * stride
+        members = [start + offset for offset in range(domain_size)]
+        members = [m % total for m in members]
+        domains.append(Domain(f"D{index}", tuple(members)))
+    return Topology(domains)
+
+
+def from_domain_map(mapping: Mapping[str, Sequence[int]]) -> Topology:
+    """Build a topology from an explicit ``{domain_id: [server, ...]}`` map,
+    e.g. the Figure-2 example:
+
+    >>> figure2 = from_domain_map({
+    ...     "A": [0, 1, 2],          # S1, S2, S3
+    ...     "B": [3, 4],             # S4, S5
+    ...     "C": [6, 7],             # S7, S8
+    ...     "D": [2, 4, 5, 6],       # S3, S5, S6, S7
+    ... })
+    """
+    return Topology(
+        [Domain(domain_id, tuple(servers)) for domain_id, servers in mapping.items()]
+    )

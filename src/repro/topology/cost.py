@@ -1,0 +1,122 @@
+"""The analytic cost model of §6.2.
+
+The paper's back-of-envelope argument, verbatim in symbols:
+
+- sending a message inside a domain of *s* servers costs ``s²`` (matrix
+  maintenance dominates);
+- in a tree of domains of depth *d*, fan-out *k*, domain size *s*, the
+  total server count is ``n = 1 + (s-1)(k^(d+1) - 1)/(k-1) ≈ s·k^d`` and
+  the worst-case message crosses ``2d+1`` domains, costing
+  ``C ≈ (2d+1)s²``;
+- the bus (depth 1) with ``√n`` domains of ``√n`` servers gives
+  ``C ≈ K·n`` — linear;
+- a deeper tree with fixed s, k gives ``C ≈ 2s²·ln(n)/ln(k)`` —
+  logarithmic, **but** with a constant K′ > K (routing adds cost
+  proportional to d), so a tree may lose to a bus at moderate n.
+
+These closed forms drive the Figure-9 ablation and give the expected
+crossover point of Figure 11.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.topology.domains import Topology
+from repro.topology.routing import build_routing_tables, route
+
+
+def domain_message_cost(domain_size: int, unit: float = 1.0) -> float:
+    """Cost of one message inside a domain of ``domain_size`` servers:
+    ``unit × s²`` (§6.2's modelling assumption)."""
+    if domain_size < 1:
+        raise ConfigurationError(f"domain size must be >= 1, got {domain_size}")
+    return unit * domain_size * domain_size
+
+
+def tree_server_count(domain_size: int, fanout: int, depth: int) -> int:
+    """§6.2: ``n = 1 + (s-1)(k^(d+1) - 1)/(k-1)`` servers in a full tree of
+    domains (s servers per domain, k children each, depth d)."""
+    if domain_size < 2:
+        raise ConfigurationError(f"domain size must be >= 2, got {domain_size}")
+    if fanout < 2:
+        raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+    if depth < 0:
+        raise ConfigurationError(f"depth must be >= 0, got {depth}")
+    s, k, d = domain_size, fanout, depth
+    return 1 + (s - 1) * (k ** (d + 1) - 1) // (k - 1)
+
+
+def flat_unicast_cost(server_count: int, unit: float = 1.0) -> float:
+    """Cost of one message in the undomained MOM: ``unit × n²``."""
+    return domain_message_cost(server_count, unit)
+
+
+def bus_unicast_cost(
+    server_count: int, domain_size: int = 0, unit: float = 1.0
+) -> float:
+    """Worst-case message cost in a bus of √n-ish domains: 3 domain
+    traversals of ``s²`` each (leaf → backbone → leaf; d = 1 so 2d+1 = 3).
+
+    With ``s = √n`` this is ``3·unit·n`` — the linear curve of Figure 10.
+    """
+    size = domain_size or max(2, round(math.sqrt(server_count)))
+    return 3.0 * domain_message_cost(size, unit)
+
+
+def tree_unicast_cost(
+    server_count: int, domain_size: int, fanout: int, unit: float = 1.0
+) -> float:
+    """Worst-case message cost in a tree: ``(2d+1)·s²`` with
+    ``d ≈ (ln n - ln s)/ln k`` (§6.2)."""
+    if server_count < domain_size:
+        return domain_message_cost(server_count, unit)
+    if fanout < 2:
+        raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+    depth = max(
+        0.0,
+        (math.log(server_count) - math.log(domain_size)) / math.log(fanout),
+    )
+    return (2.0 * depth + 1.0) * domain_message_cost(domain_size, unit)
+
+
+def crossover_point(
+    unit: float = 1.0,
+    fixed_flat: float = 0.0,
+    fixed_bus: float = 0.0,
+    limit: int = 100_000,
+) -> Optional[int]:
+    """Smallest n at which the bus organization beats the flat MOM.
+
+    Compares ``fixed_flat + unit·n²`` against ``fixed_bus + 3·unit·n``
+    (taking s = √n exactly). The extra fixed cost of the bus (two more
+    routing hops per message) pushes the crossover right — which is why
+    Figure 11's curves only cross in the tens of servers.
+    """
+    for n in range(2, limit + 1):
+        flat = fixed_flat + flat_unicast_cost(n, unit)
+        domained = fixed_bus + 3.0 * unit * n
+        if domained < flat:
+            return n
+    return None
+
+
+def topology_unicast_cost(
+    topology: Topology, source: int, dest: int, unit: float = 1.0
+) -> float:
+    """Exact model cost of a unicast on a concrete topology: the sum of
+    ``s_d²`` over the domains its route actually traverses.
+
+    Unlike the closed forms above this uses the real routing tables, so the
+    partitioning heuristics (:mod:`repro.topology.partition`) can score
+    arbitrary decompositions.
+    """
+    tables = build_routing_tables(topology)
+    path = route(tables, source, dest)
+    total = 0.0
+    for here, there in zip(path, path[1:]):
+        domain = topology.shared_domain(here, there)
+        total += domain_message_cost(domain.size, unit)
+    return total

@@ -1,0 +1,252 @@
+"""Optimal splitting of a MOM into domains — the §7 future work.
+
+"The division of the MOM in domains needs to be done carefully and the new
+problem is to find an optimal splitting. [...] it can be made according to
+the application's topology."
+
+Given a weighted *communication graph* (how much each pair of servers
+talks — e.g. derived from an ADL description of the application, as §7
+suggests), the partitioner:
+
+1. groups heavily-communicating servers into candidate domains (greedy
+   modularity communities, capped at a maximum domain size);
+2. connects the candidate domains with a *maximum* spanning tree of the
+   inter-domain traffic — a tree, so the resulting domain graph is acyclic
+   by construction, satisfying the theorem's precondition;
+3. realizes each tree edge by promoting the server with the most
+   cross-domain traffic into a causal router-server (adding it to the
+   neighbouring domain), never reusing a router so that no two domains
+   share two servers and no accidental domain-graph triangle appears.
+
+The result always passes :func:`repro.topology.graph.validate_topology`,
+and :func:`estimate_traffic_cost` scores any decomposition under the §6.2
+cost model so heuristics can be compared (see
+``benchmarks/test_partition_ablation.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology.cost import domain_message_cost
+from repro.topology.domains import Domain, Topology
+from repro.topology.routing import build_routing_tables, route
+
+
+class CommunicationGraph:
+    """Application-level traffic between servers: node = server, edge
+    weight = messages per unit time (symmetric)."""
+
+    def __init__(self, server_count: int):
+        if server_count < 1:
+            raise ConfigurationError(
+                f"need at least 1 server, got {server_count}"
+            )
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(server_count))
+
+    @property
+    def server_count(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (read it, don't mutate it)."""
+        return self._graph
+
+    def add_traffic(self, first: int, second: int, weight: float = 1.0) -> None:
+        """Accumulate ``weight`` units of traffic between two servers."""
+        if first == second:
+            raise ConfigurationError("traffic endpoints must differ")
+        for server in (first, second):
+            if server not in self._graph:
+                raise ConfigurationError(f"unknown server {server}")
+        if weight <= 0:
+            raise ConfigurationError(f"traffic weight must be > 0, got {weight}")
+        current = self._graph.get_edge_data(first, second, {"weight": 0.0})
+        self._graph.add_edge(first, second, weight=current["weight"] + weight)
+
+    def weight(self, first: int, second: int) -> float:
+        data = self._graph.get_edge_data(first, second)
+        return data["weight"] if data else 0.0
+
+    def pairs(self) -> List[Tuple[int, int, float]]:
+        """All traffic-carrying pairs as ``(server, server, weight)``."""
+        return [(u, v, d["weight"]) for u, v, d in self._graph.edges(data=True)]
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunicationGraph(servers={self.server_count}, "
+            f"pairs={self._graph.number_of_edges()})"
+        )
+
+
+def estimate_traffic_cost(
+    topology: Topology, comm: CommunicationGraph, unit: float = 1.0
+) -> float:
+    """Expected causality cost per unit time of a decomposition:
+    ``Σ weight(u,v) × Σ_{domains on route(u,v)} s_d²`` (§6.2's per-domain
+    cost, weighted by the application's actual traffic)."""
+    tables = build_routing_tables(topology)
+    total = 0.0
+    for source, dest, weight in comm.pairs():
+        path = route(tables, source, dest)
+        for here, there in zip(path, path[1:]):
+            domain = topology.shared_domain(here, there)
+            total += weight * domain_message_cost(domain.size, unit)
+    return total
+
+
+def _communities(
+    comm: CommunicationGraph, max_domain_size: int
+) -> List[List[int]]:
+    """Candidate domains: modularity communities, split to the size cap."""
+    graph = comm.graph
+    if graph.number_of_edges() == 0:
+        members = sorted(graph.nodes)
+        return [
+            members[i : i + max_domain_size]
+            for i in range(0, len(members), max_domain_size)
+        ]
+    raw = nx.algorithms.community.greedy_modularity_communities(
+        graph, weight="weight"
+    )
+    communities: List[List[int]] = []
+    for group in raw:
+        members = sorted(group)
+        for i in range(0, len(members), max_domain_size):
+            communities.append(members[i : i + max_domain_size])
+    return communities
+
+
+def _cross_weight(
+    comm: CommunicationGraph, first: Sequence[int], second: Sequence[int]
+) -> float:
+    return sum(
+        comm.weight(u, v) for u in first for v in second
+    )
+
+
+def partition_communication_graph(
+    comm: CommunicationGraph,
+    max_domain_size: int = 0,
+    unit: float = 1.0,
+) -> Topology:
+    """Derive an acyclic domain decomposition from application traffic.
+
+    Args:
+        comm: the weighted communication graph.
+        max_domain_size: cap on servers per domain *before* routers are
+            added; 0 picks ~√n, matching the bus analysis.
+        unit: cost unit forwarded to tie-breaking (reserved; the current
+            heuristic is cost-unit independent).
+
+    Returns:
+        A validated-ready topology: acyclic domain graph, one shared router
+        per adjacent pair, fully connected.
+
+    Raises:
+        ConfigurationError: on degenerate inputs (fewer than 2 servers per
+            requested domain, impossible router assignment).
+    """
+    n = comm.server_count
+    cap = max_domain_size or max(2, round(math.sqrt(n)))
+    if cap < 1:
+        raise ConfigurationError(f"max_domain_size must be >= 1, got {cap}")
+    communities = _communities(comm, cap)
+    if len(communities) == 1:
+        return Topology([Domain("D0", tuple(communities[0]))])
+
+    # Maximum spanning tree over candidate domains, weighted by the traffic
+    # each inter-domain adjacency would localize. Zero-traffic pairs get an
+    # epsilon edge so the tree always spans (connectivity requirement).
+    quotient = nx.Graph()
+    quotient.add_nodes_from(range(len(communities)))
+    for i, j in itertools.combinations(range(len(communities)), 2):
+        weight = _cross_weight(comm, communities[i], communities[j])
+        quotient.add_edge(i, j, weight=weight)
+    tree_edges = nx.maximum_spanning_edges(quotient, data=False)
+
+    members: List[List[int]] = [list(c) for c in communities]
+    used_routers: Set[int] = set()
+    # Union-find over communities: adjacencies that cannot be realized by
+    # promoting a fresh router (tiny communities run out of candidates)
+    # are realized by *merging* the two communities instead — a slightly
+    # larger domain beats an invalid or disconnected topology.
+    parent = list(range(len(members)))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    for i, j in tree_edges:
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            continue
+        try:
+            router = _pick_router(comm, members[ri], members[rj], used_routers)
+        except ConfigurationError:
+            keep, gone = sorted((ri, rj))
+            merged = members[keep] + [
+                s for s in members[gone] if s not in members[keep]
+            ]
+            members[keep] = merged
+            members[gone] = []
+            parent[gone] = keep
+            continue
+        used_routers.add(router)
+        if router in members[ri]:
+            members[rj].append(router)
+        else:
+            members[ri].append(router)
+
+    # Router promotion into a tiny community can nest it inside its
+    # neighbour (e.g. a singleton community whose only member became the
+    # router); absorb such domains rather than emit an invalid topology.
+    from repro.topology.repair import absorb_nested_domains
+
+    named: Dict[str, List[int]] = {
+        f"D{index}": group
+        for index, group in enumerate(members)
+        if group
+    }
+    absorb_nested_domains(named)
+
+    return Topology(
+        [Domain(domain_id, tuple(group)) for domain_id, group in named.items()]
+    )
+
+
+def _pick_router(
+    comm: CommunicationGraph,
+    first: Sequence[int],
+    second: Sequence[int],
+    used: Set[int],
+) -> int:
+    """The server with the most traffic across the (first, second) cut,
+    among servers not already promoted for another adjacency."""
+    best: Optional[int] = None
+    best_weight = -1.0
+    for candidate in itertools.chain(first, second):
+        if candidate in used:
+            continue
+        other = second if candidate in first else first
+        weight = sum(comm.weight(candidate, peer) for peer in other)
+        if weight > best_weight or (
+            weight == best_weight and (best is None or candidate < best)
+        ):
+            best = candidate
+            best_weight = weight
+    if best is None:
+        raise ConfigurationError(
+            "no router candidate left for a domain adjacency; domains are "
+            "too small for the requested structure"
+        )
+    return best

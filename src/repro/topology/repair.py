@@ -1,0 +1,198 @@
+"""Repairing invalid domain decompositions.
+
+The boot-time validator (:func:`repro.topology.graph.validate_topology`)
+*rejects* cyclic domain graphs; this module goes one step further and
+proposes the fix: remove as few domain memberships as possible so that
+
+- the domain graph becomes a tree over the same domains (acyclic and
+  connected),
+- every adjacent domain pair shares exactly one router,
+- every server keeps at least one domain, and no domain is emptied.
+
+The approach: keep a maximum spanning tree of the domain graph weighted by
+how many servers each adjacency shares (so well-established adjacencies
+survive), then cut every shared membership that realizes a non-tree edge,
+and thin multi-shared tree edges down to one router. Each cut prefers to
+shrink the *larger* domain — smaller domains mean smaller matrix clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.domains import Domain, Topology
+from repro.topology.graph import domain_graph, validate_topology
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One membership removal: ``server`` leaves ``domain_id``."""
+
+    server: int
+    domain_id: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"remove S{self.server} from {self.domain_id!r} ({self.reason})"
+
+
+@dataclass(frozen=True)
+class DomainAbsorption:
+    """A domain that shrank into a subset of another is dropped entirely.
+
+    Safe by construction: every adjacency the inner domain provided runs
+    through servers the outer domain also contains, so connectivity and
+    routing are preserved (with strictly smaller clocks).
+    """
+
+    domain_id: str
+    absorbed_into: str
+
+    def describe(self) -> str:
+        return f"drop {self.domain_id!r} (subset of {self.absorbed_into!r})"
+
+
+def absorb_nested_domains(
+    members: Dict[str, List[int]],
+) -> List[Tuple[str, str, List[int]]]:
+    """Repeatedly drop domains whose member set is a subset of another's.
+
+    Mutates ``members`` in place; returns ``(inner, outer, inner_members)``
+    per absorption. Always safe: every adjacency the inner domain provided
+    runs through servers the outer domain also contains. Used by both the
+    repairer and the §7 partitioner (router promotion into a singleton
+    community nests it by construction).
+    """
+    absorbed: List[Tuple[str, str, List[int]]] = []
+    changed = True
+    while changed:
+        changed = False
+        ids = sorted(members)
+        for inner in ids:
+            if len(members) == 1:
+                break
+            inner_set = set(members[inner])
+            outer = next(
+                (
+                    candidate
+                    for candidate in ids
+                    if candidate != inner
+                    and candidate in members
+                    and inner_set <= set(members[candidate])
+                ),
+                None,
+            )
+            if outer is not None:
+                snapshot = list(members[inner])
+                del members[inner]
+                absorbed.append((inner, outer, snapshot))
+                changed = True
+                break
+    return absorbed
+
+
+def repair_topology(topology: Topology) -> Tuple[Topology, List[RepairAction]]:
+    """Return an acyclic, single-router-per-pair version of ``topology``
+    plus the list of membership removals that produced it.
+
+    Already-valid topologies come back unchanged with an empty action
+    list. Raises :class:`TopologyError` when no repair exists under the
+    constraints (e.g. cutting would orphan a server or empty a domain —
+    in practice only for degenerate inputs).
+    """
+    graph = domain_graph(topology)
+    if len(topology.domain_ids) > 1 and not nx.is_connected(graph):
+        raise TopologyError(
+            "cannot repair a disconnected domain graph: servers in "
+            "different components can never communicate; merge or bridge "
+            "the components first"
+        )
+
+    weighted = nx.Graph()
+    weighted.add_nodes_from(graph.nodes)
+    for first, second, data in graph.edges(data=True):
+        weighted.add_edge(first, second, weight=len(data["shared"]))
+    tree_edges: Set[frozenset] = {
+        frozenset(edge)
+        for edge in nx.maximum_spanning_edges(weighted, data=False)
+    }
+
+    members: Dict[str, List[int]] = {
+        d.domain_id: list(d.servers) for d in topology.domains
+    }
+    domains_of: Dict[int, Set[str]] = {
+        server: {d.domain_id for d in topology.domains_of(server)}
+        for server in topology.servers
+    }
+    actions: List[RepairAction] = []
+
+    def still_shared(server: int, pair: Tuple[str, str]) -> bool:
+        return all(domain_id in domains_of[server] for domain_id in pair)
+
+    def cut(server: int, pair: Tuple[str, str], reason: str) -> None:
+        """Remove `server` from one side of the pair, preferring the larger
+        domain, subject to not orphaning the server or emptying a domain."""
+        if len(domains_of[server]) <= 1:
+            raise TopologyError(
+                f"cannot break the {pair[0]!r}-{pair[1]!r} adjacency: "
+                f"S{server} has no other domain to live in"
+            )
+        candidates = [
+            domain_id
+            for domain_id in sorted(pair, key=lambda d: (-len(members[d]), d))
+            if domain_id in domains_of[server] and len(members[domain_id]) > 1
+        ]
+        if not candidates:
+            raise TopologyError(
+                f"cannot break the {pair[0]!r}-{pair[1]!r} adjacency: "
+                f"removing S{server} from either side would empty a domain"
+            )
+        domain_id = candidates[0]
+        members[domain_id].remove(server)
+        domains_of[server].discard(domain_id)
+        actions.append(RepairAction(server, domain_id, reason))
+
+    edges = sorted(graph.edges(data=True))
+    # pass 1: break every adjacency that closes a cycle
+    for first, second, data in edges:
+        pair = (first, second)
+        if frozenset(pair) in tree_edges:
+            continue
+        for server in sorted(data["shared"]):
+            if still_shared(server, pair):
+                cut(server, pair, "adjacency closes a domain-graph cycle")
+    # pass 2: thin kept adjacencies down to a single router, evaluated
+    # against the *post-cut* membership state
+    for first, second, data in edges:
+        pair = (first, second)
+        if frozenset(pair) not in tree_edges:
+            continue
+        sharers = [s for s in sorted(data["shared"]) if still_shared(s, pair)]
+        if not sharers:
+            raise TopologyError(
+                f"repair destroyed the kept adjacency {first!r}-{second!r}; "
+                "the topology is too entangled for membership-only repair"
+            )
+        for extra in sharers[1:]:
+            cut(extra, pair, "second shared server on a kept adjacency")
+
+    # pass 3: absorb domains that shrank into subsets of another domain
+    # (nesting is both formally excluded by §4.2 and pointless: the outer
+    # domain already orders every message the inner one could carry).
+    for inner, outer, inner_members in absorb_nested_domains(members):
+        for server in inner_members:
+            domains_of[server].discard(inner)
+        actions.append(DomainAbsorption(inner, outer))
+
+    repaired = Topology(
+        [
+            Domain(domain_id, tuple(servers))
+            for domain_id, servers in members.items()
+        ]
+    )
+    validate_topology(repaired)
+    return repaired, actions

@@ -1,0 +1,138 @@
+"""Static routing tables, built at boot (§5).
+
+"The routing table gives, for each destination server, the identifier of
+the server to which the message should be sent: the destination server,
+within a domain, and a router server otherwise. The routing table is built
+statically at boot time [...] based on a shortest path algorithm."
+
+The server adjacency graph connects two servers iff they share a domain
+(messages are intra-domain). A breadth-first search per server yields the
+next hop towards every destination; on validated (tree-like) topologies
+the route at domain granularity is unique, and ties inside a domain are
+broken deterministically by preferring the lowest next-hop identifier so
+that every boot produces identical tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.errors import RoutingError, TopologyError
+from repro.topology.domains import Topology
+
+
+class RoutingTable:
+    """One server's routing table: destination server -> next-hop server."""
+
+    __slots__ = ("_owner", "_next_hop")
+
+    def __init__(self, owner: int, next_hop: Dict[int, int]):
+        self._owner = owner
+        self._next_hop = dict(next_hop)
+
+    @property
+    def owner(self) -> int:
+        return self._owner
+
+    def next_hop(self, dest: int) -> int:
+        """The server to forward to on the way to ``dest``.
+
+        Equals ``dest`` itself when it is directly reachable (shares a
+        domain with the owner); §5 calls the indirection "completely
+        invisible to the clients".
+        """
+        if dest == self._owner:
+            raise RoutingError(f"server {self._owner} routing to itself")
+        try:
+            return self._next_hop[dest]
+        except KeyError:
+            raise RoutingError(
+                f"server {self._owner} has no route to server {dest}"
+            ) from None
+
+    def destinations(self) -> List[int]:
+        return sorted(self._next_hop)
+
+    def __repr__(self) -> str:
+        return f"RoutingTable(owner={self._owner}, routes={len(self._next_hop)})"
+
+
+def _server_graph(topology: Topology) -> nx.Graph:
+    """Adjacency between servers that share at least one domain."""
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.servers)
+    for domain in topology.domains:
+        members = domain.servers
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                graph.add_edge(first, second)
+    return graph
+
+
+def build_routing_tables(topology: Topology) -> Dict[int, RoutingTable]:
+    """Build every server's routing table with per-destination BFS trees.
+
+    A BFS is rooted at each *destination*; following BFS parents from any
+    source yields the first hop of a shortest path. Ties prefer the lowest
+    parent id, making tables deterministic.
+
+    Raises:
+        RoutingError: if some pair of servers is unreachable (the bus
+            validation also catches this earlier, as a disconnected domain
+            graph).
+    """
+    graph = _server_graph(topology)
+    servers = topology.servers
+    # parent_towards[dest][s] = next hop from s towards dest.
+    parent_towards: Dict[int, Dict[int, int]] = {}
+    for dest in servers:
+        parents: Dict[int, int] = {}
+        visited = {dest}
+        frontier = deque([dest])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in sorted(graph.neighbors(current)):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    parents[neighbor] = current
+                    frontier.append(neighbor)
+        missing = set(servers) - visited
+        if missing:
+            raise RoutingError(
+                f"servers {sorted(missing)} cannot reach server {dest}; "
+                "topology is disconnected"
+            )
+        parent_towards[dest] = parents
+
+    tables: Dict[int, RoutingTable] = {}
+    for source in servers:
+        next_hop = {
+            dest: parent_towards[dest][source]
+            for dest in servers
+            if dest != source
+        }
+        tables[source] = RoutingTable(source, next_hop)
+    return tables
+
+
+def route(tables: Dict[int, RoutingTable], source: int, dest: int) -> List[int]:
+    """The full server path from ``source`` to ``dest`` (both inclusive).
+
+    Utility for diagnostics and the analytic cost model; the MOM itself
+    only ever consults one hop at a time, like an IP router.
+    """
+    if source == dest:
+        return [source]
+    path = [source]
+    current = source
+    for _ in range(len(tables) + 1):
+        current = tables[current].next_hop(dest)
+        path.append(current)
+        if current == dest:
+            return path
+    raise RoutingError(
+        f"routing loop detected between {source} and {dest}: {path}"
+    )

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import PingPongDriver
+from repro.mom.agent import EchoAgent
+from repro.mom.bus import MessageBus
+from repro.mom.config import BusConfig
+from repro.topology.builders import bus as bus_topology
+from repro.topology.builders import from_domain_map, single_domain
+
+
+@pytest.fixture
+def figure2_topology():
+    """The paper's Figure 2: 8 servers, domains A{1,2,3} B{4,5} C{7,8}
+    D{3,5,6,7} (0-indexed here)."""
+    return from_domain_map(
+        {
+            "A": [0, 1, 2],
+            "B": [3, 4],
+            "C": [6, 7],
+            "D": [2, 4, 5, 6],
+        }
+    )
+
+
+def make_pingpong_bus(
+    topology, rounds: int = 5, target_server: int = None, **config_kwargs
+):
+    """Build a bus with an EchoAgent on ``target_server`` (default: last
+    server) and a bound PingPongDriver on server 0. Returns (bus, driver)."""
+    if target_server is None:
+        target_server = topology.server_count - 1
+    config = BusConfig(topology=topology, **config_kwargs)
+    mom = MessageBus(config)
+    echo_id = mom.deploy(EchoAgent(), target_server)
+    driver = PingPongDriver(rounds)
+    driver.bind(echo_id)
+    mom.deploy(driver, 0)
+    return mom, driver

@@ -1,0 +1,114 @@
+"""Tests for the §2 causal-broadcast baseline substrate."""
+
+import pytest
+
+from repro.baselines import BroadcastGroup
+from repro.bench import run_baseline_unicast, run_remote_unicast
+from repro.errors import ConfigurationError
+from repro.simulation.network import UniformLatency
+
+
+def make_group(size, collect=None, latency=None, seed=0):
+    group = BroadcastGroup(size, latency=latency, seed=seed)
+    logs = []
+    for node_id in range(size):
+        log = []
+        logs.append(log)
+        group.add_node(lambda s, p, log=log: log.append((s, p)))
+    return group, logs
+
+
+class TestBroadcastGroup:
+    def test_broadcast_reaches_everyone(self):
+        group, logs = make_group(4)
+        group.sim.schedule(0.0, lambda: group.nodes[0].broadcast("hi"))
+        group.run_until_idle()
+        for log in logs:
+            assert log == [(0, "hi")]
+
+    def test_unicast_emulation_delivers_to_dest_only(self):
+        group, logs = make_group(4)
+        group.sim.schedule(0.0, lambda: group.nodes[0].broadcast("psst", dest=2))
+        group.run_until_idle()
+        assert logs[2] == [(0, "psst")]
+        for node_id in (0, 1, 3):
+            assert logs[node_id] == []
+        # ...but everyone paid the wire and clock cost:
+        assert group.packets_sent == 3
+
+    def test_causal_order_across_senders(self):
+        """Node 1 broadcasts after delivering node 0's broadcast; every
+        member must deliver them in that order despite jitter."""
+        group = BroadcastGroup(5, latency=UniformLatency(0.1, 30.0), seed=3)
+        logs = [[] for _ in range(5)]
+
+        def reactive(node_index):
+            def handler(sender, payload):
+                logs[node_index].append((sender, payload))
+                if node_index == 1 and payload == "first":
+                    group.nodes[1].broadcast("second")
+            return handler
+
+        for node_id in range(5):
+            group.add_node(reactive(node_id))
+        group.sim.schedule(0.0, lambda: group.nodes[0].broadcast("first"))
+        group.run_until_idle()
+        for log in logs:
+            assert [p for _, p in log] == ["first", "second"]
+
+    def test_fifo_from_one_sender_under_jitter(self):
+        group = BroadcastGroup(4, latency=UniformLatency(0.1, 25.0), seed=9)
+        logs = [[] for _ in range(4)]
+        for node_id in range(4):
+            group.add_node(lambda s, p, log=logs[node_id]: log.append(p))
+
+        def blast():
+            for i in range(6):
+                group.nodes[0].broadcast(i)
+
+        group.sim.schedule(0.0, blast)
+        group.run_until_idle()
+        for node_id in range(1, 4):
+            assert logs[node_id] == [0, 1, 2, 3, 4, 5]
+        assert all(node.heldback == 0 for node in group.nodes)
+
+    def test_too_small_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastGroup(1)
+
+    def test_overpopulation_rejected(self):
+        group, _ = make_group(2)
+        with pytest.raises(ConfigurationError):
+            group.add_node(lambda s, p: None)
+
+    def test_run_before_population_rejected(self):
+        group = BroadcastGroup(3)
+        group.add_node(lambda s, p: None)
+        with pytest.raises(ConfigurationError):
+            group.run_until_idle()
+
+
+class TestBaselineVsMom:
+    def test_baseline_floods_the_wire(self):
+        """One logical unicast costs n-1 packets on the baseline vs ≤3
+        routed hops on the domained MOM."""
+        n = 16
+        baseline = run_baseline_unicast(n, rounds=5)
+        mom = run_remote_unicast(n, topology="bus", rounds=5)
+        # per logical message: baseline sends n-1 packets, MOM ≤ 3
+        assert baseline.hops / baseline.messages == n - 1
+        assert mom.hops / mom.messages <= 3
+
+    def test_baseline_wire_grows_linearly_per_message(self):
+        small = run_baseline_unicast(8, rounds=5)
+        large = run_baseline_unicast(32, rounds=5)
+        per_msg_small = small.wire_cells / small.messages
+        per_msg_large = large.wire_cells / large.messages
+        # (n-1) packets × n cells each → ~n² per logical message
+        assert per_msg_large > 10 * per_msg_small
+
+    def test_mom_beats_baseline_at_scale(self):
+        n = 50
+        baseline = run_baseline_unicast(n, rounds=5)
+        mom = run_remote_unicast(n, topology="bus", rounds=5)
+        assert mom.wire_cells < baseline.wire_cells / 10

@@ -1,0 +1,168 @@
+"""Tests for the bench harness: runners, fits, figure generation."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    BroadcastDriver,
+    PingPongDriver,
+    farthest_plain_server,
+    linear_fit,
+    quadratic_fit,
+    run_broadcast,
+    run_local_unicast,
+    run_remote_unicast,
+)
+from repro.bench.figures import (
+    figure7,
+    figure9,
+    figure10,
+    local_unicast_table,
+    state_size_table,
+    updates_ablation,
+)
+from repro.errors import ConfigurationError
+from repro.topology import bus as bus_topology
+from repro.topology import single_domain
+
+
+class TestFits:
+    def test_quadratic_recovers_exact_coefficients(self):
+        xs = [10, 20, 30, 40, 50]
+        ys = [0.05 * x * x + 2 * x + 7 for x in xs]
+        fit = quadratic_fit(xs, ys)
+        assert fit.coeffs[0] == pytest.approx(0.05)
+        assert fit.coeffs[1] == pytest.approx(2.0)
+        assert fit.coeffs[2] == pytest.approx(7.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_linear_fit(self):
+        fit = linear_fit([1, 2, 3], [2, 4, 6])
+        assert fit.coeffs[0] == pytest.approx(2.0)
+        assert fit.predict(10) == pytest.approx(20.0)
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quadratic_fit([1, 2], [1, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1, 2], [1])
+
+    def test_describe_mentions_r2(self):
+        fit = linear_fit([1, 2, 3], [2, 4, 6.1])
+        assert "R²" in fit.describe()
+
+
+class TestFarthestServer:
+    def test_flat_picks_last(self):
+        assert farthest_plain_server(single_domain(10)) == 9
+
+    def test_bus_picks_remote_non_router(self):
+        topo = bus_topology(20, 5)
+        target = farthest_plain_server(topo)
+        assert not topo.is_router(target)
+        # must be outside server 0's own leaf
+        assert topo.common_domains(0, target) == []
+
+    def test_single_server_rejected(self):
+        with pytest.raises(ConfigurationError):
+            farthest_plain_server(single_domain(1))
+
+
+class TestRunners:
+    def test_remote_unicast_flat_matches_figure7_anchor(self):
+        result = run_remote_unicast(10, topology="flat", rounds=5)
+        assert result.mean_turnaround_ms == pytest.approx(61.2, abs=2.0)
+        assert result.causal_ok
+        assert result.topology == "flat"
+
+    def test_remote_unicast_quadratic_growth(self):
+        small = run_remote_unicast(10, rounds=5)
+        large = run_remote_unicast(40, rounds=5)
+        ratio = (large.mean_turnaround_ms - 56) / (small.mean_turnaround_ms - 56)
+        assert ratio == pytest.approx(16.0, rel=0.15)
+
+    def test_bus_topology_flattens_growth(self):
+        small = run_remote_unicast(10, topology="bus", rounds=5)
+        large = run_remote_unicast(90, topology="bus", rounds=5)
+        assert large.mean_turnaround_ms < 1.25 * small.mean_turnaround_ms
+
+    def test_local_unicast_constant(self):
+        small = run_local_unicast(10, rounds=5)
+        large = run_local_unicast(50, rounds=5)
+        assert small.mean_turnaround_ms == pytest.approx(
+            large.mean_turnaround_ms
+        )
+        assert small.wire_cells == 0
+
+    def test_broadcast_counts_every_server(self):
+        result = run_broadcast(10, rounds=2)
+        # 10 targets, 2 rounds → 20 pings + 20 echoes... echo on server 0 is
+        # local; remaining 9 cross the network both ways
+        assert result.messages == 40
+        assert result.causal_ok
+
+    def test_updates_clock_shrinks_wire(self):
+        full = run_remote_unicast(30, rounds=5, clock="matrix")
+        delta = run_remote_unicast(30, rounds=5, clock="updates")
+        assert delta.wire_cells < full.wire_cells / 100
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_remote_unicast(10, topology="hypercube")
+
+    def test_result_row_is_flat(self):
+        row = run_remote_unicast(10, rounds=2).row()
+        assert row["n"] == 10
+        assert isinstance(row["turnaround_ms"], float)
+
+
+class TestFigures:
+    def test_figure7_shape(self):
+        result = figure7(ns=[10, 20, 30], rounds=3)
+        assert len(result.rows) == 3
+        fit = result.fits["ours (quadratic)"]
+        assert fit.coeffs[0] > 0.03  # genuinely quadratic
+        assert "Figure 7" in result.render()
+
+    def test_figure10_is_flat_ish(self):
+        result = figure10(ns=[10, 40, 90], rounds=3)
+        fit = result.fits["ours (linear)"]
+        assert 0 < fit.coeffs[0] < 1.0
+        series = result.series("ours_ms")
+        assert max(series) < 1.5 * min(series)
+
+    def test_figure9_orders_organizations(self):
+        # n=60 sits past the Figure-11 crossover (~50), so the bus must
+        # beat the flat MOM; the daisy's long chain is always worst.
+        result = figure9(n=60, rounds=3)
+        by_org = {row["organization"]: row["ours_ms"] for row in result.rows}
+        assert by_org["daisy"] > by_org["bus"]
+        assert by_org["flat"] > by_org["bus"]
+
+    def test_updates_ablation_columns(self):
+        result = updates_ablation(ns=[10, 20, 30], rounds=3)
+        for row in result.rows:
+            assert row["updates_cells/hop"] < row["full_cells/hop"]
+            assert row["updates_ms"] <= row["full_ms"]
+
+    def test_local_table_constant(self):
+        result = local_unicast_table(ns=[10, 30], rounds=3)
+        values = result.series("ours_ms")
+        assert values[0] == pytest.approx(values[-1])
+
+    def test_state_table_ratio_grows(self):
+        result = state_size_table(ns=[10, 50, 100])
+        ratios = result.series("ratio")
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_numbers(self):
+        a = run_remote_unicast(20, rounds=4, seed=3)
+        b = run_remote_unicast(20, rounds=4, seed=3)
+        assert a.mean_turnaround_ms == b.mean_turnaround_ms
+        assert a.wire_cells == b.wire_cells

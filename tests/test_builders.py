@@ -1,0 +1,136 @@
+"""Unit tests for the topology builders (Figure 9 organizations)."""
+
+import math
+
+import pytest
+
+from repro.errors import CyclicDomainGraphError, TopologyError
+from repro.topology import (
+    bus,
+    daisy,
+    default_domain_size,
+    find_domain_cycle,
+    ring,
+    single_domain,
+    tree,
+    validate_topology,
+)
+
+
+class TestSingleDomain:
+    def test_covers_all_servers(self):
+        topo = single_domain(7)
+        assert topo.server_count == 7
+        assert len(topo.domains) == 1
+        assert topo.routers == []
+
+    def test_validates(self):
+        validate_topology(single_domain(5))
+
+    def test_zero_rejected(self):
+        with pytest.raises(TopologyError):
+            single_domain(0)
+
+
+class TestBus:
+    @pytest.mark.parametrize("n", [4, 10, 17, 50, 90, 150])
+    def test_every_size_validates(self, n):
+        topo = bus(n)
+        validate_topology(topo)
+        assert topo.server_count == n
+
+    def test_default_domain_size_is_sqrt(self):
+        assert default_domain_size(100) == 10
+        assert default_domain_size(2) == 2
+
+    def test_backbone_contains_exactly_the_routers(self):
+        topo = bus(20, 5)
+        backbone = topo.domain("D0")
+        assert sorted(backbone.servers) == sorted(topo.routers)
+
+    def test_server0_is_a_plain_leaf_member(self):
+        """The benchmarks place the main agent on server 0; it must sit at
+        the far end of a leaf, not on the backbone."""
+        topo = bus(20, 5)
+        assert not topo.is_router(0)
+
+    def test_tiny_n_degrades_to_single_domain(self):
+        topo = bus(3, 4)
+        assert len(topo.domains) == 1
+
+    def test_domain_sizes_balanced(self):
+        topo = bus(22, 5)
+        leaf_sizes = [d.size for d in topo.domains if d.domain_id != "D0"]
+        assert max(leaf_sizes) - min(leaf_sizes) <= 1
+        assert sum(leaf_sizes) == 22
+
+
+class TestDaisy:
+    @pytest.mark.parametrize("n,size", [(10, 4), (50, 8), (9, 3)])
+    def test_validates(self, n, size):
+        topo = daisy(n, size)
+        validate_topology(topo)
+        assert topo.server_count == n
+
+    def test_chain_shape(self):
+        topo = daisy(10, 4)
+        cycle = find_domain_cycle(topo)
+        assert cycle is None
+        # consecutive domains share exactly one server
+        domains = topo.domains
+        for first, second in zip(domains, domains[1:]):
+            shared = set(first.servers) & set(second.servers)
+            assert len(shared) == 1
+
+    def test_small_n_degrades(self):
+        assert len(daisy(3, 4).domains) == 1
+
+
+class TestTree:
+    @pytest.mark.parametrize("n,fanout,size", [(13, 2, 4), (30, 3, 5), (60, 2, 5)])
+    def test_validates(self, n, fanout, size):
+        topo = tree(n, fanout=fanout, domain_size=size)
+        validate_topology(topo)
+        assert topo.server_count == n
+
+    def test_child_shares_one_router_with_parent(self):
+        topo = tree(13, fanout=2, domain_size=4)
+        root = topo.domain("D0")
+        for domain in topo.domains:
+            if domain.domain_id == "D0":
+                continue
+            # every non-root domain shares exactly one server with some other
+            overlaps = [
+                len(set(domain.servers) & set(other.servers))
+                for other in topo.domains
+                if other.domain_id != domain.domain_id
+            ]
+            assert max(overlaps) == 1
+
+    def test_small_n_degrades(self):
+        assert len(tree(4, fanout=2, domain_size=5).domains) == 1
+
+    def test_fanout_one_degenerates_to_a_chain_but_still_validates(self):
+        topo = tree(40, fanout=1, domain_size=2)
+        validate_topology(topo)
+        assert topo.server_count == 40
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(TopologyError):
+            tree(10, fanout=0)
+        with pytest.raises(TopologyError):
+            tree(10, fanout=2, domain_size=1)
+        with pytest.raises(TopologyError):
+            tree(0)
+
+
+class TestRing:
+    def test_is_cyclic_on_purpose(self):
+        topo = ring(4, 3)
+        assert find_domain_cycle(topo) is not None
+        with pytest.raises(CyclicDomainGraphError):
+            validate_topology(topo)
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(TopologyError):
+            ring(2, 3)

@@ -1,0 +1,161 @@
+"""Unit tests for the causal-precedence relation ≺ and the delivery
+predicates (§4.2)."""
+
+import pytest
+
+from repro.causality import CausalOrder, Message, Trace
+from repro.causality.trace import EventKind
+
+
+def msg(mid, src, dst):
+    return Message(mid, src, dst)
+
+
+class TestPrecedenceRules:
+    def test_rule1_same_sender(self):
+        trace = Trace()
+        m1, m2 = msg(1, "p", "q"), msg(2, "p", "r")
+        trace.record_send(m1)
+        trace.record_send(m2)
+        order = CausalOrder(trace)
+        assert order.precedes(m1, m2)
+        assert not order.precedes(m2, m1)
+
+    def test_rule2_receive_then_send(self):
+        trace = Trace()
+        m1, m2 = msg(1, "p", "q"), msg(2, "q", "r")
+        trace.record_send(m1)
+        trace.record_receive(m1)
+        trace.record_send(m2)
+        order = CausalOrder(trace)
+        assert order.precedes(m1, m2)
+
+    def test_rule2_requires_receive_before_send(self):
+        trace = Trace()
+        m2 = msg(2, "q", "r")
+        m1 = msg(1, "p", "q")
+        trace.record_send(m2)      # q sends first...
+        trace.record_send(m1)
+        trace.record_receive(m1)   # ...then receives m1
+        order = CausalOrder(trace)
+        assert not order.precedes(m1, m2)
+
+    def test_rule3_transitivity(self):
+        trace = Trace()
+        m1 = msg(1, "p", "q")
+        m2 = msg(2, "q", "r")
+        m3 = msg(3, "r", "s")
+        trace.record_send(m1)
+        trace.record_receive(m1)
+        trace.record_send(m2)
+        trace.record_receive(m2)
+        trace.record_send(m3)
+        order = CausalOrder(trace)
+        assert order.precedes(m1, m3)
+
+    def test_no_spurious_link_send_then_receive(self):
+        """p sends m1 then receives m2: neither precedes the other through
+        p (receives link forward only to later sends)."""
+        trace = Trace()
+        m1 = msg(1, "p", "q")
+        m2 = msg(2, "r", "p")
+        trace.record_send(m1)
+        trace.record_send(m2)
+        trace.record_receive(m2)
+        order = CausalOrder(trace)
+        assert order.concurrent(m1, m2)
+
+    def test_irreflexive(self):
+        trace = Trace()
+        m = msg(1, "p", "q")
+        trace.record_send(m)
+        order = CausalOrder(trace)
+        assert not order.precedes(m, m)
+
+    def test_concurrent_symmetric(self):
+        trace = Trace()
+        ma = msg(1, "a", "c")
+        mb = msg(2, "b", "c")
+        trace.record_send(ma)
+        trace.record_send(mb)
+        order = CausalOrder(trace)
+        assert order.concurrent(ma, mb)
+        assert order.concurrent(mb, ma)
+
+
+class TestCorrectness:
+    def test_ordinary_trace_is_correct(self):
+        trace = Trace()
+        m = msg(1, "p", "q")
+        trace.record_send(m)
+        trace.record_receive(m)
+        assert CausalOrder(trace).is_correct()
+
+    def test_cyclic_precedence_detected(self):
+        """Figure 12(a)-style break: build ≺-antisymmetry violation via
+        from_histories (receives placed before sends locally)."""
+        l = msg("l", "p", "q")
+        m = msg("m", "q", "p")
+        trace = Trace.from_histories(
+            {
+                # p receives m, then sends l  => m ≺ l
+                "p": [(EventKind.RECEIVE, m), (EventKind.SEND, l)],
+                # q receives l, then sends m  => l ≺ m
+                "q": [(EventKind.RECEIVE, l), (EventKind.SEND, m)],
+            }
+        )
+        assert not CausalOrder(trace).is_correct()
+
+
+class TestDeliveryPredicate:
+    def test_in_order_delivery_respects(self):
+        trace = Trace()
+        m1, m2 = msg(1, "p", "q"), msg(2, "p", "q")
+        trace.record_send(m1)
+        trace.record_send(m2)
+        trace.record_receive(m1)
+        trace.record_receive(m2)
+        order = CausalOrder(trace)
+        assert order.respects_causality()
+        assert order.delivery_violations() == []
+
+    def test_fifo_violation_detected(self):
+        trace = Trace()
+        m1, m2 = msg(1, "p", "q"), msg(2, "p", "q")
+        trace.record_send(m1)
+        trace.record_send(m2)
+        trace.record_receive(m2)
+        trace.record_receive(m1)
+        order = CausalOrder(trace)
+        violations = order.delivery_violations()
+        assert len(violations) == 1
+        process, earlier, later = violations[0]
+        assert process == "q"
+        assert earlier == m1
+        assert later == m2
+
+    def test_triangle_violation_detected(self):
+        """p→q direct slower than p→r→q relay: classic causal anomaly."""
+        n = msg("n", "p", "q")
+        m1 = msg("m1", "p", "r")
+        m2 = msg("m2", "r", "q")
+        trace = Trace.from_histories(
+            {
+                "p": [(EventKind.SEND, n), (EventKind.SEND, m1)],
+                "r": [(EventKind.RECEIVE, m1), (EventKind.SEND, m2)],
+                "q": [(EventKind.RECEIVE, m2), (EventKind.RECEIVE, n)],
+            }
+        )
+        order = CausalOrder(trace)
+        assert order.is_correct()
+        assert not order.respects_causality()
+
+    def test_concurrent_any_order_is_fine(self):
+        trace = Trace()
+        ma = msg(1, "a", "c")
+        mb = msg(2, "b", "c")
+        trace.record_send(ma)
+        trace.record_send(mb)
+        trace.record_receive(mb)
+        trace.record_receive(ma)
+        assert CausalOrder(trace).respects_causality()

@@ -1,0 +1,83 @@
+"""Tests for the two CLIs: repro.topology ops and repro.bench figures."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.topology.__main__ import main as topology_main
+
+
+@pytest.fixture
+def figure2_file(tmp_path, figure2_topology):
+    mapping = {d.domain_id: list(d.servers) for d in figure2_topology.domains}
+    path = tmp_path / "fig2.json"
+    path.write_text(json.dumps(mapping))
+    return str(path)
+
+
+@pytest.fixture
+def ring_file(tmp_path):
+    path = tmp_path / "ring.json"
+    path.write_text(json.dumps({"d0": [0, 1], "d1": [1, 2], "d2": [2, 0]}))
+    return str(path)
+
+
+class TestTopologyCli:
+    def test_describe(self, figure2_file, capsys):
+        assert topology_main(["describe", figure2_file]) == 0
+        out = capsys.readouterr().out
+        assert "8 servers" in out
+        assert "S2*" in out
+
+    def test_describe_warns_on_cycle(self, ring_file, capsys):
+        assert topology_main(["describe", ring_file]) == 0
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_validate_ok(self, figure2_file, capsys):
+        assert topology_main(["validate", figure2_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_rejects_ring(self, ring_file, capsys):
+        assert topology_main(["validate", ring_file]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_repair_ring_and_write(self, ring_file, tmp_path, capsys):
+        target = str(tmp_path / "fixed.json")
+        assert topology_main(["repair", ring_file, "--write", target]) == 0
+        fixed = json.loads(open(target).read())
+        assert topology_main(["validate", target]) == 0
+
+    def test_cost_route(self, figure2_file, capsys):
+        code = topology_main(
+            ["cost", figure2_file, "--src", "0", "--dst", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S0 -> S2 -> S6 -> S7" in out
+        assert "3 hop(s)" in out
+
+    def test_generate_roundtrips_through_validate(self, tmp_path, capsys):
+        assert topology_main(["generate", "bus", "--servers", "20"]) == 0
+        mapping = json.loads(capsys.readouterr().out)
+        path = tmp_path / "generated.json"
+        path.write_text(json.dumps(mapping))
+        assert topology_main(["validate", str(path)]) == 0
+
+    def test_errors_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"d": [0, 5]}))  # non-dense ids
+        assert topology_main(["describe", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def test_single_figure(self, capsys):
+        assert bench_main(["local"]) == 0
+        out = capsys.readouterr().out
+        assert "Unicast on the local server" in out
+        assert "regenerated in" in out
+
+    def test_rounds_override(self, capsys):
+        assert bench_main(["fig7", "--rounds", "2"]) == 0
+        assert "Figure 7" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Unit tests for the §6.2 analytic cost model and the CostModel
+calibration."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.clocks import MatrixClock, UpdatesClock
+from repro.simulation.costs import CostModel
+from repro.topology import (
+    bus,
+    bus_unicast_cost,
+    crossover_point,
+    domain_message_cost,
+    flat_unicast_cost,
+    single_domain,
+    topology_unicast_cost,
+    tree_server_count,
+    tree_unicast_cost,
+)
+
+
+class TestAnalyticModel:
+    def test_domain_cost_is_s_squared(self):
+        assert domain_message_cost(7) == 49
+        assert domain_message_cost(7, unit=2.0) == 98
+
+    def test_tree_server_count_formula(self):
+        # 1 + (s-1)(k^(d+1)-1)/(k-1) with s=3, k=2, d=2: 1 + 2*7 = 15
+        assert tree_server_count(3, 2, 2) == 15
+        # depth 0: a single domain of s servers
+        assert tree_server_count(5, 2, 0) == 5
+
+    def test_bus_cost_linear_with_sqrt_domains(self):
+        # s = √n exactly → 3·n
+        assert bus_unicast_cost(100, 10) == pytest.approx(300)
+
+    def test_flat_cost_quadratic(self):
+        assert flat_unicast_cost(50) == 2500
+
+    def test_tree_cost_logarithmic_shape(self):
+        big = tree_unicast_cost(1024, 4, 2)
+        small = tree_unicast_cost(64, 4, 2)
+        # n grew 16x; log2 grew by 4 steps → cost grows additively, not
+        # multiplicatively
+        assert big - small == pytest.approx(2 * 4 * 16, rel=0.01)
+
+    def test_crossover_matches_figure11_regime(self):
+        """With the paper-calibrated constants, the bus overtakes the flat
+        MOM somewhere in the tens of servers (Figure 11 shows ~40-50)."""
+        point = crossover_point(unit=0.052, fixed_flat=56.0, fixed_bus=168.0)
+        assert 30 <= point <= 60
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            domain_message_cost(0)
+        with pytest.raises(ConfigurationError):
+            tree_server_count(1, 2, 1)
+        with pytest.raises(ConfigurationError):
+            tree_unicast_cost(100, 5, 1)
+
+    def test_topology_unicast_cost_counts_traversed_domains(self):
+        topo = bus(16, 4)
+        flat = single_domain(16)
+        # crossing three domains of 4-5 servers is cheaper than one of 16
+        assert topology_unicast_cost(topo, 0, 14) < topology_unicast_cost(
+            flat, 0, 14
+        )
+
+
+class TestCostModel:
+    def test_full_matrix_send_cost_scales_quadratically(self):
+        model = CostModel()
+        small = MatrixClock(10, 0)
+        large = MatrixClock(50, 0)
+        cheap = model.send_cost(small.prepare_send(1), 10, 1)
+        dear = model.send_cost(large.prepare_send(1), 50, 1)
+        assert dear > cheap
+        # the variable part scales with s²
+        variable_small = cheap - model.send_fixed_ms
+        variable_large = dear - model.send_fixed_ms
+        assert variable_large / variable_small == pytest.approx(25.0, rel=0.01)
+
+    def test_updates_send_cost_nearly_flat(self):
+        model = CostModel(persist_dirty_only=True)
+        small = UpdatesClock(10, 0)
+        large = UpdatesClock(50, 0)
+        cheap = model.send_cost(small.prepare_send(1), 10, small.dirty_cells())
+        dear = model.send_cost(large.prepare_send(1), 50, large.dirty_cells())
+        assert dear == pytest.approx(cheap)
+
+    def test_persist_full_vs_dirty(self):
+        full = CostModel()
+        journal = CostModel(persist_dirty_only=True)
+        assert full.persist_cost(50, 1) == pytest.approx(0.007 * 2500)
+        assert journal.persist_cost(50, 1) == pytest.approx(0.007)
+
+    def test_scaled_preserves_structure(self):
+        model = CostModel().scaled(2.0)
+        assert model.send_fixed_ms == 26.0
+        assert model.persist_dirty_only is False
+
+    def test_calibration_figure7_anchor_points(self):
+        """The documented calibration: a flat-MOM round trip is
+        2·(latency + send + recv) ≈ 54 + 0.052·n² + reaction costs,
+        hitting ~61 ms at n=10 and ~190 at n=50."""
+        model = CostModel()
+        def round_trip(n):
+            clock = MatrixClock(n, 0)
+            stamp = clock.prepare_send(1)
+            one_way = (
+                model.latency_ms
+                + model.send_cost(stamp, n, 1)
+                + model.recv_cost(stamp, n, 1)
+            )
+            return 2 * one_way + 2 * model.agent_reaction_ms
+        assert round_trip(10) == pytest.approx(61.2, abs=2.0)
+        assert round_trip(50) == pytest.approx(186.0, abs=8.0)

@@ -1,0 +1,115 @@
+"""Tests for the hierarchical Daisy baseline (§2, [17])."""
+
+import random as pyrandom
+
+import pytest
+
+from repro.baselines import DaisyChain
+from repro.causality import check_trace
+from repro.errors import ConfigurationError
+from repro.simulation.network import UniformLatency
+
+
+class TestStructure:
+    def test_node_layout(self):
+        chain = DaisyChain(3, 4)
+        assert chain.node_count == 10
+        assert chain.groups == [[0, 1, 2, 3], [3, 4, 5, 6], [6, 7, 8, 9]]
+        assert chain.is_gateway(3)
+        assert chain.is_gateway(6)
+        assert not chain.is_gateway(0)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DaisyChain(0, 3)
+        with pytest.raises(ConfigurationError):
+            DaisyChain(3, 1)
+
+    def test_self_send_rejected(self):
+        chain = DaisyChain(2, 3)
+        with pytest.raises(ConfigurationError):
+            chain.send(1, 1, "x")
+
+
+class TestDelivery:
+    def test_intra_group(self):
+        chain = DaisyChain(3, 4)
+        chain.send(0, 2, "near")
+        chain.run_until_idle()
+        assert chain.deliveries(2) == [(0, "near")]
+
+    def test_cross_group_via_gateways(self):
+        chain = DaisyChain(3, 4)
+        chain.send(0, 9, "far")
+        chain.run_until_idle()
+        assert chain.deliveries(9) == [(0, "far")]
+        # nobody else delivered the payload
+        for node in range(chain.node_count):
+            if node != 9:
+                assert chain.deliveries(node) == []
+
+    def test_wire_flooding_cost(self):
+        """A 0→9 unicast floods all three groups: (s-1) packets per group
+        traversed — the §2 scalability complaint in numbers."""
+        chain = DaisyChain(3, 4)
+        chain.send(0, 9, "far")
+        chain.run_until_idle()
+        assert chain.packets_sent == 3 * 3
+
+    def test_causal_chain_across_groups(self):
+        """0 sends to 9; 9 reacts by sending to 5; 5's message must arrive
+        after... the trace must respect causality globally."""
+        chain = DaisyChain(3, 4, latency=UniformLatency(0.1, 15.0), seed=4)
+        chain.set_handler(9, lambda origin, payload: chain.send(9, 5, "reaction"))
+        chain.send(0, 9, "trigger")
+        chain.send(0, 5, "direct")
+        chain.run_until_idle()
+        assert chain.deliveries(9) == [(0, "trigger")]
+        assert (9, "reaction") in chain.deliveries(5)
+        report = check_trace(chain.trace)
+        assert report.respects_causality
+
+    def test_pingpong_round_trips(self):
+        chain = DaisyChain(3, 3)
+        state = {"rounds": 0}
+
+        def pong(origin, payload):
+            chain.send(chain.node_count - 1, 0, payload)
+
+        def ping(origin, payload):
+            state["rounds"] += 1
+            if state["rounds"] < 5:
+                chain.send(0, chain.node_count - 1, state["rounds"])
+
+        chain.set_handler(chain.node_count - 1, pong)
+        chain.set_handler(0, ping)
+        chain.send(0, chain.node_count - 1, 0)
+        chain.run_until_idle()
+        assert state["rounds"] == 5
+        assert check_trace(chain.trace).respects_causality
+
+
+class TestCausalityUnderStress:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_workload_respects_causality(self, seed):
+        chain = DaisyChain(3, 4, latency=UniformLatency(0.1, 25.0), seed=seed)
+        rng = pyrandom.Random(seed)
+
+        def forwarder(node):
+            def handler(origin, payload):
+                if payload > 0:
+                    target = rng.randrange(chain.node_count)
+                    if target != node:
+                        chain.send(node, target, payload - 1)
+            return handler
+
+        for node in range(chain.node_count):
+            chain.set_handler(node, forwarder(node))
+        for _ in range(6):
+            a = rng.randrange(chain.node_count)
+            b = rng.randrange(chain.node_count)
+            if a != b:
+                chain.send(a, b, 2)
+        chain.run_until_idle()
+        report = check_trace(chain.trace)
+        assert report.respects_causality, report.summary()

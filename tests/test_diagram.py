@@ -1,0 +1,107 @@
+"""Tests for the space-time diagram and timeline renderers."""
+
+import pytest
+
+from repro.causality import (
+    Membership,
+    Message,
+    Trace,
+    build_violation_trace,
+    find_cycle_path,
+    render_space_time,
+    render_timeline,
+)
+from repro.causality.trace import EventKind
+from repro.errors import TraceError
+
+
+def simple_trace():
+    m1 = Message("m1", "p", "q")
+    m2 = Message("m2", "q", "p")
+    trace = Trace()
+    trace.record_send(m1)
+    trace.record_receive(m1)
+    trace.record_send(m2)
+    trace.record_receive(m2)
+    return trace, m1, m2
+
+
+class TestSpaceTime:
+    def test_one_lane_per_process(self):
+        trace, *_ = simple_trace()
+        diagram = render_space_time(trace)
+        lines = diagram.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("p:")
+        assert lines[1].startswith("q:")
+
+    def test_markers_present(self):
+        trace, *_ = simple_trace()
+        diagram = render_space_time(trace)
+        assert "[m1>q]" in diagram
+        assert "[>m1]" in diagram
+        assert "[m2>p]" in diagram
+
+    def test_send_column_precedes_receive_column(self):
+        trace, *_ = simple_trace()
+        diagram = render_space_time(trace)
+        p_lane, q_lane = diagram.splitlines()
+        assert p_lane.index("[m1>q]") < q_lane.index("[>m1]")
+        assert q_lane.index("[m2>p]") < p_lane.index("[>m2]")
+
+    def test_lanes_are_column_aligned(self):
+        trace, *_ = simple_trace()
+        lines = render_space_time(trace).splitlines()
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_custom_labels(self):
+        trace, *_ = simple_trace()
+        diagram = render_space_time(trace, label=lambda e: "*")
+        assert "*" in diagram
+        assert "[m1>q]" not in diagram
+
+    def test_violation_trace_renders_with_anomaly_visible(self):
+        membership = Membership(
+            {"d0": {"r0", "r2"}, "d1": {"r0", "r1"}, "d2": {"r1", "r2"}}
+        )
+        path = find_cycle_path(membership)
+        trace, direct, chain = build_violation_trace(path, membership)
+        diagram = render_space_time(trace)
+        target_lane = next(
+            line for line in diagram.splitlines()
+            if line.startswith(f"{path[-1]}:")
+        )
+        # the chain's last hop is received before the direct message n
+        assert target_lane.index("violation/m") < target_lane.index(
+            "[>violation/n]"
+        )
+
+    def test_incorrect_trace_rejected(self):
+        l = Message("l", "p", "q")
+        m = Message("m", "q", "p")
+        trace = Trace.from_histories(
+            {
+                "p": [(EventKind.RECEIVE, m), (EventKind.SEND, l)],
+                "q": [(EventKind.RECEIVE, l), (EventKind.SEND, m)],
+            }
+        )
+        with pytest.raises(TraceError):
+            render_space_time(trace)
+
+
+class TestTimeline:
+    def test_numbered_lines(self):
+        trace, *_ = simple_trace()
+        timeline = render_timeline(trace)
+        lines = timeline.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("1.")
+
+    def test_send_before_receive(self):
+        trace, *_ = simple_trace()
+        timeline = render_timeline(trace)
+        assert timeline.index("sends 'm1'") < timeline.index("receives 'm1'")
+
+    def test_empty_trace(self):
+        assert render_timeline(Trace()) == ""
+        assert render_space_time(Trace()) == ""

@@ -1,0 +1,87 @@
+"""Property-based tests for the diagram linearizer and renderers."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.__main__ import main as bench_main
+from repro.causality import Message, Trace, render_space_time, render_timeline
+from repro.causality.diagram import _linearize
+from repro.causality.trace import EventKind
+from repro.topology.__main__ import main as topology_main
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+    ).filter(lambda t: t[0] != t[1]),
+    min_size=1,
+    max_size=18,
+)
+
+
+def build(op_list):
+    trace = Trace()
+    for index, (src, dst, receive) in enumerate(op_list):
+        m = Message(index, src, dst)
+        trace.record_send(m)
+        if receive:
+            trace.record_receive(m)
+    return trace
+
+
+class TestLinearizerProperties:
+    @given(op_list=ops)
+    @settings(max_examples=80, deadline=None)
+    def test_linearization_is_complete_and_valid(self, op_list):
+        trace = build(op_list)
+        order = _linearize(trace)
+        assert len(order) == len(trace)
+        position = {
+            (e.process, e.message.mid, e.kind): i for i, e in enumerate(order)
+        }
+        # send before receive, always
+        for event in order:
+            if event.kind is EventKind.RECEIVE:
+                send_key = (
+                    event.message.src, event.message.mid, EventKind.SEND,
+                )
+                assert position[send_key] < position[
+                    (event.process, event.message.mid, event.kind)
+                ]
+        # local orders respected
+        for process in trace.processes:
+            history = trace.events_of(process)
+            indices = [
+                position[(process, e.message.mid, e.kind)] for e in history
+            ]
+            assert indices == sorted(indices)
+
+    @given(op_list=ops)
+    @settings(max_examples=60, deadline=None)
+    def test_lanes_always_aligned(self, op_list):
+        trace = build(op_list)
+        lines = render_space_time(trace).splitlines()
+        assert len({len(line) for line in lines}) <= 1 or len(lines) <= 1
+
+    @given(op_list=ops)
+    @settings(max_examples=60, deadline=None)
+    def test_timeline_counts_every_event(self, op_list):
+        trace = build(op_list)
+        timeline = render_timeline(trace)
+        assert len(timeline.splitlines()) == len(trace)
+
+
+class TestCliHelp:
+    def test_bench_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            bench_main(["--help"])
+        assert info.value.code == 0
+        assert "fig7" in capsys.readouterr().out
+
+    def test_topology_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            topology_main(["--help"])
+        assert info.value.code == 0
+        assert "repair" in capsys.readouterr().out

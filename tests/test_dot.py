@@ -1,0 +1,78 @@
+"""Tests for the DOT (graphviz) exports."""
+
+import pytest
+
+from repro.causality import Message, Trace, topology_to_dot, trace_to_dot
+from repro.topology import bus as bus_topology
+from repro.topology import from_domain_map
+
+
+def relay_trace():
+    m1 = Message("m1", "p", "q")
+    m2 = Message("m2", "q", "r")
+    m3 = Message("m3", "p", "q")
+    trace = Trace()
+    trace.record_send(m1)
+    trace.record_receive(m1)
+    trace.record_send(m2)
+    trace.record_receive(m2)
+    trace.record_send(m3)
+    trace.record_receive(m3)
+    return trace
+
+
+class TestTraceToDot:
+    def test_structure(self):
+        dot = trace_to_dot(relay_trace())
+        assert dot.startswith("digraph causality {")
+        assert dot.rstrip().endswith("}")
+        assert '"m1"' in dot and '"m2"' in dot and '"m3"' in dot
+
+    def test_direct_edges_only_by_default(self):
+        dot = trace_to_dot(relay_trace())
+        # m1 ≺ m2 and m1 ≺ m3 (same sender) and m2 vs m3... m2 is sent by q
+        # after receiving m1; m3 by p after m1: both covered by m1.
+        assert '"m1" -> "m2"' in dot
+        assert '"m1" -> "m3"' in dot
+
+    def test_full_relation_includes_transitives(self):
+        m1 = Message(1, "a", "b")
+        m2 = Message(2, "b", "c")
+        m3 = Message(3, "c", "d")
+        trace = Trace()
+        for m in (m1, m2, m3):
+            trace.record_send(m)
+            trace.record_receive(m)
+        reduced = trace_to_dot(trace, direct_only=True)
+        full = trace_to_dot(trace, direct_only=False)
+        assert '"1" -> "3"' not in reduced
+        assert '"1" -> "3"' in full
+
+    def test_tuple_mids_are_quoted(self):
+        trace = Trace()
+        m = Message(("hop", 0, 1), "p", "q")
+        trace.record_send(m)
+        dot = trace_to_dot(trace)
+        assert "hop" in dot
+        assert dot.count("{") == dot.count("}")
+
+
+class TestTopologyToDot:
+    def test_figure2_structure(self, figure2_topology):
+        dot = topology_to_dot(figure2_topology)
+        assert dot.startswith("graph domains {")
+        for domain_id in ("A", "B", "C", "D"):
+            assert f'"{domain_id}"' in dot
+        # edges with shared-router labels
+        assert '"A" -- "D"' in dot
+        assert '"S2"' in dot  # the A/D router
+
+    def test_routers_marked(self):
+        topo = bus_topology(9, 3)
+        dot = topology_to_dot(topo)
+        assert "S2*" in dot  # leaf router with the star marker
+
+    def test_no_edges_for_single_domain(self):
+        topo = from_domain_map({"only": [0, 1, 2]})
+        dot = topology_to_dot(topo)
+        assert "--" not in dot

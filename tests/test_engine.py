@@ -1,0 +1,155 @@
+"""Engine-level tests: reaction scheduling, boot ordering, multi-agent
+interleaving, persistence of QueueIN."""
+
+import pytest
+
+from repro.errors import AgentError
+from repro.mom import BusConfig, FunctionAgent, MessageBus
+from repro.mom.agent import Agent
+from repro.mom.identifiers import AgentId
+from repro.topology import single_domain
+
+
+class Logger(Agent):
+    def __init__(self, log, tag):
+        super().__init__()
+        self.log = log
+        self.tag = tag
+
+    def on_boot(self, ctx):
+        self.log.append((self.tag, "boot", ctx.now))
+
+    def react(self, ctx, sender, payload):
+        self.log.append((self.tag, payload, ctx.now))
+
+    def snapshot(self):
+        return None
+
+    def restore(self, snapshot):
+        pass
+
+
+class TestBootOrdering:
+    def test_boot_hooks_run_in_deployment_order(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        log = []
+        for tag in ("a", "b", "c"):
+            mom.deploy(Logger(log, tag), 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [entry[0] for entry in log] == ["a", "b", "c"]
+
+    def test_boot_sends_ordered_before_later_reactions(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        log = []
+        receiver = Logger(log, "rx")
+        receiver_id = mom.deploy(receiver, 0)
+
+        sender = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(receiver_id, "first")
+            ctx.send(receiver_id, "second")
+
+        sender.on_boot = boot
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        payloads = [entry[1] for entry in log if entry[0] == "rx"]
+        assert payloads == ["boot", "first", "second"]
+
+
+class TestReactionScheduling:
+    def test_one_reaction_at_a_time_per_server(self):
+        """Reactions on a server never overlap: each starts after the
+        previous one's charged duration."""
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        log = []
+        a = Logger(log, "a")
+        b = Logger(log, "b")
+        a_id = mom.deploy(a, 0)
+        b_id = mom.deploy(b, 0)
+        kicker = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            for _ in range(3):
+                ctx.send(a_id, "ping")
+                ctx.send(b_id, "ping")
+
+        kicker.on_boot = boot
+        mom.deploy(kicker, 0)
+        mom.start()
+        mom.run_until_idle()
+        reaction_times = sorted(entry[2] for entry in log)
+        cost = mom.config.cost_model.agent_reaction_ms
+        for earlier, later in zip(reaction_times, reaction_times[1:]):
+            assert later - earlier >= cost - 1e-9
+
+    def test_interleaving_is_fifo_across_agents_of_one_server(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        log = []
+        a_id = mom.deploy(Logger(log, "a"), 0)
+        b_id = mom.deploy(Logger(log, "b"), 0)
+        kicker = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(a_id, 1)
+            ctx.send(b_id, 2)
+            ctx.send(a_id, 3)
+
+        kicker.on_boot = boot
+        mom.deploy(kicker, 0)
+        mom.start()
+        mom.run_until_idle()
+        reactions = [
+            (tag, payload) for tag, payload, _ in log if payload != "boot"
+        ]
+        assert reactions == [("a", 1), ("b", 2), ("a", 3)]
+
+    def test_unknown_target_agent_raises(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        bad = FunctionAgent(lambda ctx, s, p: None)
+        # server 1 exists but has no agent 5
+        bad.on_boot = lambda ctx: ctx.send(AgentId(1, 5), "void")
+        mom.deploy(bad, 0)
+        mom.start()
+        with pytest.raises(AgentError):
+            mom.run_until_idle()
+
+    def test_reaction_exception_carries_context(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+
+        def explode(ctx, sender, payload):
+            raise AgentError("boom")
+
+        bomb = FunctionAgent(explode)
+        bomb_id = mom.deploy(bomb, 0)
+        kicker = FunctionAgent(lambda ctx, s, p: None)
+        kicker.on_boot = lambda ctx: ctx.send(bomb_id, "x")
+        mom.deploy(kicker, 0)
+        mom.start()
+        with pytest.raises(AgentError, match="boom"):
+            mom.run_until_idle()
+
+
+class TestQueuePersistence:
+    def test_queue_in_survives_crash_with_pending_work(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        log = []
+        slow = Logger(log, "slow")
+        slow_id = mom.deploy(slow, 0)
+        kicker = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            for i in range(5):
+                ctx.send(slow_id, i)
+
+        kicker.on_boot = boot
+        mom.deploy(kicker, 0)
+        mom.start()
+        # crash while several reactions are still queued
+        mom.sim.schedule_at(3.5, lambda: mom.server(0).crash())
+        mom.sim.schedule_at(50.0, lambda: mom.server(0).recover())
+        mom.run_until_idle()
+        payloads = [p for tag, p, _ in log if tag == "slow" and p != "boot"]
+        assert payloads == [0, 1, 2, 3, 4]

@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs clean in-process.
+
+Each example carries its own assertions (causality verdicts, delivery
+orders), so "ran to completion" is a meaningful check, not just an import
+test.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output, "examples must narrate what they do"
+
+
+def test_all_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "stock_ticker",
+        "collaborative_log",
+        "mobile_cells",
+        "theorem_demo",
+    } <= names

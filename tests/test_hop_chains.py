@@ -1,0 +1,94 @@
+"""Integration: the MOM's hop traces realize the paper's chain formalism.
+
+Every routed notification is, formally, a §4.2 chain of real
+intra-domain messages — the "virtual message" the theorem reasons about.
+These tests reassemble the chains from a live bus and check them against
+the routing tables and the formal definitions.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mom import BusConfig, EchoAgent, FunctionAgent, MessageBus
+from repro.topology import build_routing_tables, route
+from repro.topology import bus as bus_topology
+
+
+@pytest.fixture
+def ran_bus(figure2_topology):
+    mom = MessageBus(
+        BusConfig(topology=figure2_topology, record_hop_trace=True)
+    )
+    echo_id = mom.deploy(EchoAgent(), 7)
+    pinger = FunctionAgent(lambda ctx, s, p: None)
+    pinger.on_boot = lambda ctx: ctx.send(echo_id, "hello")
+    mom.deploy(pinger, 0)
+    mom.start()
+    mom.run_until_idle()
+    return mom
+
+
+class TestHopChains:
+    def test_one_chain_per_routed_notification(self, ran_bus):
+        chains = ran_bus.hop_chains()
+        assert len(chains) == 2  # ping + echo
+
+    def test_chain_paths_match_routing_tables(self, ran_bus, figure2_topology):
+        tables = build_routing_tables(figure2_topology)
+        chains = ran_bus.hop_chains()
+        paths = sorted(chain.path() for chain in chains.values())
+        assert paths == sorted(
+            [tuple(route(tables, 0, 7)), tuple(route(tables, 7, 0))]
+        )
+
+    def test_chains_are_valid_and_minimal(self, ran_bus, figure2_topology):
+        membership = figure2_topology.membership()
+        for chain in ran_bus.hop_chains().values():
+            assert chain.is_valid_in(ran_bus.hop_trace)
+            assert chain.is_minimal(membership), (
+                "routing over a validated topology must produce minimal "
+                "chains (no lingering in a domain)"
+            )
+
+    def test_every_hop_is_intra_domain(self, ran_bus, figure2_topology):
+        for chain in ran_bus.hop_chains().values():
+            for message in chain.messages:
+                assert figure2_topology.common_domains(
+                    message.src, message.dst
+                ), f"hop {message!r} crosses servers sharing no domain"
+
+    def test_local_notifications_have_no_chain(self):
+        mom = MessageBus(
+            BusConfig(topology=bus_topology(9, 3), record_hop_trace=True)
+        )
+        sink = FunctionAgent(lambda ctx, s, p: None)
+        sink_id = mom.deploy(sink, 0)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+        sender.on_boot = lambda ctx: ctx.send(sink_id, "local")
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert mom.hop_chains() == {}
+
+    def test_requires_hop_trace(self, figure2_topology):
+        mom = MessageBus(BusConfig(topology=figure2_topology))
+        with pytest.raises(ConfigurationError):
+            mom.hop_chains()
+
+    def test_chain_lengths_follow_distance(self):
+        topology = bus_topology(16, 4)
+        mom = MessageBus(BusConfig(topology=topology, record_hop_trace=True))
+        near_id = mom.deploy(FunctionAgent(lambda c, s, p: None), 1)
+        far_id = mom.deploy(FunctionAgent(lambda c, s, p: None), 13)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(near_id, "near")   # same leaf: 1 hop
+            ctx.send(far_id, "far")     # other leaf: 3 hops
+
+        sender.on_boot = boot
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        lengths = sorted(len(c) for c in mom.hop_chains().values())
+        assert lengths == [1, 3]

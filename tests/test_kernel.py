@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event kernel and the processor model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Processor, Simulator
+
+
+class TestSimulator:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run_until_idle()
+        assert fired == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "first")
+        sim.schedule(1.0, fired.append, "second")
+        sim.run_until_idle()
+        assert fired == ["first", "second"]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "no")
+        handle.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_run_until_bound_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "at")
+        sim.schedule(3.0, fired.append, "after")
+        sim.run(until=2.0)
+        assert fired == ["at"]
+        assert sim.now == 2.0
+        sim.run_until_idle()
+        assert fired == ["at", "after"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run_until_idle()
+        assert len(errors) == 1
+
+    def test_run_until_idle_guards_against_storms(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_max_events_run_returns_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.run() == 2
+
+
+class TestProcessor:
+    def test_work_serializes(self):
+        sim = Simulator()
+        cpu = Processor(sim)
+        finished = []
+        cpu.submit(10.0, lambda: finished.append(sim.now))
+        cpu.submit(5.0, lambda: finished.append(sim.now))
+        sim.run_until_idle()
+        assert finished == [10.0, 15.0]
+
+    def test_idle_gap_is_not_charged(self):
+        sim = Simulator()
+        cpu = Processor(sim)
+        done = []
+        cpu.submit(1.0, lambda: done.append(sim.now))
+        sim.run_until_idle()
+        sim.schedule(10.0, lambda: cpu.submit(1.0, lambda: done.append(sim.now)))
+        sim.run_until_idle()
+        assert done == [1.0, 12.0]
+        assert cpu.busy_total == 2.0
+
+    def test_halted_processor_rejects_work(self):
+        sim = Simulator()
+        cpu = Processor(sim)
+        cpu.halt()
+        with pytest.raises(SimulationError):
+            cpu.submit(1.0, lambda: None)
+
+    def test_resume_discards_old_occupancy(self):
+        sim = Simulator()
+        cpu = Processor(sim)
+        cpu.submit(100.0, lambda: None)
+        cpu.halt()
+        cpu.resume()
+        done = []
+        cpu.submit(1.0, lambda: done.append(sim.now))
+        sim.run(until=2.0)
+        assert done == [1.0]
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        cpu = Processor(sim)
+        with pytest.raises(SimulationError):
+            cpu.submit(-1.0, lambda: None)

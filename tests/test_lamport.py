@@ -1,0 +1,67 @@
+"""Unit tests for scalar Lamport clocks."""
+
+import pytest
+
+from repro.clocks import LamportClock
+from repro.clocks.lamport import LamportStamp
+from repro.errors import ClockError
+
+
+class TestLamportClock:
+    def test_starts_at_zero(self):
+        clock = LamportClock(owner=3)
+        assert clock.time == 0
+        assert clock.owner == 3
+
+    def test_tick_increments(self):
+        clock = LamportClock(0)
+        assert clock.tick() == LamportStamp(1, 0)
+        assert clock.tick() == LamportStamp(2, 0)
+
+    def test_stamp_send_is_a_tick(self):
+        clock = LamportClock(1)
+        stamp = clock.stamp_send()
+        assert stamp == LamportStamp(1, 1)
+        assert clock.time == 1
+
+    def test_observe_advances_past_received(self):
+        clock = LamportClock(0)
+        stamp = clock.observe(LamportStamp(10, 1))
+        assert stamp == LamportStamp(11, 0)
+        assert clock.time == 11
+
+    def test_observe_older_timestamp_still_ticks(self):
+        clock = LamportClock(0)
+        clock.observe(LamportStamp(5, 1))
+        stamp = clock.observe(LamportStamp(2, 1))
+        assert stamp.time == 7
+
+    def test_observe_rejects_negative(self):
+        clock = LamportClock(0)
+        with pytest.raises(ClockError):
+            clock.observe(LamportStamp(-1, 1))
+
+    def test_negative_owner_rejected(self):
+        with pytest.raises(ClockError):
+            LamportClock(-1)
+
+
+class TestLamportStampOrdering:
+    def test_time_dominates(self):
+        assert LamportStamp(1, 5) < LamportStamp(2, 0)
+
+    def test_process_breaks_ties(self):
+        assert LamportStamp(3, 0) < LamportStamp(3, 1)
+        assert not LamportStamp(3, 1) < LamportStamp(3, 0)
+
+    def test_le_reflexive(self):
+        assert LamportStamp(3, 1) <= LamportStamp(3, 1)
+
+    def test_total_order_on_send_chain(self):
+        """Lamport's property: a causal message chain has increasing stamps."""
+        a, b, c = LamportClock(0), LamportClock(1), LamportClock(2)
+        s1 = a.stamp_send()
+        r1 = b.observe(s1)
+        s2 = b.stamp_send()
+        r2 = c.observe(s2)
+        assert s1 < r1 < s2 < r2

@@ -1,0 +1,183 @@
+"""The §2 FM-reduction baseline: FIFO-only clocks lose global causality —
+proved by exhaustive enumeration, exactly as the paper asserts."""
+
+import pytest
+
+from repro.causality import check_trace
+from repro.causality.exhaustive import Send, explore
+from repro.baselines.local_fifo import FifoClock, FifoStamp
+from repro.errors import ClockError
+
+
+class TestFifoClockUnit:
+    def test_fifo_within_a_pair(self):
+        a = FifoClock(3, 0)
+        b = FifoClock(3, 1)
+        first = a.prepare_send(1)
+        second = a.prepare_send(1)
+        assert not b.can_deliver(second)
+        b.deliver(first)
+        assert b.can_deliver(second)
+
+    def test_one_cell_on_the_wire(self):
+        a = FifoClock(5, 0)
+        assert a.prepare_send(1).wire_cells == 1
+
+    def test_duplicate_detection(self):
+        a = FifoClock(2, 0)
+        b = FifoClock(2, 1)
+        stamp = a.prepare_send(1)
+        assert not b.is_duplicate(stamp)
+        b.deliver(stamp)
+        assert b.is_duplicate(stamp)
+
+    def test_snapshot_roundtrip(self):
+        a = FifoClock(3, 0)
+        a.prepare_send(1)
+        fresh = FifoClock(3, 0)
+        fresh.restore(a.snapshot())
+        assert fresh.cell(0, 1) == 1
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ClockError):
+            FifoClock(3, 1).prepare_send(1)
+
+    def test_undeliverable_rejected(self):
+        a = FifoClock(2, 0)
+        b = FifoClock(2, 1)
+        a.prepare_send(1)
+        second = a.prepare_send(1)
+        with pytest.raises(ClockError):
+            b.deliver(second)
+
+
+RELAY_SCENARIO = dict(
+    size=3,
+    initial_sends=[Send(0, 2, "n"), Send(0, 1, "m1")],
+    react=lambda receiver, tag: (
+        [Send(1, 2, "m2")] if (receiver, tag) == (1, "m1") else []
+    ),
+)
+
+
+class TestSection2Claim:
+    def test_fifo_only_admits_causality_violations(self):
+        """The paper, §2, on the FM reduction: "this algorithm does not
+        ensure the global causal delivery of messages". Exhaustively true:
+        the triangle relay has executions where the relayed message beats
+        the direct one."""
+        result = explore(clock_cls=FifoClock, **RELAY_SCENARIO)
+        assert result.violations > 0
+        assert result.witness is not None
+        report = check_trace(result.witness)
+        assert not report.respects_causality
+
+    def test_but_never_deadlocks(self):
+        result = explore(clock_cls=FifoClock, **RELAY_SCENARIO)
+        assert result.deadlocks == 0
+
+    def test_fifo_alone_is_violation_free_without_relays(self):
+        """With no relaying, per-pair FIFO *is* enough — the violations
+        come precisely from transitive dependencies."""
+        result = explore(
+            clock_cls=FifoClock,
+            size=3,
+            initial_sends=[
+                Send(0, 2, "a"),
+                Send(0, 2, "b"),
+                Send(1, 2, "c"),
+            ],
+        )
+        assert result.violations == 0
+
+    def test_admits_strictly_more_executions_than_matrix(self):
+        """Weaker delivery conditions admit more interleavings — including
+        the bad ones the matrix clock forbids."""
+        from repro.clocks.matrix import MatrixClock
+
+        fifo = explore(clock_cls=FifoClock, **RELAY_SCENARIO)
+        matrix = explore(clock_cls=MatrixClock, **RELAY_SCENARIO)
+        assert fifo.executions > matrix.executions
+
+
+class TestFifoInTheMom:
+    def test_booting_the_mom_with_fifo_clocks_loses_causality(self):
+        """End to end: clock_algorithm="fifo" runs fine mechanically but a
+        relay race slips past it — the same race the matrix clock blocks
+        (compare tests/test_theorem.py's acyclic control)."""
+        from repro.mom import BusConfig, FunctionAgent, MessageBus
+        from repro.mom.agent import Agent
+        from repro.topology import single_domain
+
+        class Relay(Agent):
+            def __init__(self):
+                super().__init__()
+                self.next_hop = None
+
+            def react(self, ctx, sender, payload):
+                ctx.send(self.next_hop, payload)
+
+        mom = MessageBus(
+            BusConfig(topology=single_domain(3), clock_algorithm="fifo")
+        )
+        order = []
+        sink = FunctionAgent(lambda ctx, s, p: order.append(p))
+        sink_id = mom.deploy(sink, 2)
+        relay = Relay()
+        relay_id = mom.deploy(relay, 1)
+        relay.next_hop = sink_id
+        starter = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(sink_id, "n-direct")
+            ctx.send(relay_id, "m-chain")
+
+        starter.on_boot = boot
+        mom.deploy(starter, 0)
+        # delay the direct link so the relayed copy wins the race
+        mom.network.partition(0, 2)
+        mom.sim.schedule_at(400.0, mom.network.heal, 0, 2)
+        mom.start()
+        mom.run_until_idle()
+
+        assert order == ["m-chain", "n-direct"]
+        assert not mom.check_app_causality().respects_causality
+
+    def test_matrix_clock_blocks_the_same_race(self):
+        """Control: identical schedule, real clock — no violation."""
+        from repro.mom import BusConfig, FunctionAgent, MessageBus
+        from repro.mom.agent import Agent
+        from repro.topology import single_domain
+
+        class Relay(Agent):
+            def __init__(self):
+                super().__init__()
+                self.next_hop = None
+
+            def react(self, ctx, sender, payload):
+                ctx.send(self.next_hop, payload)
+
+        mom = MessageBus(BusConfig(topology=single_domain(3)))
+        order = []
+        sink = FunctionAgent(lambda ctx, s, p: order.append(p))
+        sink_id = mom.deploy(sink, 2)
+        relay = Relay()
+        relay_id = mom.deploy(relay, 1)
+        relay.next_hop = sink_id
+        starter = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(sink_id, "n-direct")
+            ctx.send(relay_id, "m-chain")
+
+        starter.on_boot = boot
+        mom.deploy(starter, 0)
+        mom.network.partition(0, 2)
+        mom.sim.schedule_at(400.0, mom.network.heal, 0, 2)
+        mom.start()
+        mom.run_until_idle()
+
+        assert order == ["n-direct", "m-chain"], (
+            "the matrix clock must hold the relayed copy back"
+        )
+        assert mom.check_app_causality().respects_causality

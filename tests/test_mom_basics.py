@@ -1,0 +1,220 @@
+"""MOM integration tests: deployment, local bus, remote delivery, routing
+transparency, engine atomicity basics."""
+
+import pytest
+
+from repro.errors import AgentError, ConfigurationError, RoutingError
+from repro.mom import (
+    AgentId,
+    BusConfig,
+    EchoAgent,
+    FunctionAgent,
+    MessageBus,
+)
+from repro.mom.agent import Agent
+from repro.topology import bus as bus_topology
+from repro.topology import from_domain_map, single_domain
+
+
+class Recorder(Agent):
+    """Keeps every (sender, payload) it receives, in order."""
+
+    def __init__(self):
+        super().__init__()
+        self.log = []
+
+    def react(self, ctx, sender, payload):
+        self.log.append((sender, payload))
+
+
+class TestDeployment:
+    def test_agent_ids_are_per_server_sequential(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        first = mom.deploy(EchoAgent(), 0)
+        second = mom.deploy(EchoAgent(), 0)
+        other = mom.deploy(EchoAgent(), 1)
+        assert first == AgentId(0, 0)
+        assert second == AgentId(0, 1)
+        assert other == AgentId(1, 0)
+
+    def test_deploy_after_start_rejected(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        mom.start()
+        with pytest.raises(ConfigurationError):
+            mom.deploy(EchoAgent(), 0)
+
+    def test_double_start_rejected(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        mom.start()
+        with pytest.raises(ConfigurationError):
+            mom.start()
+
+    def test_unknown_server_rejected(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        with pytest.raises(ConfigurationError):
+            mom.deploy(EchoAgent(), 5)
+
+    def test_agent_cannot_be_deployed_twice(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        agent = EchoAgent()
+        mom.deploy(agent, 0)
+        with pytest.raises(AgentError):
+            mom.deploy(agent, 1)
+
+
+class TestLocalBus:
+    def test_same_server_messaging_without_network(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        sink = Recorder()
+        sink_id = mom.deploy(sink, 0)
+        pinger = FunctionAgent(lambda ctx, s, p: None)
+        pinger.on_boot = lambda ctx: ctx.send(sink_id, "local")
+        mom.deploy(pinger, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [p for _, p in sink.log] == ["local"]
+        assert mom.network.packets_sent == 0
+
+    def test_local_fifo_order(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        sink = Recorder()
+        sink_id = mom.deploy(sink, 0)
+        pinger = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            for i in range(5):
+                ctx.send(sink_id, i)
+
+        pinger.on_boot = boot
+        mom.deploy(pinger, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [p for _, p in sink.log] == [0, 1, 2, 3, 4]
+
+    def test_agent_may_send_to_itself(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+
+        class SelfTalker(Agent):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def on_boot(self, ctx):
+                ctx.send(ctx.my_id, 3)
+
+            def react(self, ctx, sender, payload):
+                self.count += 1
+                if payload > 1:
+                    ctx.send(ctx.my_id, payload - 1)
+
+        talker = SelfTalker()
+        mom.deploy(talker, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert talker.count == 3
+        # self-sends never enter the app trace (src == dst)
+        assert mom.app_trace.messages == []
+
+
+class TestRemoteDelivery:
+    def test_single_domain_round_trip(self):
+        mom = MessageBus(BusConfig(topology=single_domain(3)))
+        echo = EchoAgent()
+        echo_id = mom.deploy(echo, 2)
+        sink = Recorder()
+        mom.deploy(sink, 0)
+        pinger = FunctionAgent(lambda ctx, s, p: sink.log.append((s, p)))
+        pinger.on_boot = lambda ctx: ctx.send(echo_id, "ping")
+        mom.deploy(pinger, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert echo.echoed == 1
+        assert [p for _, p in sink.log] == ["ping"]
+
+    def test_multi_hop_routing_is_transparent(self, figure2_topology):
+        """S1's agent addresses S8's agent directly; the 3-hop route is
+        the system's business (§4.1)."""
+        mom = MessageBus(BusConfig(topology=figure2_topology))
+        sink = Recorder()
+        sink_id = mom.deploy(sink, 7)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+        sender.on_boot = lambda ctx: ctx.send(sink_id, "across")
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [p for _, p in sink.log] == ["across"]
+        # 3 hops means 3 channel sends for 1 notification
+        assert mom.metrics.counter("channel.hops_sent").value == 3
+        assert mom.metrics.counter("channel.forwarded").value == 2
+
+    def test_cross_domain_fifo(self):
+        topo = bus_topology(12, 4)
+        mom = MessageBus(BusConfig(topology=topo))
+        sink = Recorder()
+        sink_id = mom.deploy(sink, 9)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            for i in range(10):
+                ctx.send(sink_id, i)
+
+        sender.on_boot = boot
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [p for _, p in sink.log] == list(range(10))
+
+    def test_notification_latency_metric_collected(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        sink = Recorder()
+        sink_id = mom.deploy(sink, 1)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+        sender.on_boot = lambda ctx: ctx.send(sink_id, "x")
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        samples = mom.metrics.samples("bus.delivery_ms")
+        assert samples.count == 1
+        assert samples.mean > 0
+
+
+class TestReactionAtomicity:
+    def test_reaction_sends_committed_together(self):
+        """All sends of one reaction appear; a reaction that raises would
+        commit nothing (exercised via the crash tests)."""
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        sink = Recorder()
+        sink_id = mom.deploy(sink, 1)
+        fanout = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(sink_id, "a")
+            ctx.send(sink_id, "b")
+            ctx.send(sink_id, "c")
+
+        fanout.on_boot = boot
+        mom.deploy(fanout, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [p for _, p in sink.log] == ["a", "b", "c"]
+
+    def test_sender_identity_passed_to_reaction(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        seen = []
+        sink = FunctionAgent(lambda ctx, s, p: seen.append(s))
+        sink_id = mom.deploy(sink, 1)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+        sender.on_boot = lambda ctx: ctx.send(sink_id, "x")
+        sender_id = mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert seen == [sender_id]
+
+    def test_non_agent_send_target_rejected(self):
+        mom = MessageBus(BusConfig(topology=single_domain(1)))
+        bad = FunctionAgent(lambda ctx, s, p: None)
+        bad.on_boot = lambda ctx: ctx.send("not-an-id", "x")
+        mom.deploy(bad, 0)
+        mom.start()
+        with pytest.raises(AgentError):
+            mom.run_until_idle()

@@ -1,0 +1,216 @@
+"""Unit tests for the network (latency, loss, partitions) and the reliable
+transport (retransmission, dedup, crash/restart)."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError, TransportError
+from repro.simulation import (
+    ConstantLatency,
+    ExponentialLatency,
+    Network,
+    ReliableTransport,
+    Simulator,
+    UniformLatency,
+)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        rng = random.Random(0)
+        assert ConstantLatency(3.0).sample(rng) == 3.0
+
+    def test_uniform_within_bounds(self):
+        rng = random.Random(0)
+        model = UniformLatency(1.0, 2.0)
+        for _ in range(100):
+            assert 1.0 <= model.sample(rng) <= 2.0
+
+    def test_exponential_above_floor(self):
+        rng = random.Random(0)
+        model = ExponentialLatency(mean=5.0, floor=0.5)
+        for _ in range(100):
+            assert model.sample(rng) >= 0.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            ConstantLatency(-1.0)
+        with pytest.raises(SimulationError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(SimulationError):
+            ExponentialLatency(0.0)
+
+
+class TestNetwork:
+    def make(self, **kwargs):
+        sim = Simulator()
+        net = Network(sim, **kwargs)
+        return sim, net
+
+    def test_packet_arrives_after_latency(self):
+        sim, net = self.make(latency=ConstantLatency(4.0))
+        got = []
+        net.attach(1, lambda src, p: got.append((sim.now, src, p)))
+        net.transmit(0, 1, "hello")
+        sim.run_until_idle()
+        assert got == [(4.0, 0, "hello")]
+
+    def test_loopback_rejected(self):
+        sim, net = self.make()
+        with pytest.raises(SimulationError):
+            net.transmit(0, 0, "x")
+
+    def test_loss_drops_packets(self):
+        sim, net = self.make(loss_rate=0.5, rng=random.Random(1))
+        got = []
+        net.attach(1, lambda src, p: got.append(p))
+        for i in range(100):
+            net.transmit(0, 1, i)
+        sim.run_until_idle()
+        assert 20 < len(got) < 80
+        assert net.packets_dropped == 100 - len(got)
+
+    def test_partition_blocks_both_directions(self):
+        sim, net = self.make()
+        got = []
+        net.attach(0, lambda src, p: got.append(p))
+        net.attach(1, lambda src, p: got.append(p))
+        net.partition(0, 1)
+        net.transmit(0, 1, "a")
+        net.transmit(1, 0, "b")
+        sim.run_until_idle()
+        assert got == []
+        net.heal(0, 1)
+        net.transmit(0, 1, "c")
+        sim.run_until_idle()
+        assert got == ["c"]
+
+    def test_detached_endpoint_drops_in_flight(self):
+        sim, net = self.make(latency=ConstantLatency(5.0))
+        got = []
+        net.attach(1, lambda src, p: got.append(p))
+        net.transmit(0, 1, "x")
+        net.detach(1)
+        sim.run_until_idle()
+        assert got == []
+        assert net.packets_dropped == 1
+
+    def test_cells_accounting(self):
+        sim, net = self.make()
+        net.attach(1, lambda src, p: None)
+        net.transmit(0, 1, "x", cells=25)
+        net.transmit(0, 1, "y", cells=25)
+        assert net.cells_transmitted == 50
+
+    def test_double_attach_rejected(self):
+        sim, net = self.make()
+        net.attach(1, lambda s, p: None)
+        with pytest.raises(SimulationError):
+            net.attach(1, lambda s, p: None)
+
+
+class TestReliableTransport:
+    def make_pair(self, loss_rate=0.0, seed=0, latency=None):
+        sim = Simulator()
+        net = Network(
+            sim,
+            latency=latency or ConstantLatency(1.0),
+            loss_rate=loss_rate,
+            rng=random.Random(seed),
+        )
+        got_a, got_b = [], []
+        a = ReliableTransport(sim, net, 0, lambda s, p: got_a.append((s, p)),
+                              retransmit_ms=10.0)
+        b = ReliableTransport(sim, net, 1, lambda s, p: got_b.append((s, p)),
+                              retransmit_ms=10.0)
+        return sim, net, a, b, got_a, got_b
+
+    def test_lossless_delivery(self):
+        sim, net, a, b, got_a, got_b = self.make_pair()
+        a.send(1, "hello")
+        sim.run_until_idle()
+        assert got_b == [(0, "hello")]
+        assert a.in_flight == 0
+
+    def test_delivery_despite_heavy_loss(self):
+        sim, net, a, b, got_a, got_b = self.make_pair(loss_rate=0.4, seed=3)
+        for i in range(30):
+            a.send(1, i)
+        sim.run_until_idle()
+        assert sorted(p for _, p in got_b) == list(range(30))
+        assert a.retransmissions > 0
+
+    def test_exactly_once_despite_duplicate_acks_lost(self):
+        """Lost ACKs cause retransmission of already-delivered packets;
+        the receiver must suppress them."""
+        sim, net, a, b, got_a, got_b = self.make_pair(loss_rate=0.5, seed=9)
+        for i in range(20):
+            a.send(1, i)
+        sim.run_until_idle()
+        assert len(got_b) == 20
+        assert b.duplicates_suppressed >= 0  # suppressed, not re-delivered
+
+    def test_give_up_raises(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(1.0))
+        a = ReliableTransport(sim, net, 0, lambda s, p: None,
+                              retransmit_ms=1.0, max_attempts=3)
+        net.partition(0, 1)
+        a.send(1, "void")
+        with pytest.raises(TransportError):
+            sim.run_until_idle()
+
+    def test_stop_cancels_outstanding(self):
+        sim, net, a, b, got_a, got_b = self.make_pair()
+        net.partition(0, 1)
+        a.send(1, "x")
+        a.stop()
+        sim.run_until_idle()  # no retransmission storm, no error
+        assert a.in_flight == 0
+
+    def test_send_while_stopped_rejected(self):
+        sim, net, a, b, *_ = self.make_pair()
+        a.stop()
+        with pytest.raises(TransportError):
+            a.send(1, "x")
+
+    def test_restart_delivers_to_new_handler(self):
+        sim, net, a, b, got_a, got_b = self.make_pair()
+        b.stop()
+        after = []
+        b.restart(lambda s, p: after.append(p))
+        a.send(1, "fresh")
+        sim.run_until_idle()
+        assert after == ["fresh"]
+        assert got_b == []
+
+    def test_restart_without_stop_rejected(self):
+        sim, net, a, b, *_ = self.make_pair()
+        with pytest.raises(TransportError):
+            a.restart()
+
+    def test_receiver_outage_bridged_by_retransmission(self):
+        sim, net, a, b, got_a, got_b = self.make_pair()
+        b.stop()
+        a.send(1, "patient")
+        sim.run(until=25.0)
+        assert got_b == []
+        after = []
+        b.restart(lambda s, p: after.append(p))
+        sim.run_until_idle()
+        assert after == ["patient"]
+
+    def test_unordered_under_jitter(self):
+        """The transport intentionally does NOT provide FIFO."""
+        sim = Simulator()
+        net = Network(sim, latency=UniformLatency(0.1, 20.0),
+                      rng=random.Random(5))
+        got = []
+        ReliableTransport(sim, net, 1, lambda s, p: got.append(p))
+        a = ReliableTransport(sim, net, 0, lambda s, p: None)
+        for i in range(30):
+            a.send(1, i)
+        sim.run_until_idle()
+        assert sorted(got) == list(range(30))
+        assert got != sorted(got)  # with this seed, reordering does occur

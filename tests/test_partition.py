@@ -1,0 +1,109 @@
+"""Unit tests for the §7 application-driven partitioning heuristics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    CommunicationGraph,
+    estimate_traffic_cost,
+    partition_communication_graph,
+    single_domain,
+    validate_topology,
+)
+
+
+def clustered_graph(clusters=3, size=6, intra=10.0, inter=1.0):
+    """`clusters` groups with heavy intra-group and light inter-group
+    traffic (adjacent clusters only)."""
+    comm = CommunicationGraph(clusters * size)
+    for c in range(clusters):
+        base = c * size
+        for i in range(size):
+            for j in range(i + 1, size):
+                comm.add_traffic(base + i, base + j, intra)
+    for c in range(clusters - 1):
+        comm.add_traffic(c * size, (c + 1) * size, inter)
+    return comm
+
+
+class TestCommunicationGraph:
+    def test_traffic_accumulates(self):
+        comm = CommunicationGraph(3)
+        comm.add_traffic(0, 1, 2.0)
+        comm.add_traffic(1, 0, 3.0)
+        assert comm.weight(0, 1) == 5.0
+
+    def test_missing_pair_weighs_zero(self):
+        comm = CommunicationGraph(3)
+        assert comm.weight(0, 2) == 0.0
+
+    def test_self_traffic_rejected(self):
+        comm = CommunicationGraph(3)
+        with pytest.raises(ConfigurationError):
+            comm.add_traffic(1, 1, 1.0)
+
+    def test_unknown_server_rejected(self):
+        comm = CommunicationGraph(3)
+        with pytest.raises(ConfigurationError):
+            comm.add_traffic(0, 9, 1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        comm = CommunicationGraph(3)
+        with pytest.raises(ConfigurationError):
+            comm.add_traffic(0, 1, 0.0)
+
+
+class TestPartitioner:
+    def test_result_always_validates(self):
+        comm = clustered_graph()
+        topology = partition_communication_graph(comm, max_domain_size=6)
+        validate_topology(topology)
+        assert topology.server_count == comm.server_count
+
+    def test_recovers_natural_clusters(self):
+        comm = clustered_graph(clusters=3, size=6)
+        topology = partition_communication_graph(comm, max_domain_size=6)
+        # each original cluster should land (mostly) in one domain
+        for c in range(3):
+            cluster = set(range(c * 6, (c + 1) * 6))
+            best_overlap = max(
+                len(cluster & set(d.servers)) for d in topology.domains
+            )
+            assert best_overlap == 6
+
+    def test_beats_flat_on_clustered_traffic(self):
+        comm = clustered_graph()
+        topology = partition_communication_graph(comm, max_domain_size=6)
+        flat = single_domain(comm.server_count)
+        assert estimate_traffic_cost(topology, comm) < estimate_traffic_cost(
+            flat, comm
+        )
+
+    def test_no_traffic_falls_back_to_size_chunks(self):
+        comm = CommunicationGraph(10)
+        topology = partition_communication_graph(comm, max_domain_size=4)
+        validate_topology(topology)
+        assert topology.server_count == 10
+
+    def test_single_community_is_one_domain(self):
+        comm = CommunicationGraph(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                comm.add_traffic(i, j, 5.0)
+        topology = partition_communication_graph(comm, max_domain_size=8)
+        assert len(topology.domains) == 1
+
+    def test_oversized_communities_are_split(self):
+        comm = clustered_graph(clusters=1, size=12)
+        topology = partition_communication_graph(comm, max_domain_size=4)
+        validate_topology(topology)
+        # every domain respects the cap (+1 possible promoted router)
+        for domain in topology.domains:
+            assert domain.size <= 5
+
+    def test_routers_carry_the_heavy_cut_traffic(self):
+        comm = clustered_graph(clusters=2, size=5, inter=7.0)
+        # the inter-cluster edge is (0, 5): one of its endpoints should be
+        # promoted to router
+        topology = partition_communication_graph(comm, max_domain_size=5)
+        assert any(r in (0, 5) for r in topology.routers)

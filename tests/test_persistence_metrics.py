@@ -1,0 +1,114 @@
+"""Unit tests for the persistent store and the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, PersistenceError
+from repro.mom.persistence import PersistentStore
+from repro.simulation.metrics import Counter, MetricsRegistry, Samples
+
+
+class TestPersistentStore:
+    def test_save_load_roundtrip(self):
+        store = PersistentStore(0)
+        store.save("k", {"a": [1, 2]})
+        assert store.load("k") == {"a": [1, 2]}
+
+    def test_default_save_isolates_from_mutation(self):
+        store = PersistentStore(0)
+        value = [1, 2]
+        store.save("k", value)
+        value.append(3)
+        assert store.load("k") == [1, 2]
+
+    def test_load_returns_private_copy(self):
+        store = PersistentStore(0)
+        store.save("k", [1, 2])
+        first = store.load("k")
+        first.append(99)
+        assert store.load("k") == [1, 2]
+
+    def test_missing_key_yields_default(self):
+        store = PersistentStore(0)
+        assert store.load("nope") is None
+        assert store.load("nope", default=7) == 7
+
+    def test_empty_key_rejected(self):
+        store = PersistentStore(0)
+        with pytest.raises(PersistenceError):
+            store.save("", 1)
+
+    def test_write_and_cell_accounting(self):
+        store = PersistentStore(0)
+        store.save("a", 1, cells=100)
+        store.save("b", 2, cells=50)
+        assert store.writes == 2
+        assert store.cells_written == 150
+
+    def test_delete_and_keys(self):
+        store = PersistentStore(0)
+        store.save("a", 1)
+        store.save("b", 2)
+        store.delete("a")
+        assert store.keys() == ["b"]
+        assert not store.has("a")
+
+    def test_owned_save_skips_copy(self):
+        store = PersistentStore(0)
+        value = (1, 2, 3)  # immutable, as the contract requires
+        store.save("k", value, owned=True)
+        assert store.load("k") == (1, 2, 3)
+
+
+class TestCounter:
+    def test_add(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").add(-1)
+
+
+class TestSamples:
+    def test_statistics(self):
+        samples = Samples("s")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            samples.record(v)
+        assert samples.count == 4
+        assert samples.mean == pytest.approx(2.5)
+        assert samples.minimum == 1.0
+        assert samples.maximum == 4.0
+        assert samples.percentile(50) == pytest.approx(2.5)
+
+    def test_empty_statistics_are_nan(self):
+        samples = Samples("s")
+        assert math.isnan(samples.mean)
+        assert math.isnan(samples.percentile(99))
+
+    def test_std_needs_two_points(self):
+        samples = Samples("s")
+        samples.record(5.0)
+        assert samples.std == 0.0
+        samples.record(7.0)
+        assert samples.std > 0
+
+
+class TestRegistry:
+    def test_counters_are_created_once(self):
+        registry = MetricsRegistry()
+        registry.counter("x").add(3)
+        registry.counter("x").add(4)
+        assert registry.counter("x").value == 7
+
+    def test_snapshot_flattens(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.samples("s").record(10.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 2
+        assert snap["s.count"] == 1
+        assert snap["s.mean"] == 10.0

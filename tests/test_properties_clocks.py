@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for the clock implementations.
+
+The central invariant: for ANY message schedule and ANY admissible delivery
+interleaving, the full-matrix and Updates clocks make identical delivery
+decisions and converge to identical matrices — they are two wire formats of
+one protocol. Plus safety properties: delivered messages per (src, dst) are
+FIFO, and matrices are monotone and bounded by the true send counts.
+"""
+
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import MatrixClock, UpdatesClock, VectorClock
+
+GROUP = 4
+
+# a schedule is a list of (src, dst) sends, src != dst
+sends = st.tuples(
+    st.integers(min_value=0, max_value=GROUP - 1),
+    st.integers(min_value=0, max_value=GROUP - 1),
+).filter(lambda pair: pair[0] != pair[1])
+
+schedules = st.lists(sends, min_size=1, max_size=30)
+
+# a permutation seed to vary delivery interleavings
+shuffles = st.randoms(use_true_random=False)
+
+
+def drive(clock_cls, schedule, rng):
+    """Send per `schedule`; deliver in a randomized admissible order.
+    Returns (clocks, delivered) where delivered is the per-receiver
+    delivery log of (src, stamp) pairs."""
+    clocks = [clock_cls(GROUP, i) for i in range(GROUP)]
+    in_flight: List[Tuple[int, object]] = []
+    delivered = {i: [] for i in range(GROUP)}
+
+    def pump():
+        progress = True
+        while progress:
+            progress = False
+            candidates = [
+                item
+                for item in in_flight
+                if clocks[item[0]].can_deliver(item[1])
+            ]
+            if candidates:
+                choice = rng.choice(candidates)
+                dst, stamp = choice
+                clocks[dst].deliver(stamp)
+                delivered[dst].append(stamp)
+                in_flight.remove(choice)
+                progress = True
+
+    for src, dst in schedule:
+        stamp = clocks[src].prepare_send(dst)
+        in_flight.append((dst, stamp))
+        if rng.random() < 0.5:
+            pump()
+    pump()
+    assert not in_flight, "every message must eventually be deliverable"
+    return clocks, delivered
+
+
+class TestProtocolEquivalence:
+    @given(schedule=schedules, rng=shuffles)
+    @settings(max_examples=60, deadline=None)
+    def test_matrices_converge_identically(self, schedule, rng):
+        state = rng.getstate()
+        full, _ = drive(MatrixClock, schedule, rng)
+        rng.setstate(state)
+        delta, _ = drive(UpdatesClock, schedule, rng)
+        for owner in range(GROUP):
+            for i in range(GROUP):
+                for j in range(GROUP):
+                    assert full[owner].cell(i, j) == delta[owner].cell(i, j)
+
+    @given(schedule=schedules, rng=shuffles)
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_orders_identical(self, schedule, rng):
+        state = rng.getstate()
+        _, full_log = drive(MatrixClock, schedule, rng)
+        rng.setstate(state)
+        _, delta_log = drive(UpdatesClock, schedule, rng)
+        for receiver in range(GROUP):
+            full_senders = [s.sender for s in full_log[receiver]]
+            delta_senders = [s.sender for s in delta_log[receiver]]
+            assert full_senders == delta_senders
+
+
+class TestSafetyInvariants:
+    @given(schedule=schedules, rng=shuffles)
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_per_pair(self, schedule, rng):
+        clocks, delivered = drive(MatrixClock, schedule, rng)
+        for receiver, log in delivered.items():
+            per_sender = {}
+            for stamp in log:
+                count = stamp.entry(stamp.sender, receiver)
+                last = per_sender.get(stamp.sender, 0)
+                assert count == last + 1, "FIFO per (src, dst) violated"
+                per_sender[stamp.sender] = count
+
+    @given(schedule=schedules, rng=shuffles)
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_bounded_by_truth(self, schedule, rng):
+        """No server ever believes more messages were sent than actually
+        were (knowledge is an under-approximation of reality)."""
+        truth = [[0] * GROUP for _ in range(GROUP)]
+        for src, dst in schedule:
+            truth[src][dst] += 1
+        clocks, _ = drive(UpdatesClock, schedule, rng)
+        for owner in range(GROUP):
+            for i in range(GROUP):
+                for j in range(GROUP):
+                    assert clocks[owner].cell(i, j) <= truth[i][j]
+
+    @given(schedule=schedules, rng=shuffles)
+    @settings(max_examples=60, deadline=None)
+    def test_own_row_is_exact(self, schedule, rng):
+        """A server knows its own sends exactly."""
+        truth = [[0] * GROUP for _ in range(GROUP)]
+        for src, dst in schedule:
+            truth[src][dst] += 1
+        clocks, _ = drive(MatrixClock, schedule, rng)
+        for owner in range(GROUP):
+            for j in range(GROUP):
+                assert clocks[owner].cell(owner, j) == truth[owner][j]
+
+    @given(schedule=schedules, rng=shuffles)
+    @settings(max_examples=40, deadline=None)
+    def test_updates_deltas_never_exceed_full_stamp(self, schedule, rng):
+        clocks = [UpdatesClock(GROUP, i) for i in range(GROUP)]
+        in_flight = []
+        for src, dst in schedule:
+            stamp = clocks[src].prepare_send(dst)
+            assert stamp.wire_cells <= GROUP * GROUP
+            in_flight.append((dst, stamp))
+            for item in list(in_flight):
+                if clocks[item[0]].can_deliver(item[1]):
+                    clocks[item[0]].deliver(item[1])
+                    in_flight.remove(item)
+
+
+class TestVectorClockProperties:
+    events = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=2),
+        ).filter(lambda p: p[0] != p[1]),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(schedule=events)
+    @settings(max_examples=60, deadline=None)
+    def test_stamps_along_a_process_are_increasing(self, schedule):
+        clocks = [VectorClock(3, i) for i in range(3)]
+        last = {i: None for i in range(3)}
+        for src, dst in schedule:
+            stamp = clocks[src].stamp_send()
+            received = clocks[dst].observe(stamp)
+            for process, new in ((src, stamp), (dst, received)):
+                previous = last[process]
+                if previous is not None:
+                    assert previous.strictly_precedes(new)
+                last[process] = new

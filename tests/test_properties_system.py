@@ -1,0 +1,182 @@
+"""Property-based end-to-end tests: random topologies × random workloads ×
+adversarial networks ⇒ causal delivery always holds (the P2 ⇒ P1 direction
+of the theorem, hammered statistically)."""
+
+import random as pyrandom
+
+from hypothesis import given, settings, strategies as st
+
+from repro.causality import CausalOrder, Message, Trace
+from repro.mom import BusConfig, MessageBus
+from repro.mom.agent import Agent
+from repro.simulation.network import UniformLatency
+from repro.topology.builders import bus, daisy, single_domain, tree
+from repro.topology.graph import validate_topology
+
+
+class ScriptedAgent(Agent):
+    """Plays a fixed script: on boot sends its initial batch; every receipt
+    of a forward-counter > 0 forwards to a scripted next target."""
+
+    def __init__(self):
+        super().__init__()
+        self.initial = []      # list of (target AgentId, hops)
+        self.forward_to = {}   # hops -> target AgentId
+        self.received = []
+
+    def on_boot(self, ctx):
+        for target, hops in self.initial:
+            ctx.send(target, hops)
+
+    def react(self, ctx, sender, payload):
+        self.received.append((sender, payload))
+        if payload > 0:
+            target = self.forward_to.get(payload)
+            if target is not None and target != ctx.my_id:
+                ctx.send(target, payload - 1)
+
+
+topology_params = st.sampled_from(
+    [
+        ("flat", 6, 0),
+        ("flat", 10, 0),
+        ("bus", 9, 3),
+        ("bus", 12, 4),
+        ("daisy", 10, 4),
+        ("tree", 10, 3),
+    ]
+)
+
+
+def build_topology(kind, n, size):
+    if kind == "flat":
+        return single_domain(n)
+    if kind == "bus":
+        return bus(n, size)
+    if kind == "daisy":
+        return daisy(n, size)
+    return tree(n, fanout=2, domain_size=size)
+
+
+@given(
+    params=topology_params,
+    seed=st.integers(min_value=0, max_value=10_000),
+    messages=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_workload_is_always_causal(params, seed, messages):
+    kind, n, size = params
+    topology = build_topology(kind, n, size)
+    validate_topology(topology)
+    config = BusConfig(
+        topology=topology,
+        seed=seed,
+        latency=UniformLatency(0.1, 30.0),
+        clock_algorithm="updates" if seed % 2 else "matrix",
+    )
+    mom = MessageBus(config)
+    agents = [ScriptedAgent() for _ in topology.servers]
+    ids = [mom.deploy(agent, server) for agent, server in zip(agents, topology.servers)]
+
+    rng = pyrandom.Random(seed)
+    for agent in agents:
+        for _ in range(rng.randint(0, max(1, messages // len(agents)))):
+            target = rng.choice(ids)
+            if target != agent.agent_id:
+                agent.initial.append((target, rng.randint(0, 3)))
+        for hops in range(1, 4):
+            agent.forward_to[hops] = rng.choice(ids)
+
+    mom.start()
+    mom.run_until_idle()
+    report = mom.check_app_causality()
+    assert report.respects_causality, report.summary()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_crash_during_random_workload_keeps_causality(seed):
+    topology = bus(9, 3)
+    config = BusConfig(
+        topology=topology,
+        seed=seed,
+        latency=UniformLatency(0.1, 10.0),
+    )
+    mom = MessageBus(config)
+    agents = [ScriptedAgent() for _ in topology.servers]
+    ids = [mom.deploy(a, s) for a, s in zip(agents, topology.servers)]
+    rng = pyrandom.Random(seed)
+    for agent in agents:
+        target = rng.choice(ids)
+        if target != agent.agent_id:
+            agent.initial.append((target, 2))
+        for hops in range(1, 3):
+            agent.forward_to[hops] = rng.choice(ids)
+
+    victim = rng.choice(list(topology.servers))
+    crash_at = rng.uniform(5.0, 60.0)
+    mom.sim.schedule_at(crash_at, lambda: mom.server(victim).crash())
+    mom.sim.schedule_at(
+        crash_at + rng.uniform(50.0, 200.0),
+        lambda: mom.server(victim).recover(),
+    )
+    mom.start()
+    mom.run_until_idle()
+    report = mom.check_app_causality()
+    assert report.respects_causality, report.summary()
+    # exactly-once: nothing received twice
+    for agent in agents:
+        nids = [p for _, p in agent.received]
+        # payload values repeat; use the app trace instead for uniqueness
+    trace = mom.app_trace
+    mids = [m.mid for m in trace.messages]
+    assert len(mids) == len(set(mids))
+
+
+random_trace_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # src
+        st.integers(min_value=0, max_value=3),  # dst
+    ).filter(lambda p: p[0] != p[1]),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(ops=random_trace_ops, seed=st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_trace_checker_accepts_any_fifo_delivery(ops, seed):
+    """Sanity of the oracle itself: a trace whose receives happen in global
+    send order (a causal total order) always respects causality."""
+    trace = Trace()
+    messages = []
+    for index, (src, dst) in enumerate(ops):
+        m = Message(index, src, dst)
+        trace.record_send(m)
+        messages.append(m)
+        trace.record_receive(m)
+    order = CausalOrder(trace)
+    assert order.is_correct()
+    assert order.respects_causality()
+
+
+@given(ops=random_trace_ops)
+@settings(max_examples=60, deadline=None)
+def test_precedence_is_a_strict_partial_order(ops):
+    """Irreflexive + transitive + antisymmetric on correct traces."""
+    trace = Trace()
+    messages = []
+    for index, (src, dst) in enumerate(ops):
+        m = Message(index, src, dst)
+        trace.record_send(m)
+        trace.record_receive(m)
+        messages.append(m)
+    order = CausalOrder(trace)
+    for a in messages:
+        assert not order.precedes(a, a)
+        for b in messages:
+            if order.precedes(a, b):
+                assert not order.precedes(b, a)
+                for c in messages:
+                    if order.precedes(b, c):
+                        assert order.precedes(a, c)

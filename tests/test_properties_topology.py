@@ -1,0 +1,145 @@
+"""Property-based tests for the topology layer: builders, partitioner,
+repair, routing — on randomized inputs."""
+
+import random as pyrandom
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    CommunicationGraph,
+    build_routing_tables,
+    bus,
+    daisy,
+    estimate_traffic_cost,
+    from_domain_map,
+    partition_communication_graph,
+    repair_topology,
+    route,
+    single_domain,
+    tree,
+    validate_topology,
+)
+
+
+class TestBuilderProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=200),
+        size=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bus_always_valid_and_complete(self, n, size):
+        assume(size == 0 or size >= 2)
+        topology = bus(n, size)
+        validate_topology(topology)
+        assert topology.server_count == n
+
+    @given(
+        n=st.integers(min_value=2, max_value=150),
+        size=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_daisy_always_valid_and_complete(self, n, size):
+        topology = daisy(n, size)
+        validate_topology(topology)
+        assert topology.server_count == n
+
+    @given(
+        n=st.integers(min_value=2, max_value=120),
+        fanout=st.integers(min_value=1, max_value=4),
+        size=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tree_always_valid_and_complete(self, n, fanout, size):
+        topology = tree(n, fanout=fanout, domain_size=size)
+        validate_topology(topology)
+        assert topology.server_count == n
+
+    @given(n=st.integers(min_value=2, max_value=80))
+    @settings(max_examples=40, deadline=None)
+    def test_every_builder_routes_all_pairs(self, n):
+        for topology in (bus(n), daisy(n, 4) if n >= 2 else None):
+            if topology is None:
+                continue
+            tables = build_routing_tables(topology)
+            rng = pyrandom.Random(n)
+            pairs = [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(10)
+            ]
+            for src, dst in pairs:
+                if src == dst:
+                    continue
+                path = route(tables, src, dst)
+                assert path[0] == src and path[-1] == dst
+                for a, b in zip(path, path[1:]):
+                    assert topology.common_domains(a, b)
+
+
+class TestPartitionProperties:
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        seed=st.integers(min_value=0, max_value=999),
+        cap=st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partitioner_output_always_validates(self, n, seed, cap):
+        rng = pyrandom.Random(seed)
+        comm = CommunicationGraph(n)
+        for _ in range(min(60, n * 2)):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                comm.add_traffic(a, b, rng.uniform(0.5, 10.0))
+        topology = partition_communication_graph(comm, max_domain_size=cap)
+        validate_topology(topology)
+        assert topology.server_count == n
+
+    @given(
+        n=st.integers(min_value=6, max_value=30),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partitioned_never_worse_than_flat(self, n, seed):
+        rng = pyrandom.Random(seed)
+        comm = CommunicationGraph(n)
+        for _ in range(n * 2):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                comm.add_traffic(a, b, rng.uniform(0.5, 5.0))
+        topology = partition_communication_graph(comm)
+        flat_cost = estimate_traffic_cost(single_domain(n), comm)
+        smart_cost = estimate_traffic_cost(topology, comm)
+        # with s² per-domain costs, any decomposition into smaller domains
+        # beats one huge domain on every route
+        assert smart_cost <= flat_cost
+
+
+class TestRepairProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        domain_count=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_repair_random_overlapping_domains(self, seed, domain_count):
+        """Random overlapping domain soups: repair either produces a valid
+        topology or reports clearly why it cannot."""
+        rng = pyrandom.Random(seed)
+        n = rng.randint(domain_count + 1, domain_count * 4)
+        mapping = {}
+        for d in range(domain_count):
+            size = rng.randint(2, max(2, n // 2))
+            mapping[f"d{d}"] = rng.sample(range(n), k=min(size, n))
+        covered = sorted({s for servers in mapping.values() for s in servers})
+        remap = {old: new for new, old in enumerate(covered)}
+        mapping = {
+            k: [remap[s] for s in servers] for k, servers in mapping.items()
+        }
+        try:
+            topology = from_domain_map(mapping)
+        except TopologyError:
+            return  # degenerate map (duplicate in one domain etc.)
+        try:
+            repaired, actions = repair_topology(topology)
+        except TopologyError:
+            return  # disconnected or unrepairable: acceptable, reported
+        validate_topology(repaired)
+        assert repaired.server_count == topology.server_count

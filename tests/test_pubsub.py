@@ -1,0 +1,184 @@
+"""Tests for the topic/queue destination agents."""
+
+import pytest
+
+from repro.errors import AgentError
+from repro.mom import BusConfig, FunctionAgent, MessageBus
+from repro.mom.agent import Agent
+from repro.pubsub import (
+    Delivery,
+    Publish,
+    Put,
+    QueueAgent,
+    Register,
+    Subscribe,
+    TopicAgent,
+    Unsubscribe,
+)
+from repro.topology import bus as bus_topology
+from repro.topology import single_domain
+
+
+class Collector(Agent):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def react(self, ctx, sender, payload):
+        self.got.append(payload)
+
+
+def boot_agent(action):
+    agent = FunctionAgent(lambda ctx, s, p: None)
+    agent.on_boot = action
+    return agent
+
+
+class TestTopic:
+    def make(self, topology=None):
+        mom = MessageBus(BusConfig(topology=topology or single_domain(3)))
+        topic = TopicAgent()
+        topic_id = mom.deploy(topic, 1)
+        return mom, topic, topic_id
+
+    def test_fanout_to_subscribers(self):
+        mom, topic, topic_id = self.make()
+        subs = [Collector(), Collector()]
+        sub_ids = [mom.deploy(s, 2) for s in subs]
+
+        def boot(ctx):
+            for sid in sub_ids:
+                ctx.send(topic_id, Subscribe(sid))
+            ctx.send(topic_id, Publish("news"))
+
+        mom.deploy(boot_agent(boot), 0)
+        mom.start()
+        mom.run_until_idle()
+        for sub in subs:
+            assert [d.body for d in sub.got] == ["news"]
+        assert topic.published == 1
+
+    def test_subscription_ordered_before_publish_causally(self):
+        """Subscribe then Publish from the same sender: FIFO guarantees the
+        subscriber gets the publication."""
+        mom = MessageBus(BusConfig(topology=bus_topology(9, 3)))
+        topic = TopicAgent()
+        topic_id = mom.deploy(topic, 8)
+        sub = Collector()
+        sub_id = mom.deploy(sub, 4)
+
+        def boot(ctx):
+            ctx.send(topic_id, Subscribe(sub_id))
+            ctx.send(topic_id, Publish("first"))
+
+        mom.deploy(boot_agent(boot), 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [d.body for d in sub.got] == ["first"]
+        assert mom.check_app_causality().respects_causality
+
+    def test_unsubscribe_stops_fanout(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        topic = TopicAgent()
+        topic_id = mom.deploy(topic, 1)
+        sub = Collector()
+        sub_id = mom.deploy(sub, 0)
+
+        def boot(ctx):
+            ctx.send(topic_id, Subscribe(sub_id))
+            ctx.send(topic_id, Publish("seen"))
+            ctx.send(topic_id, Unsubscribe(sub_id))
+            ctx.send(topic_id, Publish("unseen"))
+
+        mom.deploy(boot_agent(boot), 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [d.body for d in sub.got] == ["seen"]
+
+    def test_duplicate_subscribe_is_idempotent(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        topic = TopicAgent()
+        topic_id = mom.deploy(topic, 1)
+        sub = Collector()
+        sub_id = mom.deploy(sub, 0)
+
+        def boot(ctx):
+            ctx.send(topic_id, Subscribe(sub_id))
+            ctx.send(topic_id, Subscribe(sub_id))
+            ctx.send(topic_id, Publish("once"))
+
+        mom.deploy(boot_agent(boot), 0)
+        mom.start()
+        mom.run_until_idle()
+        assert len(sub.got) == 1
+
+    def test_delivery_carries_publisher_identity(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        topic = TopicAgent()
+        topic_id = mom.deploy(topic, 1)
+        sub = Collector()
+        sub_id = mom.deploy(sub, 0)
+
+        def boot(ctx):
+            ctx.send(topic_id, Subscribe(sub_id))
+            ctx.send(topic_id, Publish("x"))
+
+        publisher = boot_agent(boot)
+        publisher_id = mom.deploy(publisher, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert sub.got[0].source == publisher_id
+
+    def test_unsupported_payload_raises(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        topic_id = mom.deploy(TopicAgent(), 1)
+        mom.deploy(boot_agent(lambda ctx: ctx.send(topic_id, "garbage")), 0)
+        mom.start()
+        with pytest.raises(AgentError):
+            mom.run_until_idle()
+
+
+class TestQueue:
+    def test_round_robin_dispatch(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        queue = QueueAgent()
+        queue_id = mom.deploy(queue, 1)
+        consumers = [Collector(), Collector()]
+        ids = [mom.deploy(c, 0) for c in consumers]
+
+        def boot(ctx):
+            for cid in ids:
+                ctx.send(queue_id, Register(cid))
+            for i in range(6):
+                ctx.send(queue_id, Put(i))
+
+        mom.deploy(boot_agent(boot), 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [d.body for d in consumers[0].got] == [0, 2, 4]
+        assert [d.body for d in consumers[1].got] == [1, 3, 5]
+
+    def test_buffering_until_consumer_registers(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        queue = QueueAgent()
+        queue_id = mom.deploy(queue, 1)
+        consumer = Collector()
+        consumer_id = mom.deploy(consumer, 0)
+
+        def boot(ctx):
+            ctx.send(queue_id, Put("early"))
+            ctx.send(queue_id, Register(consumer_id))
+
+        mom.deploy(boot_agent(boot), 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [d.body for d in consumer.got] == ["early"]
+        assert queue.buffered == []
+
+    def test_unsupported_payload_raises(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        queue_id = mom.deploy(QueueAgent(), 1)
+        mom.deploy(boot_agent(lambda ctx: ctx.send(queue_id, 42)), 0)
+        mom.start()
+        with pytest.raises(AgentError):
+            mom.run_until_idle()

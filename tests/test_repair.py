@@ -1,0 +1,104 @@
+"""Tests for topology repair (cycle breaking with minimal membership cuts)."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import from_domain_map, ring, validate_topology
+from repro.topology.repair import (
+    DomainAbsorption,
+    RepairAction,
+    repair_topology,
+)
+
+
+class TestAlreadyValid:
+    def test_valid_topology_untouched(self, figure2_topology):
+        repaired, actions = repair_topology(figure2_topology)
+        assert actions == []
+        assert [d.servers for d in repaired.domains] == [
+            d.servers for d in figure2_topology.domains
+        ]
+
+    def test_single_domain_untouched(self):
+        topo = from_domain_map({"D": [0, 1, 2]})
+        repaired, actions = repair_topology(topo)
+        assert actions == []
+
+
+class TestCycleBreaking:
+    def test_ring_becomes_acyclic(self):
+        topo = ring(4, 3)
+        with pytest.raises(TopologyError):
+            validate_topology(topo)
+        repaired, actions = repair_topology(topo)
+        validate_topology(repaired)  # no raise
+        assert len(actions) >= 1
+
+    def test_every_server_keeps_a_home(self):
+        topo = ring(5, 4)
+        repaired, actions = repair_topology(topo)
+        assert repaired.server_count == topo.server_count
+        for server in repaired.servers:
+            assert repaired.domains_of(server)
+
+    def test_actions_describe_removals(self):
+        topo = ring(3, 3)
+        repaired, actions = repair_topology(topo)
+        surviving = set(repaired.domain_ids)
+        for action in actions:
+            assert action.describe()
+            if isinstance(action, RepairAction):
+                if action.domain_id in surviving:
+                    domain = repaired.domain(action.domain_id)
+                    assert action.server not in domain.servers
+            else:
+                assert isinstance(action, DomainAbsorption)
+                assert action.domain_id not in surviving
+
+    def test_minimal_cut_for_simple_ring(self):
+        """A 3-domain ring of 2-server domains has exactly one redundant
+        adjacency; one membership cut breaks it, and the domain it shrinks
+        collapses into its superset."""
+        topo = from_domain_map({"d0": [0, 1], "d1": [1, 2], "d2": [2, 0]})
+        repaired, actions = repair_topology(topo)
+        validate_topology(repaired)
+        cuts = [a for a in actions if isinstance(a, RepairAction)]
+        assert len(cuts) == 1
+
+    def test_double_shared_pair_thinned(self):
+        """Two domains sharing two servers: keep one shared router."""
+        topo = from_domain_map({"a": [0, 1, 2], "b": [1, 2, 3]})
+        repaired, actions = repair_topology(topo)
+        validate_topology(repaired)
+        assert len(actions) == 1
+        shared = set(repaired.domain("a").servers) & set(
+            repaired.domain("b").servers
+        )
+        assert len(shared) == 1
+
+    def test_disconnected_not_repairable(self):
+        topo = from_domain_map({"a": [0, 1], "b": [2, 3]})
+        with pytest.raises(TopologyError, match="disconnected"):
+            repair_topology(topo)
+
+
+class TestRepairProperties:
+    @given(
+        domain_count=st.integers(min_value=3, max_value=7),
+        domain_size=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rings_always_repairable(self, domain_count, domain_size):
+        topo = ring(domain_count, domain_size)
+        repaired, actions = repair_topology(topo)
+        validate_topology(repaired)
+        assert actions
+        # repair removes memberships (and possibly collapses nested
+        # domains) but never removes servers
+        assert repaired.server_count == topo.server_count
+        assert set(repaired.domain_ids) <= set(topo.domain_ids)
+        for domain in repaired.domains:
+            original = topo.domain(domain.domain_id)
+            assert set(domain.servers) <= set(original.servers)

@@ -1,0 +1,42 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench.figures import local_unicast_table, state_size_table
+from repro.bench.report import generate_report, _markdown_table
+from repro.bench.__main__ import main as bench_main
+
+
+class TestMarkdownTable:
+    def test_table_shape(self):
+        result = local_unicast_table(ns=[10, 20], rounds=2)
+        table = _markdown_table(result)
+        lines = table.splitlines()
+        assert lines[0].startswith("| n |")
+        assert lines[1].startswith("|---")
+        assert len([l for l in lines if l.startswith("| 1") or l.startswith("| 2")]) == 2
+
+    def test_notes_become_blockquotes(self):
+        result = local_unicast_table(ns=[10, 20], rounds=2)
+        table = _markdown_table(result)
+        assert "> constant in n" in table
+
+
+class TestGenerateReport:
+    def test_small_report(self):
+        sections = (
+            ("Local", lambda: local_unicast_table(ns=[10], rounds=2)),
+            ("State", lambda: state_size_table(ns=[10, 20])),
+        )
+        report = generate_report(sections)
+        assert "# Reproduction report" in report
+        assert "## Local" in report
+        assert "## State" in report
+        assert "wall time" in report
+
+    def test_cli_report_subcommand(self, capsys):
+        assert bench_main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "## Figure 7" in out
+        assert "## Figure 11" in out
+        assert "paper_ms" in out

@@ -1,0 +1,266 @@
+"""The main theorem (§4.3), validated from both directions.
+
+P1 ⇒ P2 (contrapositive, constructive): for cyclic domain structures, the
+Figure-4(a) construction yields a correct trace that respects causality in
+every domain yet violates it globally — both as a formal trace and end to
+end through the MOM with validation disabled.
+
+P2 ⇒ P1 (statistical): random workloads over random *acyclic* topologies,
+under adversarial network jitter, always produce causally consistent app
+traces. (Exhaustive proof is the paper's; these tests would catch any
+implementation deviation.)
+"""
+
+import random
+
+import pytest
+
+from repro.causality import (
+    build_violation_trace,
+    check_all_domains,
+    check_trace,
+    find_cycle_path,
+    Membership,
+)
+from repro.errors import CausalityViolationError, CyclicDomainGraphError
+from repro.mom.agent import Agent, EchoAgent, FunctionAgent
+from repro.mom.bus import MessageBus
+from repro.mom.config import BusConfig
+from repro.simulation.network import UniformLatency
+from repro.topology.builders import bus as bus_topology
+from repro.topology.builders import daisy, ring, tree, from_domain_map
+from repro.topology.graph import validate_topology
+
+
+class TestCounterexampleFormal:
+    """P1 ⇒ P2 at the trace level."""
+
+    @pytest.mark.parametrize("domain_count", [3, 4, 6])
+    def test_ring_admits_violation(self, domain_count):
+        routers = [f"r{i}" for i in range(domain_count)]
+        domains = {}
+        for i in range(domain_count):
+            domains[f"d{i}"] = {routers[i], routers[(i + 1) % domain_count]}
+        membership = Membership(domains)
+
+        path = find_cycle_path(membership)
+        assert path is not None, "ring must contain a §4.2 cycle"
+
+        trace, direct, chain = build_violation_trace(path, membership)
+        global_report = check_trace(trace)
+        assert global_report.correct
+        assert not global_report.respects_causality, (
+            "the Figure-4(a) trace must violate global causality"
+        )
+        domain_reports = check_all_domains(trace, membership)
+        assert all(r.respects_causality for r in domain_reports.values()), (
+            "every per-domain restriction must be clean"
+        )
+
+    def test_acyclic_membership_has_no_cycle_path(self):
+        membership = Membership(
+            {
+                "A": {"S1", "S2", "S3"},
+                "B": {"S4", "S5"},
+                "C": {"S7", "S8"},
+                "D": {"S3", "S5", "S6", "S7"},
+            }
+        )
+        assert find_cycle_path(membership) is None
+
+    def test_violation_report_raises_with_witness(self):
+        membership = Membership(
+            {"d0": {"a", "c"}, "d1": {"a", "b"}, "d2": {"b", "c"}}
+        )
+        path = find_cycle_path(membership)
+        trace, _, _ = build_violation_trace(path, membership)
+        report = check_trace(trace)
+        with pytest.raises(CausalityViolationError):
+            report.raise_on_violation()
+
+
+class _RelayAgent(Agent):
+    """Forwards any received payload to a fixed next agent."""
+
+    def __init__(self):
+        super().__init__()
+        self.next_hop = None
+
+    def react(self, ctx, sender, payload):
+        if self.next_hop is not None:
+            ctx.send(self.next_hop, payload)
+
+
+class TestCounterexampleEndToEnd:
+    """P1 ⇒ P2 in the running MOM: boot a ring topology (validation off),
+    race a relayed chain against a delayed direct message, and watch the
+    checker catch the real violation."""
+
+    def test_mom_on_cyclic_topology_violates_causality(self):
+        # ring of 3 domains over 3 router servers:
+        #   d0={0,1}, d1={1,2}, d2={2,0}
+        topology = from_domain_map(
+            {"d0": [0, 1], "d1": [1, 2], "d2": [2, 0]}
+        )
+        with pytest.raises(CyclicDomainGraphError):
+            validate_topology(topology)
+
+        config = BusConfig(topology=topology, validate=False, seed=4)
+        mom = MessageBus(config)
+
+        sink_order = []
+        sink = FunctionAgent(lambda ctx, s, p: sink_order.append(p))
+        sink_id = mom.deploy(sink, 2)          # q = server 2
+
+        relay = _RelayAgent()
+        relay_id = mom.deploy(relay, 1)        # intermediate server 1
+        relay.next_hop = sink_id
+
+        starter = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(sink_id, "n-direct")      # via d2 (0-2 share d2)
+            ctx.send(relay_id, "m-chain")      # via d0, relayed over d1
+
+        starter.on_boot = boot
+        mom.deploy(starter, 0)
+
+        # Delay the direct route so the chain wins the race.
+        mom.network.partition(0, 2)
+        mom.sim.schedule_at(500.0, mom.network.heal, 0, 2)
+
+        mom.start()
+        mom.run_until_idle()
+
+        assert sink_order == ["m-chain", "n-direct"], (
+            "the relayed message must arrive first for the anomaly"
+        )
+        report = mom.check_app_causality()
+        assert not report.respects_causality, (
+            "cyclic domain graph must let the MOM violate global causality"
+        )
+
+    def test_same_schedule_on_acyclic_topology_is_safe(self):
+        """Identical race, but server 0 and 2 share a domain *with* 1 in a
+        tree-shaped structure: the direct message routes through the same
+        domains, and causal order holds despite the partition delay."""
+        topology = from_domain_map({"d0": [0, 1], "d1": [1, 2]})
+        validate_topology(topology)
+        config = BusConfig(topology=topology, seed=4)
+        mom = MessageBus(config)
+
+        sink_order = []
+        sink = FunctionAgent(lambda ctx, s, p: sink_order.append(p))
+        sink_id = mom.deploy(sink, 2)
+        relay = _RelayAgent()
+        relay_id = mom.deploy(relay, 1)
+        relay.next_hop = sink_id
+        starter = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send(sink_id, "n-direct")
+            ctx.send(relay_id, "m-chain")
+
+        starter.on_boot = boot
+        mom.deploy(starter, 0)
+        # The 1→2 hop is the only way into d1; delaying it cannot reorder
+        # causally-related messages, but try anyway:
+        mom.network.partition(1, 2)
+        mom.sim.schedule_at(300.0, mom.network.heal, 1, 2)
+        mom.start()
+        mom.run_until_idle()
+
+        report = mom.check_app_causality()
+        assert report.respects_causality
+        assert sink_order[0] == "n-direct"
+
+
+class _RandomTalker(Agent):
+    """Sends `count` messages to random peers, each reaction forwarding a
+    decremented hop counter — generates rich causal structure."""
+
+    def __init__(self, peers, count, seed):
+        super().__init__()
+        self.peers = peers
+        self.count = count
+        self.seed = seed
+
+    def on_boot(self, ctx):
+        rng = random.Random(self.seed)
+        for _ in range(self.count):
+            target = rng.choice(self.peers)
+            if target != ctx.my_id:
+                ctx.send(target, 3)
+
+    def react(self, ctx, sender, payload):
+        if payload > 0:
+            rng = random.Random(self.seed * 7919 + payload * 131 + sender.server)
+            target = rng.choice(self.peers)
+            if target != ctx.my_id:
+                ctx.send(target, payload - 1)
+
+
+def _run_random_workload(topology, seed):
+    config = BusConfig(
+        topology=topology,
+        seed=seed,
+        latency=UniformLatency(0.1, 25.0),  # aggressive reordering
+        clock_algorithm="updates" if seed % 2 else "matrix",
+    )
+    mom = MessageBus(config)
+    agent_ids = []
+    talkers = []
+    for server in topology.servers:
+        talker = _RandomTalker([], count=3, seed=seed * 101 + server)
+        agent_ids.append(mom.deploy(talker, server))
+        talkers.append(talker)
+    for talker in talkers:
+        talker.peers = agent_ids
+    mom.start()
+    mom.run_until_idle()
+    return mom
+
+
+class TestP2ImpliesP1EndToEnd:
+    """P2 ⇒ P1: random workloads on acyclic topologies never violate."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bus_topology_random_workloads(self, seed):
+        mom = _run_random_workload(bus_topology(12, 4), seed)
+        assert mom.check_app_causality().respects_causality
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_daisy_topology_random_workloads(self, seed):
+        mom = _run_random_workload(daisy(10, 4), seed)
+        assert mom.check_app_causality().respects_causality
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree_topology_random_workloads(self, seed):
+        mom = _run_random_workload(tree(13, fanout=2, domain_size=4), seed)
+        assert mom.check_app_causality().respects_causality
+
+    def test_figure2_topology_random_workload(self, figure2_topology):
+        mom = _run_random_workload(figure2_topology, 42)
+        assert mom.check_app_causality().respects_causality
+
+    def test_per_domain_causality_holds_too(self):
+        topology = bus_topology(12, 4)
+        config = BusConfig(
+            topology=topology,
+            seed=7,
+            latency=UniformLatency(0.1, 25.0),
+            record_hop_trace=True,
+        )
+        mom = MessageBus(config)
+        ids = []
+        talkers = []
+        for server in topology.servers:
+            talker = _RandomTalker([], count=3, seed=900 + server)
+            ids.append(mom.deploy(talker, server))
+            talkers.append(talker)
+        for talker in talkers:
+            talker.peers = ids
+        mom.start()
+        mom.run_until_idle()
+        for report in mom.check_domain_causality().values():
+            assert report.respects_causality, report.summary()

@@ -1,0 +1,111 @@
+"""Tests for agent timers (send_after) and the open-loop load workload."""
+
+import pytest
+
+from repro.bench import OpenLoopDriver, SinkAgent
+from repro.errors import AgentError, ConfigurationError
+from repro.mom import BusConfig, FunctionAgent, MessageBus
+from repro.mom.agent import Agent
+from repro.topology import bus as bus_topology
+from repro.topology import single_domain
+
+
+class TestSendAfter:
+    def test_delayed_send_arrives_after_delay(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        arrivals = []
+        sink = FunctionAgent(lambda ctx, s, p: arrivals.append((ctx.now, p)))
+        sink_id = mom.deploy(sink, 1)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx):
+            ctx.send_after(100.0, sink_id, "later")
+            ctx.send(sink_id, "now")
+
+        sender.on_boot = boot
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert [p for _, p in arrivals] == ["now", "later"]
+        assert arrivals[1][0] - arrivals[0][0] >= 90.0
+
+    def test_timer_respects_causal_order_with_prior_sends(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        sink = FunctionAgent(lambda ctx, s, p: None)
+        sink_id = mom.deploy(sink, 1)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+        sender.on_boot = lambda ctx: ctx.send_after(10.0, sink_id, "x")
+        mom.deploy(sender, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert mom.check_app_causality().respects_causality
+
+    def test_negative_delay_rejected(self):
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        sink_id = mom.deploy(FunctionAgent(lambda c, s, p: None), 1)
+        bad = FunctionAgent(lambda c, s, p: None)
+        bad.on_boot = lambda ctx: ctx.send_after(-1.0, sink_id, "x")
+        mom.deploy(bad, 0)
+        mom.start()
+        with pytest.raises(AgentError):
+            mom.run_until_idle()
+
+    def test_timers_are_volatile_across_crashes(self):
+        """A crash between arming and firing drops the timer silently."""
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        arrivals = []
+        sink = FunctionAgent(lambda ctx, s, p: arrivals.append(p))
+        sink_id = mom.deploy(sink, 1)
+        sender = FunctionAgent(lambda ctx, s, p: None)
+        sender.on_boot = lambda ctx: ctx.send_after(100.0, sink_id, "doomed")
+        mom.deploy(sender, 0)
+        mom.sim.schedule_at(50.0, lambda: mom.server(0).crash())
+        mom.sim.schedule_at(200.0, lambda: mom.server(0).recover())
+        mom.start()
+        mom.run_until_idle()
+        assert arrivals == []
+
+
+class TestOpenLoopWorkload:
+    def run_load(self, topology, period, count=30):
+        mom = MessageBus(BusConfig(topology=topology))
+        sink = SinkAgent()
+        sink_id = mom.deploy(sink, topology.server_count - 1)
+        driver = OpenLoopDriver(period_ms=period, count=count)
+        driver.bind(sink_id)
+        mom.deploy(driver, 0)
+        mom.start()
+        mom.run_until_idle()
+        assert sink.received == count
+        return sink.sojourn_ms
+
+    def test_light_load_latency_is_flat(self):
+        """At a period far above the service time, every message sees an
+        idle system: sojourn ≈ the unloaded one-way time."""
+        sojourns = self.run_load(single_domain(10), period=200.0)
+        assert max(sojourns) < 1.2 * min(sojourns)
+
+    def test_overload_grows_queues(self):
+        """At a period below the per-message service time (~45 ms at n=50)
+        the sender CPU saturates and sojourn climbs steadily."""
+        sojourns = self.run_load(single_domain(50), period=10.0)
+        assert sojourns[-1] > 5 * sojourns[0]
+
+    def test_domains_raise_the_saturation_point(self):
+        """A period that overloads the flat 50-server MOM (service ~45 ms)
+        is comfortable for the domained one (first hop ~15 ms)."""
+        flat = self.run_load(single_domain(50), period=25.0)
+        domained = self.run_load(bus_topology(50), period=25.0)
+        assert max(flat) > 2 * max(domained)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpenLoopDriver(period_ms=0, count=5)
+        with pytest.raises(ConfigurationError):
+            OpenLoopDriver(period_ms=5, count=0)
+        driver = OpenLoopDriver(period_ms=5, count=5)
+        mom = MessageBus(BusConfig(topology=single_domain(2)))
+        mom.deploy(driver, 0)
+        mom.start()
+        with pytest.raises(ConfigurationError):
+            mom.run_until_idle()  # bind() never called

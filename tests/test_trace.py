@@ -1,0 +1,168 @@
+"""Unit tests for messages, events and traces (§4.2 structures)."""
+
+import pytest
+
+from repro.causality import Message, Trace
+from repro.causality.trace import EventKind
+from repro.errors import TraceError
+
+
+def msg(mid, src, dst):
+    return Message(mid, src, dst)
+
+
+class TestMessage:
+    def test_endpoints_must_differ(self):
+        with pytest.raises(TraceError):
+            Message(1, "p", "p")
+
+    def test_between_allocates_fresh_ids(self):
+        a = Message.between("p", "q")
+        b = Message.between("p", "q")
+        assert a.mid != b.mid
+
+    def test_payload_not_part_of_identity(self):
+        assert Message(1, "p", "q", payload="x") == Message(1, "p", "q", payload="y")
+
+
+class TestRecording:
+    def test_send_then_receive(self):
+        trace = Trace()
+        m = msg(1, "p", "q")
+        trace.record_send(m)
+        trace.record_receive(m)
+        assert trace.was_received(m)
+        assert len(trace) == 2
+
+    def test_receive_before_send_rejected(self):
+        trace = Trace()
+        with pytest.raises(TraceError):
+            trace.record_receive(msg(1, "p", "q"))
+
+    def test_double_send_rejected(self):
+        trace = Trace()
+        m = msg(1, "p", "q")
+        trace.record_send(m)
+        with pytest.raises(TraceError):
+            trace.record_send(m)
+
+    def test_double_receive_rejected(self):
+        trace = Trace()
+        m = msg(1, "p", "q")
+        trace.record_send(m)
+        trace.record_receive(m)
+        with pytest.raises(TraceError):
+            trace.record_receive(m)
+
+    def test_receive_with_mismatched_endpoints_rejected(self):
+        trace = Trace()
+        trace.record_send(msg(1, "p", "q"))
+        with pytest.raises(TraceError):
+            trace.record_receive(msg(1, "p", "r"))
+
+
+class TestLocalOrder:
+    def test_local_order_follows_recording(self):
+        trace = Trace()
+        m1, m2 = msg(1, "p", "q"), msg(2, "p", "q")
+        trace.record_send(m1)
+        trace.record_send(m2)
+        assert trace.locally_before("p", m1, m2)
+        assert not trace.locally_before("p", m2, m1)
+
+    def test_send_and_receive_interleave_in_local_order(self):
+        trace = Trace()
+        out = msg(1, "p", "q")
+        back = msg(2, "q", "p")
+        trace.record_send(out)
+        trace.record_receive(out)
+        trace.record_send(back)
+        trace.record_receive(back)
+        assert trace.locally_before("p", out, back)
+        assert trace.locally_before("q", out, back)
+
+    def test_unknown_message_at_process_rejected(self):
+        trace = Trace()
+        m = msg(1, "p", "q")
+        trace.record_send(m)
+        with pytest.raises(TraceError):
+            trace.local_index("r", m)
+
+    def test_received_in_order(self):
+        trace = Trace()
+        m1, m2 = msg(1, "a", "q"), msg(2, "b", "q")
+        trace.record_send(m1)
+        trace.record_send(m2)
+        trace.record_receive(m2)
+        trace.record_receive(m1)
+        assert trace.received_in_order("q") == [m2, m1]
+
+    def test_sent_in_order(self):
+        trace = Trace()
+        m1, m2 = msg(1, "p", "a"), msg(2, "p", "b")
+        trace.record_send(m1)
+        trace.record_send(m2)
+        assert trace.sent_in_order("p") == [m1, m2]
+
+
+class TestFromHistories:
+    def test_builds_equivalent_trace(self):
+        m = msg(1, "p", "q")
+        trace = Trace.from_histories(
+            {
+                "p": [(EventKind.SEND, m)],
+                "q": [(EventKind.RECEIVE, m)],
+            }
+        )
+        assert trace.was_received(m)
+        assert trace.locally_before is not None
+
+    def test_receive_without_send_rejected(self):
+        m = msg(1, "p", "q")
+        with pytest.raises(TraceError):
+            Trace.from_histories({"q": [(EventKind.RECEIVE, m)]})
+
+    def test_event_at_wrong_process_rejected(self):
+        m = msg(1, "p", "q")
+        with pytest.raises(TraceError):
+            Trace.from_histories({"r": [(EventKind.SEND, m)]})
+
+    def test_receives_may_precede_sends_across_processes(self):
+        """from_histories imposes no inter-process recording order."""
+        m = msg(1, "p", "q")
+        trace = Trace.from_histories(
+            {
+                "q": [(EventKind.RECEIVE, m)],
+                "p": [(EventKind.SEND, m)],
+            }
+        )
+        assert trace.was_received(m)
+
+
+class TestRestrict:
+    def test_restriction_drops_other_messages(self):
+        trace = Trace()
+        keep = msg(1, "p", "q")
+        drop = msg(2, "p", "r")
+        trace.record_send(keep)
+        trace.record_send(drop)
+        trace.record_receive(keep)
+        trace.record_receive(drop)
+        restricted = trace.restrict([keep])
+        assert [m.mid for m in restricted.messages] == [1]
+        assert restricted.was_received(keep)
+
+    def test_restriction_preserves_relative_local_order(self):
+        trace = Trace()
+        m1 = msg(1, "p", "q")
+        mid = msg(2, "p", "r")
+        m3 = msg(3, "p", "q")
+        for m in (m1, mid, m3):
+            trace.record_send(m)
+        restricted = trace.restrict([m1, m3])
+        assert restricted.locally_before("p", m1, m3)
+
+    def test_restrict_unknown_message_rejected(self):
+        trace = Trace()
+        with pytest.raises(TraceError):
+            trace.restrict([msg(9, "p", "q")])

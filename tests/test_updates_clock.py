@@ -1,0 +1,193 @@
+"""Unit tests for the Appendix-A Updates algorithm, including equivalence
+with the full-matrix protocol."""
+
+import pytest
+
+from repro.clocks import MatrixClock, UpdatesClock
+from repro.errors import ClockError
+
+
+def make_group(size):
+    return [UpdatesClock(size, i) for i in range(size)]
+
+
+class TestDeltaContents:
+    def test_first_send_ships_one_cell(self):
+        a, b, _ = make_group(3)
+        stamp = a.prepare_send(1)
+        assert stamp.wire_cells == 1
+        assert stamp.entry(0, 1) == 1
+
+    def test_quiet_pair_stays_at_one_cell(self):
+        """Steady-state ping-pong between two servers ships O(1) cells —
+        the optimization's headline win."""
+        a, b, _ = make_group(3)
+        for _ in range(10):
+            b.deliver(a.prepare_send(1))
+            a.deliver(b.prepare_send(0))
+        stamp = a.prepare_send(1)
+        # own bump + the cell learned back from b's last message
+        assert stamp.wire_cells <= 2
+
+    def test_learned_cells_propagate(self):
+        a, b, c = make_group(3)
+        b.deliver(a.prepare_send(1))
+        stamp = b.prepare_send(2)
+        # b ships its own bump AND what it learned from a
+        assert stamp.entry(1, 2) == 1
+        assert stamp.entry(0, 1) == 1
+
+    def test_no_echo_back_to_teacher(self):
+        """Cells learned *from* a peer are not shipped back to that peer
+        (the Mat[k,l].node ≠ j filter)."""
+        a, b, _ = make_group(3)
+        b.deliver(a.prepare_send(1))
+        stamp = b.prepare_send(0)
+        assert stamp.entry(0, 1) is None
+        assert stamp.entry(1, 0) == 1
+
+    def test_high_water_mark_suppresses_reships(self):
+        a, b, c = make_group(3)
+        first = a.prepare_send(1)
+        second = a.prepare_send(1)
+        # second should not re-ship the (0,1) value from first; it ships
+        # the *new* (0,1)=2 only.
+        assert second.wire_cells == 1
+        assert second.entry(0, 1) == 2
+
+    def test_worst_case_is_quadratic(self):
+        """§3: even with Updates, a long-silent server may ship O(n²)
+        cells. Construct it: server 0 hears from everyone, then talks."""
+        size = 6
+        group = make_group(size)
+        hub = group[0]
+        for other in range(1, size):
+            hub.deliver(group[other].prepare_send(0))
+        stamp = hub.prepare_send(1)
+        # one cell learned per peer (minus the no-echo filter for dest) + own
+        assert stamp.wire_cells >= size - 2
+
+
+class TestDelivery:
+    def test_fifo_per_sender(self):
+        a, b, _ = make_group(3)
+        first = a.prepare_send(1)
+        second = a.prepare_send(1)
+        assert not b.can_deliver(second)
+        b.deliver(first)
+        assert b.can_deliver(second)
+
+    def test_causal_transitivity_enforced(self):
+        a, b, c = make_group(3)
+        to_c = a.prepare_send(2)
+        to_b = a.prepare_send(1)
+        b.deliver(to_b)
+        from_b = b.prepare_send(2)
+        assert not c.can_deliver(from_b)
+        c.deliver(to_c)
+        assert c.can_deliver(from_b)
+
+    def test_malformed_stamp_rejected(self):
+        from repro.clocks.updates import UpdateStamp
+
+        b = UpdatesClock(3, 1)
+        bogus = UpdateStamp(0, 1, ())
+        with pytest.raises(ClockError):
+            b.can_deliver(bogus)
+
+    def test_duplicate_detection(self):
+        a, b, _ = make_group(3)
+        stamp = a.prepare_send(1)
+        assert not b.is_duplicate(stamp)
+        b.deliver(stamp)
+        assert b.is_duplicate(stamp)
+
+    def test_deliver_undeliverable_raises(self):
+        a, b, _ = make_group(3)
+        a.prepare_send(1)
+        second = a.prepare_send(1)
+        with pytest.raises(ClockError):
+            b.deliver(second)
+
+
+class TestEquivalenceWithFullMatrix:
+    """Drive both algorithms through the same message schedule and compare
+    the resulting matrices cell by cell."""
+
+    def drive(self, clocks, schedule):
+        """schedule: list of (src, dst); returns stamps delivered in order."""
+        pending = []
+        for src, dst in schedule:
+            stamp = clocks[src].prepare_send(dst)
+            pending.append((dst, stamp))
+            # deliver everything currently deliverable, in arrival order
+            progress = True
+            while progress:
+                progress = False
+                for item in list(pending):
+                    receiver, s = item
+                    if clocks[receiver].can_deliver(s):
+                        clocks[receiver].deliver(s)
+                        pending.remove(item)
+                        progress = True
+        assert not pending
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            [(0, 1), (1, 2), (2, 0)],
+            [(0, 1), (0, 2), (1, 2), (2, 1), (1, 0)],
+            [(0, 1)] * 5 + [(1, 0)] * 5,
+            [(0, 2), (2, 1), (1, 0), (0, 1), (1, 2), (2, 0)] * 3,
+        ],
+    )
+    def test_same_matrices(self, schedule):
+        size = 3
+        full = [MatrixClock(size, i) for i in range(size)]
+        delta = [UpdatesClock(size, i) for i in range(size)]
+        self.drive(full, schedule)
+        self.drive(delta, schedule)
+        for owner in range(size):
+            for i in range(size):
+                for j in range(size):
+                    assert full[owner].cell(i, j) == delta[owner].cell(i, j), (
+                        f"owner {owner} cell ({i},{j}) diverged"
+                    )
+
+
+class TestPersistence:
+    def test_snapshot_restore_roundtrip(self):
+        a, b, _ = make_group(3)
+        b.deliver(a.prepare_send(1))
+        snapshot = b.snapshot()
+        fresh = UpdatesClock(3, 1)
+        fresh.restore(snapshot)
+        assert fresh.cell(0, 1) == 1
+
+    def test_restore_preserves_dedup_and_fifo(self):
+        a, b, _ = make_group(3)
+        first = a.prepare_send(1)
+        b.deliver(first)
+        snapshot = b.snapshot()
+        second = a.prepare_send(1)
+
+        recovered = UpdatesClock(3, 1)
+        recovered.restore(snapshot)
+        assert recovered.is_duplicate(first)
+        assert recovered.can_deliver(second)
+
+    def test_restore_preserves_high_water_marks(self):
+        """After recovery the sender must not re-ship everything."""
+        a, b, _ = make_group(3)
+        b.deliver(a.prepare_send(1))
+        snapshot = a.snapshot()
+        recovered = UpdatesClock(3, 0)
+        recovered.restore(snapshot)
+        stamp = recovered.prepare_send(1)
+        assert stamp.wire_cells == 1
+
+    def test_restore_wrong_shape_rejected(self):
+        clock = UpdatesClock(3, 0)
+        bad = UpdatesClock(2, 0).snapshot()
+        with pytest.raises(ClockError):
+            clock.restore(bad)

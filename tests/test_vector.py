@@ -1,0 +1,117 @@
+"""Unit tests for vector clocks and the causal-broadcast (BSS) baseline."""
+
+import pytest
+
+from repro.clocks import CausalBroadcastClock, VectorClock, VectorStamp
+from repro.errors import ClockError
+
+
+class TestVectorClock:
+    def test_initial_state(self):
+        clock = VectorClock(size=4, owner=2)
+        assert clock.read().entries == (0, 0, 0, 0)
+
+    def test_tick_touches_own_component_only(self):
+        clock = VectorClock(3, 1)
+        clock.tick()
+        assert clock.read().entries == (0, 1, 0)
+
+    def test_observe_merges_and_ticks(self):
+        clock = VectorClock(3, 0)
+        stamp = clock.observe(VectorStamp(1, (0, 4, 2)))
+        assert stamp.entries == (1, 4, 2)
+
+    def test_size_mismatch_rejected(self):
+        clock = VectorClock(3, 0)
+        with pytest.raises(ClockError):
+            clock.observe(VectorStamp(1, (0, 1)))
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ClockError):
+            VectorClock(3, 3)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ClockError):
+            VectorClock(0, 0)
+
+
+class TestVectorStampRelations:
+    def test_characterizes_causality_exactly(self):
+        """a happened-before b iff V(a) < V(b) — the key vector property."""
+        a = VectorClock(2, 0)
+        b = VectorClock(2, 1)
+        sa = a.stamp_send()
+        rb = b.observe(sa)
+        sb = b.stamp_send()
+        assert sa.strictly_precedes(rb)
+        assert sa.strictly_precedes(sb)
+
+    def test_concurrency_detected(self):
+        a = VectorClock(2, 0)
+        b = VectorClock(2, 1)
+        sa = a.stamp_send()
+        sb = b.stamp_send()
+        assert sa.concurrent_with(sb)
+        assert sb.concurrent_with(sa)
+
+    def test_dominates_is_reflexive_like(self):
+        stamp = VectorStamp(0, (1, 2, 3))
+        assert stamp.dominates(stamp)
+        assert not stamp.strictly_precedes(stamp)
+
+    def test_wire_cells_is_vector_length(self):
+        assert VectorStamp(0, (1, 2, 3)).wire_cells == 3
+
+
+class TestCausalBroadcast:
+    def test_fifo_from_one_sender(self):
+        sender = CausalBroadcastClock(3, 0)
+        receiver = CausalBroadcastClock(3, 1)
+        first = sender.stamp_broadcast()
+        second = sender.stamp_broadcast()
+        assert not receiver.can_deliver(second)
+        assert receiver.can_deliver(first)
+        receiver.deliver(first)
+        assert receiver.can_deliver(second)
+
+    def test_causal_dependency_across_senders(self):
+        """B broadcasts after delivering A's broadcast; C must deliver A's
+        before B's even if B's arrives first."""
+        a = CausalBroadcastClock(3, 0)
+        b = CausalBroadcastClock(3, 1)
+        c = CausalBroadcastClock(3, 2)
+        ma = a.stamp_broadcast()
+        b.deliver(ma)
+        mb = b.stamp_broadcast()
+        assert not c.can_deliver(mb)
+        c.deliver(ma)
+        assert c.can_deliver(mb)
+        c.deliver(mb)
+        assert c.delivered_count(0) == 1
+        assert c.delivered_count(1) == 1
+
+    def test_deliver_rejects_undeliverable(self):
+        a = CausalBroadcastClock(2, 0)
+        b = CausalBroadcastClock(2, 1)
+        a.stamp_broadcast()
+        second = a.stamp_broadcast()
+        with pytest.raises(ClockError):
+            b.deliver(second)
+
+    def test_sender_self_delivers_through_same_path(self):
+        a = CausalBroadcastClock(2, 0)
+        stamp = a.stamp_broadcast()
+        assert a.can_deliver(stamp)
+        a.deliver(stamp)
+        assert a.delivered_count(0) == 1
+
+    def test_concurrent_broadcasts_deliverable_any_order(self):
+        a = CausalBroadcastClock(3, 0)
+        b = CausalBroadcastClock(3, 1)
+        c = CausalBroadcastClock(3, 2)
+        ma = a.stamp_broadcast()
+        mb = b.stamp_broadcast()
+        assert c.can_deliver(mb)
+        c.deliver(mb)
+        assert c.can_deliver(ma)
+        c.deliver(ma)

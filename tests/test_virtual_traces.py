@@ -1,0 +1,156 @@
+"""Unit tests for virtual traces and the no-crossover condition
+(§4.2, Figure 3)."""
+
+import pytest
+
+from repro.causality import (
+    Chain,
+    CausalOrder,
+    Membership,
+    Message,
+    Trace,
+    VirtualTrace,
+    chains_cross_over,
+)
+from repro.causality.trace import EventKind
+from repro.errors import TraceError
+
+
+@pytest.fixture
+def two_domain_membership():
+    return Membership({"D1": {"p", "q"}, "D2": {"q", "r"}})
+
+
+def relay_trace():
+    """p → q → r relay plus an unrelated message q → r."""
+    m1 = Message("m1", "p", "q")
+    m2 = Message("m2", "q", "r")
+    other = Message("other", "q", "r")
+    trace = Trace()
+    trace.record_send(m1)
+    trace.record_receive(m1)
+    trace.record_send(m2)
+    trace.record_send(other)
+    trace.record_receive(m2)
+    trace.record_receive(other)
+    return trace, m1, m2, other
+
+
+class TestCrossOver:
+    def test_no_crossover_when_relay_is_clean(self):
+        trace, m1, m2, other = relay_trace()
+        chain = Chain.of(m1, m2)
+        other_chain = Chain.of(other)
+        assert not chains_cross_over(chain, other_chain, trace)
+
+    def test_crossover_detected(self):
+        """Another chain's message sent by the relay *between* recv(m1) and
+        send(m2) — Figure 3(a)."""
+        m1 = Message("m1", "p", "q")
+        mid = Message("mid", "q", "r")
+        m2 = Message("m2", "q", "r")
+        trace = Trace()
+        trace.record_send(m1)
+        trace.record_receive(m1)
+        trace.record_send(mid)      # interloper, between recv(m1) and send(m2)
+        trace.record_send(m2)
+        trace.record_receive(mid)
+        trace.record_receive(m2)
+        chain = Chain.of(m1, m2)
+        interloper = Chain.of(mid)
+        assert chains_cross_over(chain, interloper, trace)
+
+
+class TestVirtualTraceValidation:
+    def test_accepts_clean_chains(self, two_domain_membership):
+        trace, m1, m2, other = relay_trace()
+        virtual = VirtualTrace(trace, [Chain.of(m1, m2)], two_domain_membership)
+        assert len(virtual.chains) == 1
+
+    def test_rejects_crossing_chains(self):
+        m1 = Message("m1", "p", "q")
+        mid = Message("mid", "q", "r")
+        m2 = Message("m2", "q", "r")
+        trace = Trace()
+        trace.record_send(m1)
+        trace.record_receive(m1)
+        trace.record_send(mid)
+        trace.record_send(m2)
+        trace.record_receive(mid)
+        trace.record_receive(m2)
+        with pytest.raises(TraceError):
+            VirtualTrace(trace, [Chain.of(m1, m2), Chain.of(mid)])
+
+    def test_rejects_message_in_two_chains(self):
+        trace, m1, m2, _ = relay_trace()
+        with pytest.raises(TraceError):
+            VirtualTrace(trace, [Chain.of(m1, m2), Chain.of(m2)])
+
+    def test_rejects_chain_invalid_in_trace(self):
+        m1 = Message("m1", "p", "q")
+        m2 = Message("m2", "q", "r")
+        trace = Trace()
+        trace.record_send(m2)      # q sends before receiving m1
+        trace.record_send(m1)
+        trace.record_receive(m1)
+        trace.record_receive(m2)
+        with pytest.raises(TraceError):
+            VirtualTrace(trace, [Chain.of(m1, m2)])
+
+    def test_rejects_non_minimal_chain_when_membership_given(self):
+        mem = Membership({"D": {"p", "q", "r"}})
+        trace, m1, m2, _ = relay_trace()
+        # chain p→q→r lingers: p and r share D, so path is not minimal
+        with pytest.raises(TraceError):
+            VirtualTrace(trace, [Chain.of(m1, m2)], mem)
+
+
+class TestDerivation:
+    def test_chain_collapses_to_virtual_message(self, two_domain_membership):
+        trace, m1, m2, other = relay_trace()
+        virtual = VirtualTrace(trace, [Chain.of(m1, m2)], two_domain_membership)
+        derived = virtual.derive()
+        mids = {m.mid for m in derived.messages}
+        assert ("virtual", 0) in mids
+        assert "m1" not in mids and "m2" not in mids
+        assert "other" in mids
+        vmsg = derived.message(("virtual", 0))
+        assert vmsg.src == "p" and vmsg.dst == "r"
+
+    def test_derived_trace_positions_preserve_local_order(self):
+        """The virtual receive lands where the chain's last hop landed, so
+        delivery order relative to other messages is preserved."""
+        trace, m1, m2, other = relay_trace()
+        virtual = VirtualTrace(trace, [Chain.of(m1, m2)])
+        derived = virtual.derive()
+        vmsg = derived.message(("virtual", 0))
+        other_derived = derived.message("other")
+        # at r: m2 (→ virtual) was received before other
+        assert derived.locally_before("r", vmsg, other_derived)
+
+    def test_identity_virtual_trace(self):
+        """Taking every message as a length-1 chain reproduces the trace."""
+        trace, m1, m2, other = relay_trace()
+        chains = [Chain.of(m1), Chain.of(m2), Chain.of(other)]
+        derived = VirtualTrace(trace, chains).derive()
+        assert len(derived.messages) == 3
+        order = CausalOrder(derived)
+        assert order.is_correct()
+
+    def test_derived_causality_matches_virtual_semantics(self):
+        """A violation visible only at the virtual level is exposed by the
+        derived trace: relay beats the direct message."""
+        n = Message("n", "p", "r")
+        m1 = Message("m1", "p", "q")
+        m2 = Message("m2", "q", "r")
+        trace = Trace.from_histories(
+            {
+                "p": [(EventKind.SEND, n), (EventKind.SEND, m1)],
+                "q": [(EventKind.RECEIVE, m1), (EventKind.SEND, m2)],
+                "r": [(EventKind.RECEIVE, m2), (EventKind.RECEIVE, n)],
+            }
+        )
+        virtual = VirtualTrace(trace, [Chain.of(m1, m2)])
+        derived = virtual.derive()
+        order = CausalOrder(derived)
+        assert not order.respects_causality()
