@@ -1,0 +1,198 @@
+"""Export hot-path wall-clock benchmarks to ``BENCH_hotpath.json``.
+
+This is the before/after ledger for the flat-buffer clock core and the
+O(1) hold-back wake-up. It times the scenarios the optimization targets —
+the s=150 clock microbenches, the fan-in merge loop, a jittery hold-back
+churn run, and the 1000-server scale points — using only APIs that exist
+in both the seed and the optimized tree, so the *same script* can measure
+either side:
+
+    # current tree ("after")
+    PYTHONPATH=src python benchmarks/export_bench.py --label after
+
+    # a pristine seed checkout ("before")
+    PYTHONPATH=<seed>/src python benchmarks/export_bench.py --label before
+
+Each run merges its numbers under its label into the output JSON (default
+``BENCH_hotpath.json`` next to this script's repo root) and recomputes the
+``speedup`` section whenever both labels are present. Simulated-time
+observables (sim_ms / wire_cells / causal_ok) are recorded alongside so a
+reader can verify the two sides ran *identical experiments* — the
+optimization must move wall-clock only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def _time(fn, repeat: int = 3):
+    """Best-of-``repeat`` wall time in seconds, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def bench_pingpong(clock_cls, size: int, iterations: int = 2000):
+    a = clock_cls(size, 0)
+    b = clock_cls(size, 1)
+    for _ in range(3):
+        b.deliver(a.prepare_send(1))
+        a.deliver(b.prepare_send(0))
+
+    def run():
+        for _ in range(iterations):
+            b.deliver(a.prepare_send(1))
+            a.deliver(b.prepare_send(0))
+
+    secs, _ = _time(run)
+    return {"wall_s": round(secs, 4), "iterations": iterations}
+
+
+def bench_fan_in(clock_cls, size: int, rounds: int = 50):
+    receiver = clock_cls(size, 0)
+    peers = [clock_cls(size, i) for i in range(1, size)]
+    for peer in peers:
+        receiver.deliver(peer.prepare_send(0))
+
+    def run():
+        for _ in range(rounds):
+            for peer in peers:
+                receiver.deliver(peer.prepare_send(0))
+
+    secs, _ = _time(run)
+    return {"wall_s": round(secs, 4), "deliveries": rounds * (size - 1)}
+
+
+def bench_holdback_churn():
+    from repro.mom import BusConfig, EchoAgent, FunctionAgent, MessageBus
+    from repro.simulation.network import UniformLatency
+    from repro.topology import single_domain
+
+    def run():
+        mom = MessageBus(
+            BusConfig(
+                topology=single_domain(12),
+                seed=11,
+                latency=UniformLatency(0.1, 20.0),
+            )
+        )
+        echo_id = mom.deploy(EchoAgent(), 11)
+        for src in range(4):
+            sender = FunctionAgent(lambda ctx, s, p: None)
+
+            def boot(ctx, echo_id=echo_id):
+                for i in range(25):
+                    ctx.send(echo_id, i)
+
+            sender.on_boot = boot
+            mom.deploy(sender, src)
+        mom.start()
+        mom.run_until_idle()
+        return mom
+
+    secs, mom = _time(run)
+    snapshot = mom.metrics.snapshot()
+    return {
+        "wall_s": round(secs, 4),
+        "heldback": snapshot["channel.heldback"],
+        "hops_delivered": snapshot["channel.hops_delivered"],
+        "sim_ms": round(mom.sim.now, 3),
+    }
+
+
+def bench_scale(topology: str, rounds: int = 3):
+    from repro.bench import run_remote_unicast
+
+    def run():
+        return run_remote_unicast(1000, topology=topology, rounds=rounds)
+
+    secs, result = _time(run, repeat=2)
+    return {
+        "wall_s": round(secs, 4),
+        "sim_ms": round(result.mean_turnaround_ms, 3),
+        "wire_cells": result.wire_cells,
+        "causal_ok": result.causal_ok,
+    }
+
+
+def measure() -> dict:
+    from repro.clocks import MatrixClock, UpdatesClock
+
+    scenarios = {}
+    for size in (50, 150):
+        scenarios[f"pingpong_matrix_s{size}"] = bench_pingpong(
+            MatrixClock, size
+        )
+        scenarios[f"pingpong_updates_s{size}"] = bench_pingpong(
+            UpdatesClock, size
+        )
+        scenarios[f"fan_in_matrix_s{size}"] = bench_fan_in(MatrixClock, size)
+    scenarios["holdback_churn"] = bench_holdback_churn()
+    scenarios["scale_bus_1000"] = bench_scale("bus")
+    scenarios["scale_tree_1000"] = bench_scale("tree")
+    return scenarios
+
+
+def merge(path: str, label: str, scenarios: dict) -> dict:
+    doc = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            doc = json.load(fh)
+    doc[label] = scenarios
+    before, after = doc.get("before"), doc.get("after")
+    if before and after:
+        speedup = {}
+        for name, b in before.items():
+            a = after.get(name)
+            if a and a["wall_s"] > 0:
+                speedup[name] = round(b["wall_s"] / a["wall_s"], 2)
+        doc["speedup"] = speedup
+        # the point of the exercise: same experiments, faster clock
+        for name, b in before.items():
+            a = after.get(name)
+            if not a:
+                continue
+            for key in ("sim_ms", "wire_cells", "causal_ok", "heldback"):
+                if key in b and b[key] != a.get(key):
+                    raise SystemExit(
+                        f"DIVERGENCE: {name}.{key} before={b[key]} "
+                        f"after={a.get(key)} — optimization changed results"
+                    )
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", choices=["before", "after"],
+                        default="after")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_hotpath.json",
+        ),
+    )
+    args = parser.parse_args()
+    scenarios = measure()
+    doc = merge(args.out, args.label, scenarios)
+    print(f"wrote {args.label} ({len(scenarios)} scenarios) to {args.out}")
+    if "speedup" in doc:
+        for name, ratio in sorted(doc["speedup"].items()):
+            print(f"  {name}: {ratio}x")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

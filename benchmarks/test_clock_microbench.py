@@ -9,6 +9,9 @@ asymmetry the Updates algorithm introduces (cheap wire, same merge).
 import pytest
 
 from repro.clocks import MatrixClock, UpdatesClock
+from repro.mom import BusConfig, EchoAgent, FunctionAgent, MessageBus
+from repro.simulation.network import UniformLatency
+from repro.topology import single_domain
 
 SIZES = [10, 50, 150]
 
@@ -60,3 +63,61 @@ def test_snapshot_cost(benchmark, size):
     a, b = pingpong_pair(MatrixClock, size)
     snapshot = benchmark(a.snapshot)
     assert len(snapshot) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("clock_cls", [MatrixClock, UpdatesClock],
+                         ids=["matrix", "updates"])
+def test_deliver_merge_fan_in(benchmark, clock_cls, size):
+    """Every peer sends to server 0 each round — the receiver's merge is
+    the hot loop at a busy router. The flat-buffer clocks merge only the
+    cells changed since the peer's previous stamp (the change-log window),
+    so this stays O(changed) instead of O(s²) per delivery."""
+    receiver = clock_cls(size, 0)
+    peers = [clock_cls(size, i) for i in range(1, size)]
+    # steady state: every peer has sent before
+    for peer in peers:
+        receiver.deliver(peer.prepare_send(0))
+
+    def fan_in_round():
+        for peer in peers:
+            receiver.deliver(peer.prepare_send(0))
+
+    benchmark(fan_in_round)
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["dirty_cells"] = receiver.dirty_cells()
+
+
+def _holdback_churn_run():
+    """A jittery single-domain run: 4 senders stream 25 messages each to
+    one receiver over a 200:1-spread latency distribution, so most hops
+    arrive out of FIFO order and sit in the hold-back store. Exercises the
+    (sender, seq)-indexed wake-up probe instead of the old full rescan."""
+    mom = MessageBus(
+        BusConfig(
+            topology=single_domain(12),
+            seed=11,
+            latency=UniformLatency(0.1, 20.0),
+        )
+    )
+    echo_id = mom.deploy(EchoAgent(), 11)
+    for src in range(4):
+        sender = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx, echo_id=echo_id):
+            for i in range(25):
+                ctx.send(echo_id, i)
+
+        sender.on_boot = boot
+        mom.deploy(sender, src)
+    mom.start()
+    mom.run_until_idle()
+    return mom
+
+
+def test_holdback_churn(benchmark):
+    mom = benchmark(_holdback_churn_run)
+    snapshot = mom.metrics.snapshot()
+    assert snapshot["channel.heldback"] > 50, "churn scenario lost its bite"
+    benchmark.extra_info["heldback"] = snapshot["channel.heldback"]
+    benchmark.extra_info["hops_delivered"] = snapshot["channel.hops_delivered"]

@@ -21,7 +21,7 @@ from repro.mom.config import BusConfig
 from repro.simulation.costs import CostModel
 from repro.topology import builders
 from repro.topology.domains import Topology
-from repro.topology.routing import build_routing_tables, route
+from repro.topology.routing import hop_distances
 
 _TOPOLOGIES: Dict[str, Callable[[int, int], Topology]] = {
     "flat": lambda n, size: builders.single_domain(n),
@@ -102,12 +102,11 @@ def farthest_plain_server(topology: Topology, source: int = 0) -> int:
     candidates = [server for server in topology.servers if server != source]
     if not candidates:
         raise ConfigurationError("topology has a single server")
-    tables = build_routing_tables(topology)
+    distances = hop_distances(topology, source)
 
     def preference(server: int) -> tuple:
         plain = 0 if topology.is_router(server) else 1
-        hops = len(route(tables, source, server)) - 1
-        return (plain, hops, server)
+        return (plain, distances[server], server)
 
     return max(candidates, key=preference)
 

@@ -121,4 +121,28 @@ class CausalClock(abc.ABC):
 
     @abc.abstractmethod
     def restore(self, snapshot: Any) -> None:
-        """Reload state saved by :meth:`snapshot` (crash recovery)."""
+        """Reload state saved by :meth:`snapshot` (crash recovery).
+
+        Implementations must also accept whatever :meth:`sync_image`
+        returns — the channel persists images, not snapshots.
+        """
+
+    def sync_image(self) -> Any:
+        """State to persist for crash recovery, incrementally if possible.
+
+        The channel stores the returned object as an *owned* value and
+        hands it back to :meth:`restore` on recovery. Clocks that track a
+        write journal (:class:`~repro.clocks.matrix.MatrixClock`,
+        :class:`~repro.clocks.updates.UpdatesClock`) retain the image
+        between calls and patch only the cells that changed, making a
+        persist O(changed cells) wall-clock instead of O(s²). The contract
+        for overriders: the returned object must always equal a fresh
+        :meth:`snapshot` semantically, and any mutation of a previously
+        returned image must happen inside this call (the store's content
+        is read only between persists, never during one).
+
+        The default is the safe fallback — a full :meth:`snapshot`.
+        Simulated-time disk costs are unaffected either way; the cost
+        model charges them from ``cells``/``dirty_cells`` accounting.
+        """
+        return self.snapshot()

@@ -17,15 +17,65 @@ Together these guarantee causal delivery within the group covered by the
 clock; in the paper's architecture that group is one *domain of causality*
 (§4.1), so the clock size is s² for a domain of s servers — the quantity the
 whole paper is about shrinking.
+
+Hot-path representation. The matrix lives in one row-major ``array('q')``
+(cell ``(i, j)`` at index ``i * size + j``) instead of nested Python lists,
+and three wall-clock optimizations ride on it — none of which changes a
+single protocol decision, stamp content, or dirty-cell count (the
+differential tests in ``tests/test_differential_clocks.py`` pin this):
+
+- **Copy-on-write stamps.** ``prepare_send`` hands the stamp the live
+  buffer and marks the clock *shared*; the next mutation copies the buffer
+  first. A send costs O(1) instead of materializing s² tuples, yet stamps
+  stay frozen across retransmissions exactly as the recovery protocol
+  requires.
+- **Change-log window merges.** Every cell mutation is appended to a log;
+  a stamp captures the log and its length at stamp time. A receiver
+  remembers, per sender, the log position it last merged; delivering the
+  next stamp from that sender only replays the log window in between —
+  O(cells that actually changed). Cells outside the window are provably
+  already dominated: per-sender FIFO delivery (guaranteed by the RST test)
+  means the previous stamp from this sender was merged first, and matrix
+  cells only ever grow. Any log discontinuity (first contact, restore,
+  log trim) falls back to the always-correct full-buffer merge.
+- **Journaled persistence images.** The clock tracks which cells changed
+  since the last ``sync_image`` call and patches them into a retained
+  image instead of re-copying the whole matrix; ``restore`` invalidates
+  the journal so the next sync rebuilds from scratch.
 """
 
 from __future__ import annotations
 
-import copy
-from typing import List, Tuple
+from array import array
+from typing import List, Optional, Tuple, Union
 
 from repro.clocks.base import CausalClock, Stamp
 from repro.errors import ClockError
+
+# A clock's change log is trimmed once it exceeds max(_LOG_MIN, 4 * s²)
+# entries; outstanding stamps keep the old list object alive, and the
+# identity change makes every receiver fall back to one full merge.
+_LOG_MIN = 64
+
+
+class MatrixImage:
+    """A persistence image: the raw flat buffer plus the clock size.
+
+    Produced by :meth:`MatrixClock.sync_image` and accepted by
+    :meth:`MatrixClock.restore`. Deep-copiable (the store's ``load`` path).
+    """
+
+    __slots__ = ("size", "buf")
+
+    def __init__(self, size: int, buf: array):
+        self.size = size
+        self.buf = buf
+
+    def __deepcopy__(self, memo) -> "MatrixImage":
+        return MatrixImage(self.size, array("q", self.buf))
+
+    def __repr__(self) -> str:
+        return f"MatrixImage(size={self.size})"
 
 
 class MatrixStamp(Stamp):
@@ -34,14 +84,29 @@ class MatrixStamp(Stamp):
     ``wire_cells`` is s² regardless of how many cells changed — this is the
     O(n²) message-size term of §3 that motivates both the Updates algorithm
     (Appendix A) and the domain decomposition.
+
+    The stamp shares the sender clock's buffer copy-on-write: the clock
+    never mutates a buffer a stamp can see. ``_log``/``_log_len`` capture
+    the sender's change log at stamp time for the receiver's window merge.
     """
 
-    __slots__ = ("_sender", "_dest", "_rows")
+    __slots__ = ("_sender", "_dest", "_size", "_buf", "_log", "_log_len")
 
-    def __init__(self, sender: int, dest: int, rows: Tuple[Tuple[int, ...], ...]):
+    def __init__(
+        self,
+        sender: int,
+        dest: int,
+        size: int,
+        buf: array,
+        log: Optional[list] = None,
+        log_len: int = 0,
+    ):
         self._sender = sender
         self._dest = dest
-        self._rows = rows
+        self._size = size
+        self._buf = buf
+        self._log = log
+        self._log_len = log_len
 
     @property
     def sender(self) -> int:
@@ -54,27 +119,37 @@ class MatrixStamp(Stamp):
 
     @property
     def wire_cells(self) -> int:
-        size = len(self._rows)
-        return size * size
+        return self._size * self._size
 
     def entry(self, row: int, col: int) -> int:
-        return self._rows[row][col]
+        return self._buf[row * self._size + col]
 
     @property
     def size(self) -> int:
-        return len(self._rows)
+        return self._size
 
     def __repr__(self) -> str:
         return (
             f"MatrixStamp(sender={self._sender}, dest={self._dest}, "
-            f"size={len(self._rows)})"
+            f"size={self._size})"
         )
 
 
 class MatrixClock(CausalClock):
     """One server's matrix clock for one domain (full-stamp variant)."""
 
-    __slots__ = ("_size", "_owner", "_matrix", "_dirty")
+    __slots__ = (
+        "_size",
+        "_owner",
+        "_buf",
+        "_shared",
+        "_log",
+        "_merged",
+        "_dirty",
+        "_journal",
+        "_journal_full",
+        "_image",
+    )
 
     def __init__(self, size: int, owner: int):
         if size <= 0:
@@ -83,8 +158,18 @@ class MatrixClock(CausalClock):
             raise ClockError(f"owner {owner} out of range for size {size}")
         self._size = size
         self._owner = owner
-        self._matrix: List[List[int]] = [[0] * size for _ in range(size)]
+        self._buf = array("q", bytes(8 * size * size))
+        self._shared = False
+        # Append-only (cell_index, new_value) mutation log; replaced (new
+        # list object) on trim or restore, which receivers detect by
+        # identity and answer with a full merge.
+        self._log: list = []
+        # Per-sender merge positions: sender -> (log object, merged length).
+        self._merged: dict = {}
         self._dirty = 0
+        self._journal: set = set()
+        self._journal_full = True  # first sync_image copies everything
+        self._image: Optional[MatrixImage] = None
 
     @property
     def size(self) -> int:
@@ -95,7 +180,7 @@ class MatrixClock(CausalClock):
         return self._owner
 
     def cell(self, row: int, col: int) -> int:
-        return self._matrix[row][col]
+        return self._buf[row * self._size + col]
 
     def _check_peer(self, index: int, what: str) -> None:
         if not 0 <= index < self._size:
@@ -103,15 +188,34 @@ class MatrixClock(CausalClock):
                 f"{what} index {index} out of range for domain of size {self._size}"
             )
 
+    def _own_buf(self) -> array:
+        """Copy-on-write: detach from any outstanding stamp before mutating."""
+        if self._shared:
+            self._buf = array("q", self._buf)
+            self._shared = False
+        return self._buf
+
+    def _trim_log(self) -> None:
+        if len(self._log) > max(_LOG_MIN, 4 * self._size * self._size):
+            self._log = []
+
     def prepare_send(self, dest: int) -> MatrixStamp:
         """Record a send to ``dest`` and return the full-matrix stamp."""
         self._check_peer(dest, "destination")
         if dest == self._owner:
             raise ClockError("a server does not stamp messages to itself")
-        self._matrix[self._owner][dest] += 1
+        self._trim_log()
+        buf = self._own_buf()
+        idx = self._owner * self._size + dest
+        value = buf[idx] + 1
+        buf[idx] = value
+        self._log.append((idx, value))
+        self._journal.add(idx)
         self._dirty += 1
-        rows = tuple(tuple(row) for row in self._matrix)
-        return MatrixStamp(self._owner, dest, rows)
+        self._shared = True
+        return MatrixStamp(
+            self._owner, dest, self._size, buf, self._log, len(self._log)
+        )
 
     def can_deliver(self, stamp: Stamp) -> bool:
         if not isinstance(stamp, MatrixStamp):
@@ -123,22 +227,22 @@ class MatrixClock(CausalClock):
         me = self._owner
         sender = stamp.sender
         self._check_peer(sender, "sender")
-        if stamp.entry(sender, me) != self._matrix[sender][me] + 1:
+        size = self._size
+        buf = self._buf
+        sbuf = stamp._buf
+        if sbuf[sender * size + me] != buf[sender * size + me] + 1:
             return False
-        return all(
-            stamp.entry(k, me) <= self._matrix[k][me]
-            for k in range(self._size)
-            if k != sender
-        )
+        for k in range(size):
+            if k != sender and sbuf[k * size + me] > buf[k * size + me]:
+                return False
+        return True
 
     def is_duplicate(self, stamp: Stamp) -> bool:
         if not isinstance(stamp, MatrixStamp):
             raise ClockError(f"expected MatrixStamp, got {type(stamp).__name__}")
         self._check_peer(stamp.sender, "sender")
-        return (
-            stamp.entry(stamp.sender, self._owner)
-            <= self._matrix[stamp.sender][self._owner]
-        )
+        idx = stamp.sender * self._size + self._owner
+        return stamp._buf[idx] <= self._buf[idx]
 
     def deliver(self, stamp: Stamp) -> None:
         """Merge a deliverable stamp: ``M := max(M, W)`` cellwise."""
@@ -147,14 +251,44 @@ class MatrixClock(CausalClock):
                 f"stamp {stamp} not deliverable at server {self._owner}; "
                 "call can_deliver first and hold the message back"
             )
-        for i in range(self._size):
-            row = self._matrix[i]
-            stamped = stamp._rows[i]
-            for j in range(self._size):
-                value = stamped[j]
-                if value > row[j]:
-                    row[j] = value
-                    self._dirty += 1
+        sender = stamp.sender
+        last = self._merged.get(sender)
+        window: Optional[dict] = None
+        if (
+            last is not None
+            and stamp._log is not None
+            and last[0] is stamp._log
+            and last[1] <= stamp._log_len
+        ):
+            # Window merge: only cells the sender changed between its
+            # previous stamp to anyone and this one. Dedupe to the last
+            # value per cell so a twice-bumped cell counts dirty once,
+            # exactly like the cellwise full merge would.
+            window = dict(stamp._log[last[1] : stamp._log_len])
+        self._trim_log()
+        buf = self._own_buf()
+        log = self._log
+        journal = self._journal
+        dirty = 0
+        if window is not None:
+            for idx, value in window.items():
+                if value > buf[idx]:
+                    buf[idx] = value
+                    log.append((idx, value))
+                    journal.add(idx)
+                    dirty += 1
+        else:
+            sbuf = stamp._buf
+            for idx in range(self._size * self._size):
+                value = sbuf[idx]
+                if value > buf[idx]:
+                    buf[idx] = value
+                    log.append((idx, value))
+                    journal.add(idx)
+                    dirty += 1
+        self._dirty += dirty
+        if stamp._log is not None:
+            self._merged[sender] = (stamp._log, stamp._log_len)
 
     def dirty_cells(self) -> int:
         return self._dirty
@@ -163,15 +297,55 @@ class MatrixClock(CausalClock):
         self._dirty = 0
 
     def snapshot(self) -> List[List[int]]:
-        return [row[:] for row in self._matrix]
+        size = self._size
+        buf = self._buf
+        return [list(buf[row * size : (row + 1) * size]) for row in range(size)]
 
-    def restore(self, snapshot: List[List[int]]) -> None:
-        if len(snapshot) != self._size or any(
-            len(row) != self._size for row in snapshot
-        ):
-            raise ClockError("snapshot shape does not match clock size")
-        self._matrix = [list(row) for row in snapshot]
+    def sync_image(self) -> MatrixImage:
+        """Return the persistence image, patched with journaled cells.
+
+        The caller (the channel) hands the returned object to the store as
+        an owned value; the clock retains it and patches only the cells
+        that changed since the previous call, so persisting after a
+        delivery costs O(changed cells) wall-clock. The simulated-time
+        cost of the write is still charged by the cost model, unchanged.
+        """
+        image = self._image
+        if image is None or self._journal_full:
+            image = MatrixImage(self._size, array("q", self._buf))
+            self._image = image
+            self._journal_full = False
+        else:
+            buf = self._buf
+            ibuf = image.buf
+            for idx in self._journal:
+                ibuf[idx] = buf[idx]
+        self._journal.clear()
+        return image
+
+    def restore(
+        self, snapshot: Union[MatrixImage, List[List[int]]]
+    ) -> None:
+        if isinstance(snapshot, MatrixImage):
+            if snapshot.size != self._size:
+                raise ClockError("snapshot shape does not match clock size")
+            self._buf = array("q", snapshot.buf)
+        else:
+            if len(snapshot) != self._size or any(
+                len(row) != self._size for row in snapshot
+            ):
+                raise ClockError("snapshot shape does not match clock size")
+            flat: List[int] = []
+            for row in snapshot:
+                flat.extend(row)
+            self._buf = array("q", flat)
+        self._shared = False
+        self._log = []
+        self._merged.clear()
         self._dirty = 0
+        self._journal.clear()
+        self._journal_full = True
+        self._image = None
 
     def __repr__(self) -> str:
         return f"MatrixClock(size={self._size}, owner={self._owner})"

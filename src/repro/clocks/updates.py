@@ -25,16 +25,35 @@ The paper notes (§3) that even with this optimization the message size is
 still O(s²) *in the worst case* — e.g. a server that was silent for a long
 time ships almost everything it learned meanwhile — which is why domains are
 needed on top of it; §4.1 combines both.
+
+Hot-path representation. ``value``/``cstate``/``origin`` live in flat
+row-major ``array('q')`` buffers, and ``prepare_send`` no longer scans all
+s² cells per send: modifications are appended to ``_changes``, a list of
+``(state, cell_index)`` pairs kept sorted by state (each modification uses
+a strictly larger state, and within one delivery cells arrive in ascending
+index order). The delta for a destination with high-water mark *h* is the
+suffix of entries with ``state > h`` — exactly the cells whose current
+``cstate`` exceeds *h*, because a cell's latest modification is always its
+rightmost appearance. The suffix is deduplicated, sorted by cell index
+(reproducing the seed's row-major emission order bit for bit), and filtered
+by the no-echo rule. When the list outgrows ``4·s²`` entries it is rebuilt
+from the ``cstate`` buffer (one entry per modified cell), which preserves
+all suffix queries and bounds memory at O(s²). The stamp wire content is
+byte-identical to the seed implementation for every schedule — the
+differential tests in ``tests/test_differential_clocks.py`` pin this.
 """
 
 from __future__ import annotations
 
-import copy
+from array import array
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.clocks.base import CausalClock, Stamp
 from repro.errors import ClockError
+
+_CHANGES_MIN = 64
 
 
 @dataclass(frozen=True)
@@ -44,6 +63,45 @@ class CellUpdate:
     row: int
     col: int
     value: int
+
+
+class UpdatesImage:
+    """A persistence image of the full Appendix-A state, flat buffers.
+
+    Produced by :meth:`UpdatesClock.sync_image` and accepted by
+    :meth:`UpdatesClock.restore`. Deep-copiable (the store's ``load`` path).
+    """
+
+    __slots__ = ("size", "value", "cstate", "origin", "sent_state", "state")
+
+    def __init__(
+        self,
+        size: int,
+        value: array,
+        cstate: array,
+        origin: array,
+        sent_state: array,
+        state: int,
+    ):
+        self.size = size
+        self.value = value
+        self.cstate = cstate
+        self.origin = origin
+        self.sent_state = sent_state
+        self.state = state
+
+    def __deepcopy__(self, memo) -> "UpdatesImage":
+        return UpdatesImage(
+            self.size,
+            array("q", self.value),
+            array("q", self.cstate),
+            array("q", self.origin),
+            array("q", self.sent_state),
+            self.state,
+        )
+
+    def __repr__(self) -> str:
+        return f"UpdatesImage(size={self.size}, state={self.state})"
 
 
 class UpdateStamp(Stamp):
@@ -56,9 +114,7 @@ class UpdateStamp(Stamp):
         self._sender = sender
         self._dest = dest
         self._updates = updates
-        self._index: Dict[Tuple[int, int], int] = {
-            (u.row, u.col): u.value for u in updates
-        }
+        self._index: Optional[Dict[Tuple[int, int], int]] = None
 
     @property
     def sender(self) -> int:
@@ -80,7 +136,11 @@ class UpdateStamp(Stamp):
 
     def entry(self, row: int, col: int):
         """Value shipped for cell ``(row, col)``, or ``None`` if not shipped."""
-        return self._index.get((row, col))
+        index = self._index
+        if index is None:
+            index = {(u.row, u.col): u.value for u in self._updates}
+            self._index = index
+        return index.get((row, col))
 
     def __repr__(self) -> str:
         return (
@@ -110,7 +170,12 @@ class UpdatesClock(CausalClock):
         "_origin",
         "_sent_state",
         "_state",
+        "_changes",
         "_dirty",
+        "_journal",
+        "_journal_sent",
+        "_journal_full",
+        "_image",
     )
 
     def __init__(self, size: int, owner: int):
@@ -120,12 +185,21 @@ class UpdatesClock(CausalClock):
             raise ClockError(f"owner {owner} out of range for size {size}")
         self._size = size
         self._owner = owner
-        self._value: List[List[int]] = [[0] * size for _ in range(size)]
-        self._cstate: List[List[int]] = [[0] * size for _ in range(size)]
-        self._origin: List[List[int]] = [[owner] * size for _ in range(size)]
-        self._sent_state: List[int] = [0] * size
+        cells = size * size
+        self._value = array("q", bytes(8 * cells))
+        self._cstate = array("q", bytes(8 * cells))
+        self._origin = array("q", [owner] * cells)
+        self._sent_state = array("q", bytes(8 * size))
         self._state = 0
+        # (state, cell_index) per modification, sorted ascending; the
+        # suffix with state > h is exactly the set of cells whose cstate
+        # exceeds h. Rebuilt (deduplicated) from _cstate when oversized.
+        self._changes: List[Tuple[int, int]] = []
         self._dirty = 0
+        self._journal: set = set()
+        self._journal_sent: set = set()
+        self._journal_full = True
+        self._image: Optional[UpdatesImage] = None
 
     @property
     def size(self) -> int:
@@ -136,13 +210,22 @@ class UpdatesClock(CausalClock):
         return self._owner
 
     def cell(self, row: int, col: int) -> int:
-        return self._value[row][col]
+        return self._value[row * self._size + col]
 
     def _check_peer(self, index: int, what: str) -> None:
         if not 0 <= index < self._size:
             raise ClockError(
                 f"{what} index {index} out of range for domain of size {self._size}"
             )
+
+    def _compact_changes(self) -> None:
+        cells = self._size * self._size
+        if len(self._changes) <= max(_CHANGES_MIN, 4 * cells):
+            return
+        cstate = self._cstate
+        self._changes = sorted(
+            (cstate[idx], idx) for idx in range(cells) if cstate[idx] > 0
+        )
 
     def prepare_send(self, dest: int) -> UpdateStamp:
         """Record a send to ``dest`` and build the delta stamp.
@@ -155,20 +238,32 @@ class UpdatesClock(CausalClock):
         if dest == self._owner:
             raise ClockError("a server does not stamp messages to itself")
         me = self._owner
+        size = self._size
+        self._compact_changes()
         self._state += 1
-        self._value[me][dest] += 1
-        self._cstate[me][dest] = self._state
-        self._origin[me][dest] = me
+        state = self._state
+        idx = me * size + dest
+        self._value[idx] += 1
+        self._cstate[idx] = state
+        self._origin[idx] = me
+        self._changes.append((state, idx))
+        self._journal.add(idx)
         self._dirty += 1
 
         high_water = self._sent_state[dest]
+        # All entries with state > high_water; (high_water, size*size) sorts
+        # after every real (high_water, idx) pair since idx < size*size.
+        pos = bisect_right(self._changes, (high_water, size * size))
+        touched = sorted({idx for _, idx in self._changes[pos:]})
+        value = self._value
+        origin = self._origin
         updates = tuple(
-            CellUpdate(k, l, self._value[k][l])
-            for k in range(self._size)
-            for l in range(self._size)
-            if self._cstate[k][l] > high_water and self._origin[k][l] != dest
+            CellUpdate(idx // size, idx % size, value[idx])
+            for idx in touched
+            if origin[idx] != dest
         )
-        self._sent_state[dest] = self._state
+        self._sent_state[dest] = state
+        self._journal_sent.add(dest)
         return UpdateStamp(me, dest, updates)
 
     def can_deliver(self, stamp: Stamp) -> bool:
@@ -185,10 +280,12 @@ class UpdatesClock(CausalClock):
                 f"malformed delta stamp from {sender}: missing its own "
                 f"({sender}, {me}) send-count cell"
             )
-        if shipped != self._value[sender][me] + 1:
+        size = self._size
+        value = self._value
+        if shipped != value[sender * size + me] + 1:
             return False
         return all(
-            update.value <= self._value[update.row][me]
+            update.value <= value[update.row * size + me]
             for update in stamp.updates
             if update.col == me and update.row != sender
         )
@@ -203,7 +300,7 @@ class UpdatesClock(CausalClock):
                 f"malformed delta stamp from {stamp.sender}: missing its own "
                 f"send-count cell"
             )
-        return shipped <= self._value[stamp.sender][self._owner]
+        return shipped <= self._value[stamp.sender * self._size + self._owner]
 
     def deliver(self, stamp: Stamp) -> None:
         """Apply a deliverable delta: max-merge every shipped cell.
@@ -219,12 +316,26 @@ class UpdatesClock(CausalClock):
                 "call can_deliver first and hold the message back"
             )
         assert isinstance(stamp, UpdateStamp)
+        self._compact_changes()
+        size = self._size
+        sender = stamp.sender
+        value = self._value
+        cstate = self._cstate
+        origin = self._origin
+        changes = self._changes
+        journal = self._journal
         self._state += 1
+        state = self._state
+        # stamp.updates is in ascending cell-index order, so these appends
+        # keep _changes sorted.
         for update in stamp.updates:
-            if update.value > self._value[update.row][update.col]:
-                self._value[update.row][update.col] = update.value
-                self._cstate[update.row][update.col] = self._state
-                self._origin[update.row][update.col] = stamp.sender
+            idx = update.row * size + update.col
+            if update.value > value[idx]:
+                value[idx] = update.value
+                cstate[idx] = state
+                origin[idx] = sender
+                changes.append((state, idx))
+                journal.add(idx)
                 self._dirty += 1
 
     def dirty_cells(self) -> int:
@@ -234,24 +345,92 @@ class UpdatesClock(CausalClock):
         self._dirty = 0
 
     def snapshot(self) -> dict:
+        size = self._size
+
+        def rows(buf: array) -> List[List[int]]:
+            return [list(buf[r * size : (r + 1) * size]) for r in range(size)]
+
         return {
-            "value": copy.deepcopy(self._value),
-            "cstate": copy.deepcopy(self._cstate),
-            "origin": copy.deepcopy(self._origin),
+            "value": rows(self._value),
+            "cstate": rows(self._cstate),
+            "origin": rows(self._origin),
             "sent_state": list(self._sent_state),
             "state": self._state,
         }
 
-    def restore(self, snapshot: dict) -> None:
-        value = snapshot["value"]
-        if len(value) != self._size or any(len(row) != self._size for row in value):
-            raise ClockError("snapshot shape does not match clock size")
-        self._value = copy.deepcopy(value)
-        self._cstate = copy.deepcopy(snapshot["cstate"])
-        self._origin = copy.deepcopy(snapshot["origin"])
-        self._sent_state = list(snapshot["sent_state"])
-        self._state = snapshot["state"]
+    def sync_image(self) -> UpdatesImage:
+        """Return the persistence image, patched with journaled cells.
+
+        Same contract as :meth:`MatrixClock.sync_image`: the channel stores
+        the returned object as owned, the clock retains it and patches only
+        the cells modified since the previous call.
+        """
+        image = self._image
+        if image is None or self._journal_full:
+            image = UpdatesImage(
+                self._size,
+                array("q", self._value),
+                array("q", self._cstate),
+                array("q", self._origin),
+                array("q", self._sent_state),
+                self._state,
+            )
+            self._image = image
+            self._journal_full = False
+        else:
+            value = self._value
+            cstate = self._cstate
+            origin = self._origin
+            for idx in self._journal:
+                image.value[idx] = value[idx]
+                image.cstate[idx] = cstate[idx]
+                image.origin[idx] = origin[idx]
+            sent = self._sent_state
+            for dest in self._journal_sent:
+                image.sent_state[dest] = sent[dest]
+            image.state = self._state
+        self._journal.clear()
+        self._journal_sent.clear()
+        return image
+
+    def restore(self, snapshot: Union[UpdatesImage, dict]) -> None:
+        if isinstance(snapshot, UpdatesImage):
+            if snapshot.size != self._size:
+                raise ClockError("snapshot shape does not match clock size")
+            self._value = array("q", snapshot.value)
+            self._cstate = array("q", snapshot.cstate)
+            self._origin = array("q", snapshot.origin)
+            self._sent_state = array("q", snapshot.sent_state)
+            self._state = snapshot.state
+        else:
+            value = snapshot["value"]
+            if len(value) != self._size or any(
+                len(row) != self._size for row in value
+            ):
+                raise ClockError("snapshot shape does not match clock size")
+
+            def flat(rows) -> array:
+                out: List[int] = []
+                for row in rows:
+                    out.extend(row)
+                return array("q", out)
+
+            self._value = flat(value)
+            self._cstate = flat(snapshot["cstate"])
+            self._origin = flat(snapshot["origin"])
+            self._sent_state = array("q", snapshot["sent_state"])
+            self._state = snapshot["state"]
+        cstate = self._cstate
+        self._changes = sorted(
+            (cstate[idx], idx)
+            for idx in range(self._size * self._size)
+            if cstate[idx] > 0
+        )
         self._dirty = 0
+        self._journal.clear()
+        self._journal_sent.clear()
+        self._journal_full = True
+        self._image = None
 
     def __repr__(self) -> str:
         return (

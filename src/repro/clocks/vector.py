@@ -11,8 +11,9 @@ baseline next to the matrix-clock MOM.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import ClockError
 
@@ -73,7 +74,7 @@ class VectorClock:
         if not 0 <= owner < size:
             raise ClockError(f"owner {owner} out of range for size {size}")
         self._owner = owner
-        self._entries: List[int] = [0] * size
+        self._entries = array("q", bytes(8 * size))
 
     @property
     def owner(self) -> int:
@@ -105,7 +106,7 @@ class VectorClock:
         return self.tick()
 
     def __repr__(self) -> str:
-        return f"VectorClock(owner={self._owner}, entries={self._entries})"
+        return f"VectorClock(owner={self._owner}, entries={list(self._entries)})"
 
 
 class CausalBroadcastClock:
@@ -132,7 +133,7 @@ class CausalBroadcastClock:
         if not 0 <= owner < size:
             raise ClockError(f"owner {owner} out of range for size {size}")
         self._owner = owner
-        self._delivered: List[int] = [0] * size
+        self._delivered = array("q", bytes(8 * size))
         self._sent = 0
 
     @property
@@ -183,5 +184,5 @@ class CausalBroadcastClock:
     def __repr__(self) -> str:
         return (
             f"CausalBroadcastClock(owner={self._owner}, "
-            f"delivered={self._delivered}, sent={self._sent})"
+            f"delivered={list(self._delivered)}, sent={self._sent})"
         )

@@ -18,16 +18,85 @@ Crash-consistency invariants:
   at the commit instant, so a receiver crash before commit simply means
   "never received" (the sender retransmits), and after commit the
   retransmission is recognized as a duplicate and re-ACKed.
+
+Hold-back wake-up. The clock contract (:mod:`repro.clocks.base`) makes a
+stamp deliverable only if it is the FIFO-next message from its sender:
+``W[s][me] == M[s][me] + 1``. So at any instant at most *one* held-back
+sequence number per sender can possibly pass ``can_deliver``, and the
+hold-back store indexes envelopes by ``(sender, shipped seq)``. A commit
+then probes exactly one bucket per sender with held messages — the one at
+``M[s][me] + 1`` — instead of rescanning the whole queue; candidates that
+fail only the transitive part of the RST test stay indexed and are probed
+again on the next commit in the domain (delivery only ever advances the
+receiver column, so nothing else can become deliverable in between).
+Release order is arrival order, same as the seed's queue scan.
+
+Persistence is incremental on the wall clock, never on the simulated one:
+clock images are journal-patched (:meth:`CausalClock.sync_image`) and the
+unacked table is updated entry-wise (``put_entry``/``delete_entry``), but
+every persist still counts the same writes and the same cells as the
+full-snapshot implementation it replaced, so disk-cost results are
+bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
-from repro.clocks.base import Stamp
 from repro.errors import RoutingError, TopologyError
 from repro.mom.domain_item import DomainItem
 from repro.mom.payloads import ChannelAck, Envelope, Notification
+from repro.simulation.metrics import LazyCounter
+
+
+class _HoldbackStore:
+    """Per-domain held-back envelopes, indexed for O(1) wake-up probes.
+
+    ``by_sender[sender][seq]`` holds the envelopes from domain-local
+    ``sender`` whose shipped sequence number towards us is ``seq``, each
+    tagged with a monotonically increasing arrival number (the seed's
+    queue position, used to release in the same order). ``mids`` mirrors
+    the hop message-ids for O(1) duplicate detection on retransmissions.
+    """
+
+    __slots__ = ("by_sender", "mids", "count")
+
+    def __init__(self):
+        self.by_sender: Dict[int, Dict[int, List[Tuple[int, Envelope]]]] = {}
+        self.mids: Set[Tuple] = set()
+        self.count = 0
+
+    @staticmethod
+    def _key(envelope: Envelope) -> Tuple[int, int]:
+        stamp = envelope.stamp
+        return stamp.sender, stamp.entry(stamp.sender, stamp.dest)
+
+    def add(self, arrival: int, envelope: Envelope) -> None:
+        sender, seq = self._key(envelope)
+        buckets = self.by_sender.get(sender)
+        if buckets is None:
+            buckets = {}
+            self.by_sender[sender] = buckets
+        buckets.setdefault(seq, []).append((arrival, envelope))
+        self.mids.add(envelope.hop_mid())
+        self.count += 1
+
+    def remove(self, arrival: int, envelope: Envelope) -> None:
+        sender, seq = self._key(envelope)
+        buckets = self.by_sender[sender]
+        bucket = buckets[seq]
+        bucket.remove((arrival, envelope))
+        if not bucket:
+            del buckets[seq]
+            if not buckets:
+                del self.by_sender[sender]
+        self.mids.discard(envelope.hop_mid())
+        self.count -= 1
+
+    def clear(self) -> None:
+        self.by_sender.clear()
+        self.mids.clear()
+        self.count = 0
 
 
 class Channel:
@@ -42,10 +111,23 @@ class Channel:
             )
         self._hop_seq = 0
         self._unacked: Dict[int, Envelope] = {}
-        self._holdback: Dict[str, List[Envelope]] = {
-            d: [] for d in self._items
+        self._holdback: Dict[str, _HoldbackStore] = {
+            d: _HoldbackStore() for d in self._items
         }
+        self._arrivals = 0
         self._pending_commits: Set[Tuple] = set()
+        # Hot counters, resolved once instead of a registry lookup per hop.
+        # LazyCounter keeps the registration itself lazy so counters that
+        # never fire don't appear in snapshots (same key set as before).
+        metrics = server.metrics
+        lazy = LazyCounter
+        self._ctr_hops_sent = lazy(metrics, "channel.hops_sent")
+        self._ctr_cells_stamped = lazy(metrics, "channel.cells_stamped")
+        self._ctr_hops_resent = lazy(metrics, "channel.hops_resent")
+        self._ctr_hops_delivered = lazy(metrics, "channel.hops_delivered")
+        self._ctr_duplicates = lazy(metrics, "channel.duplicates")
+        self._ctr_heldback = lazy(metrics, "channel.heldback")
+        self._ctr_forwarded = lazy(metrics, "channel.forwarded")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -70,7 +152,7 @@ class Channel:
 
     @property
     def heldback_count(self) -> int:
-        return sum(len(q) for q in self._holdback.values())
+        return sum(store.count for store in self._holdback.values())
 
     # ------------------------------------------------------------------
     # Send path
@@ -105,7 +187,7 @@ class Channel:
             hop_seq=self._hop_seq,
         )
         self._unacked[envelope.hop_seq] = envelope
-        self._persist_send_state(item)
+        self._persist_send_state(item, envelope)
         # The hop's causal send instant is *now* — the stamping transaction —
         # not the later wire transmit; recording here keeps the hop trace's
         # local orders aligned with the matrix-clock protocol's view.
@@ -115,10 +197,8 @@ class Channel:
             stamp, item.clock.size, item.clock.dirty_cells()
         )
         item.clock.clear_dirty()
-        self._server.metrics.counter("channel.hops_sent").add()
-        self._server.metrics.counter("channel.cells_stamped").add(
-            stamp.wire_cells
-        )
+        self._ctr_hops_sent.add()
+        self._ctr_cells_stamped.add(stamp.wire_cells)
         epoch = self._server.epoch
         self._server.processor.submit(cost, self._transmit, envelope, epoch, 1)
 
@@ -154,7 +234,7 @@ class Channel:
         cost = self._server.config.cost_model.send_cost(
             envelope.stamp, item.clock.size, 0
         )
-        self._server.metrics.counter("channel.hops_resent").add()
+        self._ctr_hops_resent.add()
         self._server.processor.submit(
             cost, self._transmit, envelope, epoch, attempt + 1
         )
@@ -168,7 +248,7 @@ class Channel:
             cost = self._server.config.cost_model.send_cost(
                 envelope.stamp, item.clock.size, 0
             )
-            self._server.metrics.counter("channel.hops_resent").add()
+            self._ctr_hops_resent.add()
             epoch = self._server.epoch
             self._server.processor.submit(
                 cost, self._transmit, envelope, epoch, 1
@@ -190,9 +270,7 @@ class Channel:
         removed = self._unacked.pop(ack.hop_seq, None)
         if removed is None:
             return  # duplicate ACK after a retransmission
-        self._server.store.save(
-            "channel.unacked", self._snapshot_unacked(), owned=True
-        )
+        self._server.store.delete_entry("channel.unacked", ack.hop_seq)
         epoch = self._server.epoch
         self._server.processor.submit(
             self._server.config.cost_model.ack_ms, lambda _e: None, epoch
@@ -204,18 +282,19 @@ class Channel:
         if key in self._pending_commits:
             return  # commit already charged; the retransmission is stale
         if item.clock.is_duplicate(envelope.stamp):
-            self._server.metrics.counter("channel.duplicates").add()
+            self._ctr_duplicates.add()
             self._ack(envelope)
             return
         if item.clock.can_deliver(envelope.stamp):
             self._start_commit(envelope, item)
         else:
-            queue = self._holdback[envelope.domain_id]
-            if any(held.hop_mid() == key for held in queue):
-                self._server.metrics.counter("channel.duplicates").add()
+            store = self._holdback[envelope.domain_id]
+            if key in store.mids:
+                self._ctr_duplicates.add()
                 return  # a retransmitted copy is already waiting
-            queue.append(envelope)
-            self._server.metrics.counter("channel.heldback").add()
+            self._arrivals += 1
+            store.add(self._arrivals, envelope)
+            self._ctr_heldback.add()
 
     def _start_commit(self, envelope: Envelope, item: DomainItem) -> None:
         """Charge the receive cost; the commit fires when it elapses."""
@@ -237,14 +316,14 @@ class Channel:
         item.clock.deliver(envelope.stamp)
         item.clock.clear_dirty()
         self._persist_clock(item)
-        self._server.metrics.counter("channel.hops_delivered").add()
+        self._ctr_hops_delivered.add()
         self._server.bus.record_hop_receive(envelope)
         self._ack(envelope)
 
         if envelope.final_dest == self._server.server_id:
             self._server.engine.enqueue(envelope.notification)
         else:
-            self._server.metrics.counter("channel.forwarded").add()
+            self._ctr_forwarded.add()
             self.post(envelope.notification)
 
         self._release_holdback(envelope.domain_id)
@@ -257,45 +336,52 @@ class Channel:
     def _release_holdback(self, domain_id: str) -> None:
         """Start commits for every held-back envelope the fresh clock state
         now admits. One pass suffices per release: each commit that later
-        fires runs its own release."""
+        fires runs its own release.
+
+        Only the bucket at the FIFO-next sequence number per sender can
+        contain deliverable envelopes (see module docstring), so the probe
+        cost is O(senders with held messages), not O(held messages)."""
+        store = self._holdback[domain_id]
+        by_sender = store.by_sender
+        if not by_sender:
+            return
         item = self._items[domain_id]
-        queue = self._holdback[domain_id]
-        ready = [
-            env
-            for env in queue
-            if env.hop_mid() not in self._pending_commits
-            and item.clock.can_deliver(env.stamp)
-        ]
+        clock = item.clock
+        me = item.domain_server_id
+        ready: List[Tuple[int, Envelope]] = []
+        for sender, buckets in by_sender.items():
+            bucket = buckets.get(clock.cell(sender, me) + 1)
+            if not bucket:
+                continue
+            for arrival, env in bucket:
+                if env.hop_mid() in self._pending_commits:
+                    continue
+                if clock.can_deliver(env.stamp):
+                    ready.append((arrival, env))
         if not ready:
             return
-        remaining = []
-        for env in queue:
-            if env in ready:
-                continue
-            remaining.append(env)
-        self._holdback[domain_id] = remaining
-        for env in ready:
+        ready.sort()  # release in arrival order, like the seed's queue scan
+        for arrival, env in ready:
+            store.remove(arrival, env)
+        for _, env in ready:
             self._start_commit(env, item)
 
     # ------------------------------------------------------------------
     # Persistence / recovery
     # ------------------------------------------------------------------
 
-    def _snapshot_unacked(self) -> Dict[int, Envelope]:
-        return dict(self._unacked)
-
-    def _persist_send_state(self, item: DomainItem) -> None:
+    def _persist_send_state(self, item: DomainItem, envelope: Envelope) -> None:
         cells = item.clock.size * item.clock.size
         self._server.store.save(
             f"channel.clock.{item.domain_id}",
-            item.clock.snapshot(),
+            item.clock.sync_image(),
             cells=cells,
             owned=True,
         )
-        # Envelopes (and their stamps) are immutable; a shallow dict copy is
-        # a faithful snapshot.
-        self._server.store.save(
-            "channel.unacked", self._snapshot_unacked(), owned=True
+        # Envelopes (and their stamps) are immutable; storing the reference
+        # is a faithful snapshot.
+        self._server.store.put_entry(
+            "channel.unacked", envelope.hop_seq, envelope
         )
         self._server.store.save("channel.hop_seq", self._hop_seq)
 
@@ -303,15 +389,15 @@ class Channel:
         cells = item.clock.size * item.clock.size
         self._server.store.save(
             f"channel.clock.{item.domain_id}",
-            item.clock.snapshot(),
+            item.clock.sync_image(),
             cells=cells,
             owned=True,
         )
 
     def on_crash(self) -> None:
         """Drop all volatile state (holdback queues, pending commits)."""
-        for queue in self._holdback.values():
-            queue.clear()
+        for store in self._holdback.values():
+            store.clear()
         self._pending_commits.clear()
         self._unacked.clear()
 

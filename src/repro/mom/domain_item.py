@@ -27,7 +27,7 @@ from repro.topology.domains import Domain
 class DomainItem:
     """One server's view of one domain: local identity + matrix clock."""
 
-    __slots__ = ("domain", "domain_server_id", "_clock")
+    __slots__ = ("domain", "domain_server_id", "_clock", "_local_ids")
 
     def __init__(self, domain: Domain, server_id: int, clock_cls: Type[CausalClock]):
         """Args:
@@ -37,7 +37,12 @@ class DomainItem:
             :class:`~repro.clocks.updates.UpdatesClock`.
         """
         self.domain = domain
-        self.domain_server_id = domain.local_id(server_id)
+        # The idTable, materialized once: Domain.local_id is a linear
+        # tuple.index scan, too slow to repeat on every hop.
+        self._local_ids: Dict[int, int] = {
+            server: local for local, server in enumerate(domain.servers)
+        }
+        self.domain_server_id = self._local_ids_lookup(server_id)
         self._clock = clock_cls(domain.size, self.domain_server_id)
 
     @property
@@ -48,9 +53,17 @@ class DomainItem:
     def clock(self) -> CausalClock:
         return self._clock
 
+    def _local_ids_lookup(self, global_server: int) -> int:
+        try:
+            return self._local_ids[global_server]
+        except KeyError:
+            raise TopologyError(
+                f"server {global_server} is not in domain {self.domain_id!r}"
+            ) from None
+
     def local_id(self, global_server: int) -> int:
         """§5's idTable lookup: global ServerId → domainServerId."""
-        return self.domain.local_id(global_server)
+        return self._local_ids_lookup(global_server)
 
     def global_id(self, domain_server_id: int) -> int:
         """Reverse lookup: domainServerId → global ServerId."""

@@ -53,6 +53,43 @@ class PersistentStore:
         self.writes += 1
         self.cells_written += cells
 
+    def put_entry(
+        self, key: str, entry: Any, value: Any, cells: int = 0
+    ) -> None:
+        """Durably upsert one entry of the dict stored at ``key``.
+
+        Equivalent to re-saving the whole table with ``entry`` added —
+        same one-write, ``cells``-cell accounting — without copying the
+        table. ``value`` is kept by reference, so callers must hand over
+        immutable or private objects (the unacked table stores frozen
+        envelopes). The table is created on first use.
+        """
+        if not key:
+            raise PersistenceError("empty persistence key")
+        table = self._data.get(key)
+        if table is None:
+            table = {}
+            self._data[key] = table
+        table[entry] = value
+        self.writes += 1
+        self.cells_written += cells
+
+    def delete_entry(self, key: str, entry: Any, cells: int = 0) -> None:
+        """Durably remove one entry of the dict stored at ``key``.
+
+        Equivalent to re-saving the whole table with ``entry`` removed;
+        counts one write. Missing tables and missing entries are fine —
+        the write still happened (the seed implementation re-saved the
+        table unconditionally too).
+        """
+        if not key:
+            raise PersistenceError("empty persistence key")
+        table = self._data.get(key)
+        if table is not None:
+            table.pop(entry, None)
+        self.writes += 1
+        self.cells_written += cells
+
     def load(self, key: str, default: Any = None) -> Any:
         """Read back a snapshot (deep copy; the store keeps its own)."""
         if key not in self._data:

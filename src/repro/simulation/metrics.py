@@ -7,11 +7,48 @@ harness turns registries into the rows of the paper's figures.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, List
 
 from repro.errors import ConfigurationError
+
+
+_PAIRWISE_BLOCK = 128
+
+
+def _pairwise_sum(values: List[float], start: int, count: int) -> float:
+    """Float sum with numpy's pairwise algorithm, bit for bit.
+
+    The metrics snapshots feed determinism fingerprints that were recorded
+    when :class:`Samples` used ``np.mean``; a plain ``sum()`` (or
+    ``math.fsum``) rounds differently in the last ulp. This mirrors
+    numpy's ``pairwise_sum_DOUBLE``: sequential below 8 elements, eight
+    interleaved accumulators up to one block, recursive halving (rounded
+    to a multiple of 8) above.
+    """
+    if count < 8:
+        total = 0.0
+        for i in range(start, start + count):
+            total += values[i]
+        return total
+    if count <= _PAIRWISE_BLOCK:
+        acc = values[start : start + 8]
+        i = start + 8
+        last = start + count - (count % 8)
+        while i < last:
+            for j in range(8):
+                acc[j] += values[i + j]
+            i += 8
+        total = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + (
+            (acc[4] + acc[5]) + (acc[6] + acc[7])
+        )
+        for i in range(last, start + count):
+            total += values[i]
+        return total
+    half = count // 2
+    half -= half % 8
+    return _pairwise_sum(values, start, half) + _pairwise_sum(
+        values, start + half, count - half
+    )
 
 
 class Counter:
@@ -32,6 +69,35 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
+
+
+class LazyCounter:
+    """An interned counter handle that defers registration to first use.
+
+    Hot paths resolve ``registry.counter(name)`` once per component
+    instead of once per event, but eager resolution would *register* the
+    counter immediately and surface zero-valued keys in snapshots that
+    lazily-looked-up counters never created. This handle keeps the
+    registration lazy (snapshot key sets stay exactly as before) while
+    making the per-event cost a single attribute check.
+    """
+
+    __slots__ = ("_registry", "_name", "_counter")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._counter: Counter = None  # type: ignore[assignment]
+
+    def add(self, amount: int = 1) -> None:
+        counter = self._counter
+        if counter is None:
+            counter = self._registry.counter(self._name)
+            self._counter = counter
+        counter.add(amount)
+
+    def __repr__(self) -> str:
+        return f"LazyCounter({self._name})"
 
 
 class Samples:
@@ -58,13 +124,20 @@ class Samples:
     def mean(self) -> float:
         if not self._values:
             return math.nan
-        return float(np.mean(self._values))
+        return _pairwise_sum(self._values, 0, len(self._values)) / len(
+            self._values
+        )
 
     @property
     def std(self) -> float:
-        if len(self._values) < 2:
+        """Sample standard deviation (ddof=1), matching
+        ``np.std(values, ddof=1)`` which this replaced."""
+        n = len(self._values)
+        if n < 2:
             return 0.0
-        return float(np.std(self._values, ddof=1))
+        mean = self.mean
+        squares = [(v - mean) * (v - mean) for v in self._values]
+        return math.sqrt(_pairwise_sum(squares, 0, n) / (n - 1))
 
     @property
     def minimum(self) -> float:
@@ -75,9 +148,24 @@ class Samples:
         return max(self._values) if self._values else math.nan
 
     def percentile(self, q: float) -> float:
-        if not self._values:
+        """Linear-interpolation percentile — numpy's default ``linear``
+        method, including its lerp rounding (``b - diff·(1-γ)`` when
+        γ ≥ ½), so pre-rewrite fingerprints still match bit for bit."""
+        values = self._values
+        if not values:
             return math.nan
-        return float(np.percentile(self._values, q))
+        ordered = sorted(values)
+        n = len(ordered)
+        virtual = (q / 100.0) * (n - 1)
+        lower = math.floor(virtual)
+        upper = min(lower + 1, n - 1)
+        gamma = virtual - lower
+        a = ordered[lower]
+        b = ordered[upper]
+        diff = b - a
+        if gamma >= 0.5:
+            return b - diff * (1.0 - gamma)
+        return a + diff * gamma
 
     def __repr__(self) -> str:
         return f"Samples({self.name}: n={self.count}, mean={self.mean:.3f})"

@@ -28,7 +28,8 @@ class BrokenMatrixClock(MatrixClock):
     def deliver(self, stamp):
         me = self.owner
         sender = stamp.sender
-        self._matrix[sender][me] = stamp.entry(sender, me)
+        # _own_buf: the copy-on-write accessor for the flat cell buffer.
+        self._own_buf()[sender * self.size + me] = stamp.entry(sender, me)
 
 
 RELAY_SCENARIO = dict(
