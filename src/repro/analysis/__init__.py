@@ -1,0 +1,49 @@
+"""Static and dynamic analysis for the causal-middleware reproduction.
+
+Two complementary halves:
+
+- :mod:`repro.analysis.lint` — an AST linter (rules R001–R006) that makes
+  the invariants behind the PR-1 hot path — copy-on-write clock buffers,
+  seeded determinism, ordered iteration, layered imports — violations you
+  cannot merge. Run it with ``python -m repro.analysis lint src/``.
+- :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer
+  (``REPRO_SANITIZE=1``) that wraps live clocks and the bus to catch
+  stamp-mutation-after-share, matrix-cell monotonicity violations,
+  holdback leaks at quiescence and causal-order violations while the
+  normal test suite runs.
+"""
+
+from repro.analysis.lint import (
+    Diagnostic,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+from repro.analysis.sanitizer import (
+    BusSanitizer,
+    ClockSanitizer,
+    OrderChecker,
+    SanitizerViolation,
+    install,
+    is_installed,
+    uninstall,
+)
+
+__all__ = [
+    "Diagnostic",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name",
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "BusSanitizer",
+    "ClockSanitizer",
+    "OrderChecker",
+    "SanitizerViolation",
+    "install",
+    "is_installed",
+    "uninstall",
+]

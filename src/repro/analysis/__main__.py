@@ -1,0 +1,70 @@
+"""CLI entry point: ``python -m repro.analysis lint src/``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import ALL_RULES
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([d.to_dict() for d in findings], indent=2))
+    else:
+        for diagnostic in findings:
+            print(diagnostic.format())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    for rule in ALL_RULES:
+        print(f"{rule.rule_id}  {rule.title}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Protocol linter for the causal-middleware repo.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lint_parser = sub.add_parser("lint", help="lint files or directories")
+    lint_parser.add_argument("paths", nargs="+", help="files or directories")
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
+
+    rules_parser = sub.add_parser("rules", help="list the rule catalogue")
+    rules_parser.set_defaults(func=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help(sys.stderr)
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

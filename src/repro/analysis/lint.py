@@ -1,0 +1,189 @@
+"""The protocol linter: repo-specific static rules over the ``ast`` module.
+
+The PR-1 hot-path rewrite (flat copy-on-write clock buffers, change-log
+window merges, journaled persistence) is correct only under invariants that
+ordinary Python happily lets you violate from any module: mutate a clock's
+buffer behind its back, draw unseeded randomness inside the simulation,
+iterate a set into the event scheduler, compare virtual timestamps with
+``==``. Each lint rule (see :mod:`repro.analysis.rules`) turns one such
+invariant into a merge gate; ``python -m repro.analysis lint src/`` runs
+them all.
+
+Suppressions use the conventional ``# noqa`` comment syntax::
+
+    clock._buf[0] = 1  # noqa: R001      -- suppress one rule on this line
+    clock._buf[0] = 1  # noqa            -- suppress every rule on this line
+
+Only the ``ast`` standard library is used — no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?P<codes>\s*:\s*[A-Z][A-Z0-9]*(?:\d+)?(?:\s*,\s*[A-Z][A-Z0-9]*\d*)*)?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, pointing at ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class LintContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    def __init__(self, path: str, module: Optional[str], source: str):
+        self.path = path
+        self.module = module
+        self.source = source
+
+    def diagnostic(self, rule: str, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def module_name(path: Union[str, Path]) -> Optional[str]:
+    """Derive the dotted module name from a path containing a ``repro``
+    package directory, e.g. ``src/repro/mom/channel.py`` →
+    ``repro.mom.channel``. Returns ``None`` for paths outside ``repro``
+    (rules that key on package layout skip those files)."""
+    parts = list(Path(path).parts)
+    if not parts:
+        return None
+    last = parts[-1]
+    if last.endswith(".py"):
+        parts[-1] = last[:-3]
+    try:
+        # rightmost occurrence: the working directory itself may contain
+        # a 'repro' component
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    dotted = parts[anchor:]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def _suppressions(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line number → suppressed rule ids (``None`` = blanket noqa)."""
+    table: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = None
+        else:
+            names = codes.lstrip(" :").replace(" ", "").split(",")
+            table[lineno] = frozenset(name.upper() for name in names if name)
+    return table
+
+
+def _suppressed(
+    diagnostic: Diagnostic, table: Dict[int, Optional[FrozenSet[str]]]
+) -> bool:
+    entry = table.get(diagnostic.line, False)
+    if entry is False:
+        return False
+    return entry is None or diagnostic.rule in entry
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = "",
+    select: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string. ``module=""`` (the default) derives the
+    module name from ``path``; pass an explicit dotted name to override
+    (the fixture tests do)."""
+    from repro.analysis.rules import ALL_RULES
+
+    if module == "":
+        module = module_name(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="E999",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    context = LintContext(path=path, module=module, source=source)
+    wanted = None if select is None else {code.upper() for code in select}
+    table = _suppressions(source)
+    findings: List[Diagnostic] = []
+    for rule in ALL_RULES:
+        if wanted is not None and rule.rule_id not in wanted:
+            continue
+        for diagnostic in rule.check(tree, context):
+            if not _suppressed(diagnostic, table):
+                findings.append(diagnostic)
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return findings
+
+
+def lint_file(
+    path: Union[str, Path], select: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), module="", select=select)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.py")))
+        else:
+            found.append(path)
+    return found
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], select: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    findings: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select))
+    return findings

@@ -1,0 +1,583 @@
+"""The rule catalogue, R001–R006 (see ``docs/analysis.md`` for rationale).
+
+Each rule guards one invariant the PR-1 hot-path rewrite (and the paper's
+protocol itself) depends on:
+
+- **R001** — clock internals (``_buf``, ``_log``, ``_image`` and the
+  Updates-clock buffers) are mutated only inside ``repro/clocks/``. The
+  copy-on-write stamp discipline means an out-of-module write can corrupt
+  a stamp that is already on the wire.
+- **R002** — no ambient nondeterminism (``random.*`` module functions,
+  unseeded ``random.Random()``, ``time.time()``, ``datetime.now()``,
+  ``os.urandom``) outside ``repro/simulation/rng.py``. Every random draw
+  must flow from the seeded per-stream factory or runs stop being
+  bit-for-bit reproducible.
+- **R003** — no iteration over bare ``set`` expressions or ``.keys()``
+  views in ``repro/simulation/`` and ``repro/mom/``: hash order feeding
+  event scheduling or message fan-out silently breaks determinism.
+- **R004** — no ``==``/``!=`` on virtual-timestamp expressions; simulated
+  times are floats and exact equality is a latent flake.
+- **R005** — no bare ``except`` and no swallowed protocol errors
+  (``ClockError``/``ReproError`` caught without re-raising): a suppressed
+  clock error converts a crash into a silent causality violation.
+- **R006** — layered imports only: a package may import packages at or
+  below its own layer (``errors < simulation < clocks < causality <
+  topology < baselines < mom < pubsub < bench < analysis``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import Diagnostic, LintContext
+
+# Attributes that are private to the clock implementations: the flat
+# stamp/clock buffers, the change log, the persistence image/journal and
+# the per-sender merge positions. Reading them elsewhere is tolerated
+# (diagnostics, the sanitizer); *mutating* them outside repro/clocks is
+# how a published stamp gets corrupted.
+CLOCK_INTERNALS = frozenset(
+    {
+        "_buf",
+        "_log",
+        "_image",
+        "_value",
+        "_cstate",
+        "_origin",
+        "_sent_state",
+        "_changes",
+        "_journal",
+        "_journal_sent",
+        "_merged",
+        "_shared",
+    }
+)
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "frombytes",
+        "fromlist",
+        "byteswap",
+    }
+)
+
+# Layer order for R006; a package may import itself and anything below.
+LAYERS: Dict[str, int] = {
+    "errors": 0,
+    "simulation": 1,
+    "clocks": 2,
+    "causality": 3,
+    "topology": 4,
+    "baselines": 5,
+    "mom": 6,
+    "pubsub": 7,
+    "bench": 8,
+    "analysis": 9,
+}
+
+_TIMELIKE_NAMES = frozenset(
+    {
+        "now",
+        "_now",
+        "sent_at",
+        "started_at",
+        "_round_started",
+        "busy_until",
+        "_busy_until",
+        "virtual_time",
+        "vtime",
+        "send_time",
+        "recv_time",
+        "delivery_time",
+        "timestamp",
+    }
+)
+
+_PROTOCOL_ERRORS = frozenset({"ClockError", "ReproError", "SanitizerViolation"})
+_BROAD_ERRORS = frozenset({"Exception", "BaseException"})
+
+_DATETIME_NOW = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``title`` and yield
+    diagnostics from :meth:`check`."""
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+def _package_of(module: Optional[str]) -> Optional[str]:
+    """``repro.mom.channel`` → ``mom``; ``None``/non-repro → ``None``."""
+    if not module or not module.startswith("repro"):
+        return None
+    parts = module.split(".")
+    if len(parts) < 2:
+        return None
+    return parts[1]
+
+
+class ClockInternalMutation(Rule):
+    """R001: clock internals are written only inside ``repro/clocks/``."""
+
+    rule_id = "R001"
+    title = "mutation of clock internals outside repro/clocks/"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.module is not None and ctx.module.startswith("repro.clocks"):
+            return
+        for node in ast.walk(tree):
+            yield from self._check_node(node, ctx)
+
+    def _check_node(self, node: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in CLOCK_INTERNALS
+            ):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"call mutates clock internal '.{func.value.attr}' via "
+                    f".{func.attr}(); clock state may only change inside "
+                    "repro/clocks/ (COW stamps alias these buffers)",
+                )
+            return
+        for target in targets:
+            internal = self._internal_target(target)
+            if internal is not None:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"assignment to clock internal '.{internal}' outside "
+                    "repro/clocks/; published stamps share these buffers "
+                    "copy-on-write",
+                )
+
+    @staticmethod
+    def _internal_target(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Attribute) and target.attr in CLOCK_INTERNALS:
+            return target.attr
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr in CLOCK_INTERNALS
+        ):
+            return target.value.attr
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                found = ClockInternalMutation._internal_target(element)
+                if found is not None:
+                    return found
+        return None
+
+
+class AmbientNondeterminism(Rule):
+    """R002: nondeterministic sources only inside ``repro/simulation/rng.py``."""
+
+    rule_id = "R002"
+    title = "ambient nondeterminism outside simulation/rng.py"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.module == "repro.simulation.rng":
+            return
+        random_mods: Set[str] = set()
+        time_mods: Set[str] = set()
+        datetime_mods: Set[str] = set()
+        os_mods: Set[str] = set()
+        # name -> original, for `from random import randint as r`
+        from_random: Dict[str, str] = {}
+        from_time: Dict[str, str] = {}
+        from_datetime: Dict[str, str] = {}
+        from_os: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        random_mods.add(bound)
+                    elif alias.name == "time":
+                        time_mods.add(bound)
+                    elif alias.name == "datetime":
+                        datetime_mods.add(bound)
+                    elif alias.name == "os":
+                        os_mods.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                table = {
+                    "random": from_random,
+                    "time": from_time,
+                    "datetime": from_datetime,
+                    "os": from_os,
+                }.get(node.module or "")
+                if table is not None:
+                    for alias in node.names:
+                        table[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._forbidden_call(
+                node,
+                random_mods,
+                time_mods,
+                datetime_mods,
+                os_mods,
+                from_random,
+                from_time,
+                from_datetime,
+                from_os,
+            )
+            if message is not None:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    message
+                    + "; draw from the seeded RngFactory stream instead "
+                    "(repro/simulation/rng.py)",
+                )
+
+    @staticmethod
+    def _forbidden_call(
+        node: ast.Call,
+        random_mods: Set[str],
+        time_mods: Set[str],
+        datetime_mods: Set[str],
+        os_mods: Set[str],
+        from_random: Dict[str, str],
+        from_time: Dict[str, str],
+        from_datetime: Dict[str, str],
+        from_os: Dict[str, str],
+    ) -> Optional[str]:
+        func = node.func
+        unseeded = not node.args and not node.keywords
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in random_mods:
+                    if func.attr == "Random":
+                        if unseeded:
+                            return "unseeded random.Random() is nondeterministic"
+                        return None
+                    if func.attr == "SystemRandom":
+                        return "random.SystemRandom() is nondeterministic"
+                    return (
+                        f"module-level random.{func.attr}() uses the global, "
+                        "unseeded RNG"
+                    )
+                if base.id in time_mods and func.attr in {"time", "time_ns"}:
+                    return f"wall-clock time.{func.attr}() in simulated code"
+                if base.id in os_mods and func.attr == "urandom":
+                    return "os.urandom() is nondeterministic"
+                if (
+                    base.id in from_datetime
+                    and from_datetime[base.id] in {"datetime", "date"}
+                    and func.attr in _DATETIME_NOW
+                ):
+                    return f"wall-clock datetime {func.attr}()"
+            elif isinstance(base, ast.Attribute) and isinstance(
+                base.value, ast.Name
+            ):
+                if (
+                    base.value.id in datetime_mods
+                    and base.attr in {"datetime", "date"}
+                    and func.attr in _DATETIME_NOW
+                ):
+                    return f"wall-clock datetime.{base.attr}.{func.attr}()"
+        elif isinstance(func, ast.Name):
+            origin = from_random.get(func.id)
+            if origin is not None:
+                if origin == "Random":
+                    if unseeded:
+                        return "unseeded Random() is nondeterministic"
+                    return None
+                if origin == "SystemRandom":
+                    return "SystemRandom() is nondeterministic"
+                return f"module-level random.{origin}() uses the global RNG"
+            if from_time.get(func.id) in {"time", "time_ns"}:
+                return "wall-clock time.time() in simulated code"
+            if from_os.get(func.id) == "urandom":
+                return "os.urandom() is nondeterministic"
+        return None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+def _is_unordered_iterable(node: ast.expr) -> Optional[str]:
+    if _is_set_expression(node):
+        return "a bare set expression"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+    ):
+        return "a dict .keys() view"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"list", "tuple"}
+        and len(node.args) == 1
+        and _is_set_expression(node.args[0])
+    ):
+        return "a set converted to a sequence"
+    return None
+
+
+class UnorderedIteration(Rule):
+    """R003: no hash-ordered iteration feeding scheduling or fan-out."""
+
+    rule_id = "R003"
+    title = "iteration over unordered set/keys() in simulation/ or mom/"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        package = _package_of(ctx.module)
+        if package is not None and package not in {"simulation", "mom"}:
+            return
+        iters: List[ast.expr] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+        for expr in iters:
+            what = _is_unordered_iterable(expr)
+            if what is not None:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    expr,
+                    f"iterating {what}: hash order is not stable run to run; "
+                    "sort it (sorted(...)) or use an insertion-ordered "
+                    "structure before it feeds event scheduling or fan-out",
+                )
+
+
+def _timelike(node: ast.expr) -> Optional[str]:
+    name: Optional[str] = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    if name is None:
+        return None
+    if name in _TIMELIKE_NAMES or name.endswith("_at"):
+        return name
+    return None
+
+
+class FloatTimestampEquality(Rule):
+    """R004: no exact equality on virtual-timestamp expressions."""
+
+    rule_id = "R004"
+    title = "float equality on virtual timestamps"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (operands[index], operands[index + 1]):
+                    name = _timelike(side)
+                    if name is not None:
+                        yield ctx.diagnostic(
+                            self.rule_id,
+                            node,
+                            f"'{name}' looks like a virtual timestamp; exact "
+                            "float equality is a latent flake — compare with "
+                            "<=/>= or an explicit tolerance",
+                        )
+                        break
+
+
+class SwallowedProtocolError(Rule):
+    """R005: no bare ``except``; protocol errors must not be swallowed."""
+
+    rule_id = "R005"
+    title = "bare except / swallowed protocol error"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    "bare 'except:' hides protocol violations (and "
+                    "KeyboardInterrupt); name the exceptions you mean",
+                )
+                continue
+            caught = self._caught_names(node.type)
+            # A handler that re-raises, or returns a value (a CLI boundary
+            # converting the error into an exit status), handles the error.
+            handled = any(
+                isinstance(inner, ast.Raise)
+                or (isinstance(inner, ast.Return) and inner.value is not None)
+                for inner in ast.walk(node)
+            )
+            if caught & _PROTOCOL_ERRORS and not handled:
+                name = sorted(caught & _PROTOCOL_ERRORS)[0]
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"'{name}' caught and swallowed: a suppressed protocol "
+                    "error turns a crash into a silent causality violation; "
+                    "re-raise or handle explicitly (# noqa: R005 if truly "
+                    "intended)",
+                )
+            elif caught & _BROAD_ERRORS and self._is_trivial_body(node.body):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    "broad exception swallowed with an empty handler; "
+                    "narrow the type or handle the error",
+                )
+
+    @staticmethod
+    def _caught_names(expr: ast.expr) -> Set[str]:
+        names: Set[str] = set()
+        nodes = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        for node in nodes:
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+        return names
+
+    @staticmethod
+    def _is_trivial_body(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue
+            return False
+        return True
+
+
+class LayeredImports(Rule):
+    """R006: a package only imports packages at or below its own layer."""
+
+    rule_id = "R006"
+    title = "forbidden cross-layer import"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        package = _package_of(ctx.module)
+        if package is None or package not in LAYERS:
+            return
+        layer = LAYERS[package]
+        type_checking_only = self._type_checking_imports(tree)
+        for node in ast.walk(tree):
+            if node in type_checking_only:
+                continue
+            for target, site in self._imports(node):
+                if target == "repro":
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        site,
+                        "import of the 'repro' root aggregator from inside a "
+                        "layer package; import the specific subpackage",
+                    )
+                    continue
+                imported = _package_of(target + ".x")
+                if imported is None or imported not in LAYERS:
+                    continue
+                if LAYERS[imported] > layer:
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        site,
+                        f"'{package}' (layer {layer}) imports "
+                        f"'{imported}' (layer {LAYERS[imported]}); the layer "
+                        "order is "
+                        + " < ".join(
+                            sorted(LAYERS, key=LAYERS.__getitem__)
+                        ),
+                    )
+
+    @staticmethod
+    def _type_checking_imports(tree: ast.AST) -> Set[ast.AST]:
+        """Imports under ``if TYPE_CHECKING:`` — annotation-only, no
+        runtime dependency, so no layering edge."""
+        guarded: Set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.If):
+                continue
+            test = node.test
+            is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+                isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+            )
+            if not is_tc:
+                continue
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                        guarded.add(inner)
+        return guarded
+
+    @staticmethod
+    def _imports(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield alias.name, node
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if module == "repro" or module.startswith("repro."):
+                yield module, node
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    ClockInternalMutation(),
+    AmbientNondeterminism(),
+    UnorderedIteration(),
+    FloatTimestampEquality(),
+    SwallowedProtocolError(),
+    LayeredImports(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

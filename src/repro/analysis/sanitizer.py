@@ -1,0 +1,424 @@
+"""Opt-in runtime sanitizer for the causal-delivery protocol.
+
+The lint rules (:mod:`repro.analysis.rules`) catch invariant violations
+that are visible in the source; this module catches the ones that are
+only visible in a *running* bus. Set ``REPRO_SANITIZE=1`` and the test
+suite's conftest installs it; every :class:`~repro.mom.bus.MessageBus`
+constructed afterwards is instrumented:
+
+- **Stamp freeze (write-after-publish).** ``prepare_send`` hands stamps
+  the clock's live buffer copy-on-write; the protocol requires that the
+  published bytes never change afterwards (retransmissions must carry the
+  *original* stamp). The sanitizer fingerprints every published stamp and
+  re-verifies the fingerprint at each use and at quiescence — the moral
+  equivalent of a write-after-share check in a race sanitizer.
+- **Monotonicity.** Matrix cells only ever grow between restores; a
+  shadow matrix per clock detects any regression.
+- **FIFO pre-check.** A stamp handed to ``deliver`` must be the FIFO-next
+  message from its sender (``W[s][me] == M[s][me] + 1``); the sanitizer
+  reports the offending clock and cell *before* the clock's own
+  ``ClockError`` would fire with less context.
+- **Causal order (online).** A vector-clock reference checker shadows the
+  bus's app-level send/receive hooks and raises the moment a delivery
+  contradicts the happens-before order — only on topologies that promise
+  causal order (``validate=True``; the theorem tests boot cyclic
+  topologies where violations are the *expected outcome*).
+- **Quiescence hygiene.** After ``run_until_idle`` with every server up:
+  no held-back envelopes leaked, every engine queue drained, and the
+  domain graph is still acyclic.
+
+Everything is observation-only: no simulated cost is charged, no RNG
+stream is consumed, no metric counter is touched, so a sanitized run is
+bit-identical to a bare one (the determinism suite re-runs under the
+sanitizer to pin exactly this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.clocks.base import CausalClock, Stamp
+from repro.clocks.matrix import MatrixStamp
+from repro.clocks.updates import UpdateStamp
+from repro.errors import ReproError
+from repro.mom.identifiers import AgentId
+from repro.mom.payloads import Notification
+
+# Retain at most this many published-stamp fingerprints per bus; old
+# entries age out FIFO (long benchmark runs should not hoard memory).
+_MAX_FROZEN = 4096
+
+
+class SanitizerViolation(ReproError):
+    """A runtime invariant of the causal protocol was broken.
+
+    Attributes:
+        kind: short machine-readable category (``stamp-mutation``,
+            ``monotonicity``, ``fifo``, ``causal-order``,
+            ``holdback-leak``, ``queue-leak``, ``cyclic-domains``).
+    """
+
+    def __init__(self, kind: str, message: str):
+        self.kind = kind
+        super().__init__(f"[{kind}] {message}")
+
+
+def _fingerprint(stamp: Stamp) -> Optional[object]:
+    """A value equal iff the stamp's published content is unchanged."""
+    if isinstance(stamp, MatrixStamp):
+        return stamp._buf.tobytes()
+    if isinstance(stamp, UpdateStamp):
+        return tuple(stamp.updates)
+    return None
+
+
+class _StampRegistry:
+    """Published stamps and their publish-time fingerprints (bus-wide)."""
+
+    def __init__(self) -> None:
+        self._order: Deque[int] = deque()
+        self._entries: Dict[int, Tuple[Stamp, object, str]] = {}
+
+    def publish(self, stamp: Stamp, label: str) -> None:
+        frozen = _fingerprint(stamp)
+        if frozen is None:
+            return
+        key = id(stamp)
+        if key not in self._entries:
+            self._order.append(key)
+            if len(self._order) > _MAX_FROZEN:
+                self._entries.pop(self._order.popleft(), None)
+        self._entries[key] = (stamp, frozen, label)
+
+    def verify(self, stamp: Stamp) -> None:
+        entry = self._entries.get(id(stamp))
+        if entry is not None and entry[0] is stamp:
+            self._verify_entry(entry)
+
+    def verify_all(self) -> None:
+        for entry in list(self._entries.values()):
+            self._verify_entry(entry)
+
+    @staticmethod
+    def _verify_entry(entry: Tuple[Stamp, object, str]) -> None:
+        stamp, frozen, label = entry
+        current = _fingerprint(stamp)
+        if current == frozen:
+            return
+        detail = ""
+        if isinstance(stamp, MatrixStamp) and isinstance(frozen, bytes):
+            from array import array
+
+            old = array("q", frozen)
+            size = stamp.size
+            for idx in range(size * size):
+                if stamp._buf[idx] != old[idx]:
+                    detail = (
+                        f": cell ({idx // size}, {idx % size}) changed "
+                        f"{old[idx]} -> {stamp._buf[idx]}"
+                    )
+                    break
+        raise SanitizerViolation(
+            "stamp-mutation",
+            f"stamp {stamp!r} published by {label} was mutated after it was "
+            f"shared{detail}; published stamps must stay frozen so "
+            "retransmissions carry the original bytes",
+        )
+
+
+class ClockSanitizer(CausalClock):
+    """Wraps one :class:`CausalClock`, checking every protocol step.
+
+    Pure delegation plus checks — no simulated cost, no extra state the
+    protocol can observe. ``label`` names the wrapped clock in violations
+    (e.g. ``"server 3, domain 'D'"``).
+    """
+
+    def __init__(
+        self, inner: CausalClock, label: str, registry: _StampRegistry
+    ):
+        self.inner = inner
+        self.label = label
+        self.registry = registry
+        self._shadow: List[int] = self._read_matrix()
+
+    def _read_matrix(self) -> List[int]:
+        size = self.inner.size
+        return [
+            self.inner.cell(row, col)
+            for row in range(size)
+            for col in range(size)
+        ]
+
+    def _check_monotonic(self, operation: str) -> None:
+        size = self.inner.size
+        shadow = self._shadow
+        current = self._read_matrix()
+        for idx in range(size * size):
+            if current[idx] < shadow[idx]:
+                raise SanitizerViolation(
+                    "monotonicity",
+                    f"{self.label}: cell ({idx // size}, {idx % size}) "
+                    f"regressed {shadow[idx]} -> {current[idx]} during "
+                    f"{operation}; matrix cells only ever grow",
+                )
+        self._shadow = current
+
+    # -- CausalClock interface ----------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def owner(self) -> int:
+        return self.inner.owner
+
+    def prepare_send(self, dest: int) -> Stamp:
+        stamp = self.inner.prepare_send(dest)
+        self._check_monotonic("prepare_send")
+        self.registry.publish(stamp, self.label)
+        return stamp
+
+    def can_deliver(self, stamp: Stamp) -> bool:
+        self.registry.verify(stamp)
+        return self.inner.can_deliver(stamp)
+
+    def deliver(self, stamp: Stamp) -> None:
+        self.registry.verify(stamp)
+        me = self.inner.owner
+        shipped = stamp.entry(stamp.sender, me)
+        expected = self.inner.cell(stamp.sender, me) + 1
+        if shipped is not None and shipped != expected:
+            raise SanitizerViolation(
+                "fifo",
+                f"{self.label}: deliver() of a stamp from sender "
+                f"{stamp.sender} with send-count {shipped}, but cell "
+                f"({stamp.sender}, {me}) expects {expected}; messages from "
+                "one sender must be delivered in FIFO order",
+            )
+        self.inner.deliver(stamp)
+        self._check_monotonic("deliver")
+
+    def is_duplicate(self, stamp: Stamp) -> bool:
+        self.registry.verify(stamp)
+        return self.inner.is_duplicate(stamp)
+
+    def cell(self, row: int, col: int) -> int:
+        return self.inner.cell(row, col)
+
+    def dirty_cells(self) -> int:
+        return self.inner.dirty_cells()
+
+    def clear_dirty(self) -> None:
+        self.inner.clear_dirty()
+
+    def snapshot(self) -> Any:
+        return self.inner.snapshot()
+
+    def sync_image(self) -> Any:
+        return self.inner.sync_image()
+
+    def restore(self, snapshot: Any) -> None:
+        self.inner.restore(snapshot)
+        # a restore legitimately rolls volatile state back to the last
+        # persisted image; re-baseline instead of flagging the rollback
+        self._shadow = self._read_matrix()
+
+    def __repr__(self) -> str:
+        return f"ClockSanitizer({self.inner!r})"
+
+
+def _vc_strictly_before(a: Dict[AgentId, int], b: Dict[AgentId, int]) -> bool:
+    le = all(value <= b.get(key, 0) for key, value in a.items())
+    return le and not all(value <= a.get(key, 0) for key, value in b.items())
+
+
+class OrderChecker:
+    """Online causal-delivery reference checker (vector clocks per agent).
+
+    Maintains one vector clock per agent outside the system under test.
+    Every app-level send is stamped; on every delivery, any *pending*
+    message to the same agent whose send causally precedes this one proves
+    the MOM delivered out of causal order.
+    """
+
+    def __init__(self) -> None:
+        self._vcs: Dict[AgentId, Dict[AgentId, int]] = {}
+        self._pending: Dict[AgentId, Dict[int, Dict[AgentId, int]]] = {}
+
+    def _vc(self, agent: AgentId) -> Dict[AgentId, int]:
+        vc = self._vcs.get(agent)
+        if vc is None:
+            vc = {}
+            self._vcs[agent] = vc
+        return vc
+
+    def on_send(self, notification: Notification) -> None:
+        if notification.sender == notification.target:
+            return
+        vc = self._vc(notification.sender)
+        vc[notification.sender] = vc.get(notification.sender, 0) + 1
+        self._pending.setdefault(notification.target, {})[
+            notification.nid
+        ] = dict(vc)
+
+    def on_receive(self, notification: Notification) -> None:
+        if notification.sender == notification.target:
+            return
+        target = notification.target
+        bucket = self._pending.get(target, {})
+        sent_vc = bucket.pop(notification.nid, None)
+        if sent_vc is None:
+            return  # replayed delivery after recovery; already checked
+        for nid, other_vc in bucket.items():
+            if _vc_strictly_before(other_vc, sent_vc):
+                raise SanitizerViolation(
+                    "causal-order",
+                    f"notification {notification.nid} "
+                    f"({notification.sender} -> {target}) delivered before "
+                    f"notification {nid}, which causally precedes it and is "
+                    f"addressed to the same agent",
+                )
+        vc = self._vc(target)
+        for key, value in sent_vc.items():
+            if value > vc.get(key, 0):
+                vc[key] = value
+        vc[target] = vc.get(target, 0) + 1
+
+
+class BusSanitizer:
+    """Instruments one :class:`~repro.mom.bus.MessageBus` in place."""
+
+    def __init__(self, bus: Any, force_order_check: bool = False):
+        self.bus = bus
+        self.registry = _StampRegistry()
+        self.clocks: List[ClockSanitizer] = []
+        self.order_checker: Optional[OrderChecker] = None
+        self._force_order_check = force_order_check
+        self._attached = False
+
+    def attach(self) -> "BusSanitizer":
+        if self._attached:
+            return self
+        self._attached = True
+        bus = self.bus
+        if bus.config.clock_algorithm != "fifo":
+            for server in bus.servers.values():
+                for item in server.channel.domain_items.values():
+                    wrapper = ClockSanitizer(
+                        item.clock,
+                        f"server {server.server_id}, "
+                        f"domain {item.domain_id!r}",
+                        self.registry,
+                    )
+                    item._clock = wrapper
+                    self.clocks.append(wrapper)
+        # Causal order is only promised on validated (acyclic) topologies;
+        # the theorem tests boot cyclic ones where violations are the
+        # expected observation, not a bug.
+        check_order = self._force_order_check or (
+            bus.config.validate and bus.config.clock_algorithm != "fifo"
+        )
+        if check_order:
+            checker = OrderChecker()
+            self.order_checker = checker
+            original_send = bus.record_app_send
+            original_receive = bus.record_app_receive
+
+            def record_app_send(notification: Notification) -> None:
+                original_send(notification)
+                checker.on_send(notification)
+
+            def record_app_receive(notification: Notification) -> None:
+                original_receive(notification)
+                checker.on_receive(notification)
+
+            bus.record_app_send = record_app_send
+            bus.record_app_receive = record_app_receive
+
+        original_run_until_idle = bus.run_until_idle
+
+        def run_until_idle(max_events: int = 10_000_000) -> int:
+            events = original_run_until_idle(max_events=max_events)
+            self.check_quiesce()
+            return events
+
+        bus.run_until_idle = run_until_idle
+        return self
+
+    def check_quiesce(self) -> None:
+        """Invariants that must hold once the bus has run to quiescence."""
+        self.registry.verify_all()
+        bus = self.bus
+        if any(server.is_crashed for server in bus.servers.values()):
+            # with a server down, held-back and queued messages are
+            # legitimately waiting for its recovery
+            return
+        for server_id in sorted(bus.servers):
+            server = bus.servers[server_id]
+            held = server.channel.heldback_count
+            if held:
+                raise SanitizerViolation(
+                    "holdback-leak",
+                    f"server {server_id} still holds {held} held-back "
+                    "envelope(s) at quiescence with every server up; a "
+                    "held-back message that can never be released is a "
+                    "lost message",
+                )
+            if server.engine.queued:
+                raise SanitizerViolation(
+                    "queue-leak",
+                    f"server {server_id} still has {server.engine.queued} "
+                    "queued reaction(s) at quiescence",
+                )
+        if bus.config.validate:
+            from repro.topology.graph import find_domain_cycle
+
+            cycle = find_domain_cycle(bus.config.topology)
+            if cycle is not None:
+                pretty = " -> ".join(str(d) for d in cycle)
+                raise SanitizerViolation(
+                    "cyclic-domains",
+                    f"domain graph acquired a cycle after boot: {pretty}; "
+                    "the causality theorem's precondition no longer holds",
+                )
+
+
+_original_bus_init: Optional[Any] = None
+
+
+def is_installed() -> bool:
+    return _original_bus_init is not None
+
+
+def install() -> None:
+    """Instrument every :class:`MessageBus` constructed from now on.
+
+    Idempotent. The tests' conftest calls this when ``REPRO_SANITIZE=1``.
+    """
+    global _original_bus_init
+    if _original_bus_init is not None:
+        return
+    from repro.mom.bus import MessageBus
+
+    original = MessageBus.__init__
+
+    def sanitized_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        original(self, *args, **kwargs)
+        self._sanitizer = BusSanitizer(self).attach()
+
+    MessageBus.__init__ = sanitized_init  # type: ignore[method-assign]
+    _original_bus_init = original
+
+
+def uninstall() -> None:
+    """Undo :func:`install` (buses already built stay instrumented)."""
+    global _original_bus_init
+    if _original_bus_init is None:
+        return
+    from repro.mom.bus import MessageBus
+
+    MessageBus.__init__ = _original_bus_init  # type: ignore[method-assign]
+    _original_bus_init = None

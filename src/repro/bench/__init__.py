@@ -1,8 +1,8 @@
 """The benchmark harness: regenerate every figure of §6.
 
-- :mod:`repro.bench.workloads` — the §6.1 measurement protocol as agents:
-  a ping-pong driver and a broadcast driver, both driven from a main agent
-  on server 0;
+- :mod:`repro.mom.workloads` (re-exported here) — the §6.1 measurement
+  protocol as agents: a ping-pong driver and a broadcast driver, both
+  driven from a main agent on server 0;
 - :mod:`repro.bench.harness` — one-call experiment runners returning
   structured results (simulated turn-around times, wire cells, clock
   state, disk traffic);
@@ -13,7 +13,7 @@
 - ``python -m repro.bench <figure>`` — prints any figure's table.
 """
 
-from repro.bench.workloads import (
+from repro.mom.workloads import (
     PingPongDriver,
     BroadcastDriver,
     OpenLoopDriver,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.baselines.causal_broadcast import BroadcastGroup
-from repro.bench.workloads import BroadcastDriver, PingPongDriver
+from repro.mom.workloads import BroadcastDriver, PingPongDriver
 from repro.errors import ConfigurationError
 from repro.mom.agent import EchoAgent
 from repro.mom.bus import MessageBus

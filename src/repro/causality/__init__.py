@@ -52,7 +52,7 @@ from repro.causality.counterexample import (
 from repro.causality.diagram import render_space_time, render_timeline
 from repro.causality.export import dump_trace, load_trace
 from repro.causality.exhaustive import Send, ExplorationResult, explore
-from repro.causality.dot import trace_to_dot, topology_to_dot
+from repro.causality.dot import trace_to_dot
 
 __all__ = [
     "Message",
@@ -84,5 +84,4 @@ __all__ = [
     "ExplorationResult",
     "explore",
     "trace_to_dot",
-    "topology_to_dot",
 ]

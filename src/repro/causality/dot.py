@@ -1,9 +1,11 @@
-"""Graphviz (DOT) exports: message graphs and domain graphs.
+"""Graphviz (DOT) export of a trace's causal message graph.
 
-``dot -Tsvg`` renders these into the pictures papers put in figures:
-the causal message graph of a trace (sends/receives as ports on process
-timelines would need LaTeX; the message-level DAG is what DOT does well)
-and the domain interconnection graph with router annotations.
+``dot -Tsvg`` renders it into the picture papers put in figures: the
+message-level DAG of ``≺`` (sends/receives as ports on process timelines
+would need LaTeX; the message graph is what DOT does well). The domain
+interconnection graph is exported by
+:func:`repro.topology.dot.topology_to_dot` — it needs only the static
+topology, which sits below this layer.
 """
 
 from __future__ import annotations
@@ -12,8 +14,6 @@ from typing import Hashable, List
 
 from repro.causality.order import CausalOrder
 from repro.causality.trace import Trace
-from repro.topology.domains import Topology
-from repro.topology.graph import domain_graph
 
 
 def _quote(value: Hashable) -> str:
@@ -57,33 +57,5 @@ def trace_to_dot(trace: Trace, direct_only: bool = True) -> str:
         pairs = direct
     for a, b in pairs:
         lines.append(f"  {_quote(a.mid)} -> {_quote(b.mid)};")
-    lines.append("}")
-    return "\n".join(lines)
-
-
-def topology_to_dot(topology: Topology) -> str:
-    """The §4.2 domain interconnection graph, with shared routers on the
-    edges and member lists in the nodes."""
-    graph = domain_graph(topology)
-    lines: List[str] = [
-        "graph domains {",
-        "  layout=neato;",
-        '  node [shape=ellipse, fontsize=11, fontname="sans-serif"];',
-    ]
-    for domain in topology.domains:
-        members = ", ".join(
-            f"S{s}{'*' if topology.is_router(s) else ''}"
-            for s in domain.servers
-        )
-        label = f"{domain.domain_id}\\n{members}"
-        lines.append(
-            f"  {_quote(domain.domain_id)} [label={_quote(label)}];"
-        )
-    for first, second, data in sorted(graph.edges(data=True)):
-        shared = ", ".join(f"S{s}" for s in data["shared"])
-        lines.append(
-            f"  {_quote(first)} -- {_quote(second)} "
-            f"[label={_quote(shared)}, fontsize=9];"
-        )
     lines.append("}")
     return "\n".join(lines)

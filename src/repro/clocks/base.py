@@ -30,6 +30,15 @@ class Stamp(abc.ABC):
 
     @property
     @abc.abstractmethod
+    def dest(self) -> int:
+        """Domain-local index of the destination server.
+
+        The channel keys its hold-back buckets on ``(sender, entry(sender,
+        dest))`` — the FIFO sequence number towards the destination — so
+        every stamp implementation must expose its destination."""
+
+    @property
+    @abc.abstractmethod
     def wire_cells(self) -> int:
         """Number of clock cells serialized on the wire for this stamp.
 

@@ -67,11 +67,11 @@ class MatrixImage:
 
     __slots__ = ("size", "buf")
 
-    def __init__(self, size: int, buf: array):
+    def __init__(self, size: int, buf: array) -> None:
         self.size = size
         self.buf = buf
 
-    def __deepcopy__(self, memo) -> "MatrixImage":
+    def __deepcopy__(self, memo: object) -> "MatrixImage":
         return MatrixImage(self.size, array("q", self.buf))
 
     def __repr__(self) -> str:
@@ -100,7 +100,7 @@ class MatrixStamp(Stamp):
         buf: array,
         log: Optional[list] = None,
         log_len: int = 0,
-    ):
+    ) -> None:
         self._sender = sender
         self._dest = dest
         self._size = size
@@ -151,7 +151,7 @@ class MatrixClock(CausalClock):
         "_image",
     )
 
-    def __init__(self, size: int, owner: int):
+    def __init__(self, size: int, owner: int) -> None:
         if size <= 0:
             raise ClockError(f"matrix clock size must be positive, got {size}")
         if not 0 <= owner < size:

@@ -82,7 +82,7 @@ class UpdatesImage:
         origin: array,
         sent_state: array,
         state: int,
-    ):
+    ) -> None:
         self.size = size
         self.value = value
         self.cstate = cstate
@@ -90,7 +90,7 @@ class UpdatesImage:
         self.sent_state = sent_state
         self.state = state
 
-    def __deepcopy__(self, memo) -> "UpdatesImage":
+    def __deepcopy__(self, memo: object) -> "UpdatesImage":
         return UpdatesImage(
             self.size,
             array("q", self.value),
@@ -110,7 +110,7 @@ class UpdateStamp(Stamp):
 
     __slots__ = ("_sender", "_dest", "_updates", "_index")
 
-    def __init__(self, sender: int, dest: int, updates: Tuple[CellUpdate, ...]):
+    def __init__(self, sender: int, dest: int, updates: Tuple[CellUpdate, ...]) -> None:
         self._sender = sender
         self._dest = dest
         self._updates = updates
@@ -134,7 +134,7 @@ class UpdateStamp(Stamp):
         """Cells actually serialized — the quantity the optimization shrinks."""
         return len(self._updates)
 
-    def entry(self, row: int, col: int):
+    def entry(self, row: int, col: int) -> Optional[int]:
         """Value shipped for cell ``(row, col)``, or ``None`` if not shipped."""
         index = self._index
         if index is None:
@@ -178,7 +178,7 @@ class UpdatesClock(CausalClock):
         "_image",
     )
 
-    def __init__(self, size: int, owner: int):
+    def __init__(self, size: int, owner: int) -> None:
         if size <= 0:
             raise ClockError(f"matrix clock size must be positive, got {size}")
         if not 0 <= owner < size:
@@ -409,7 +409,7 @@ class UpdatesClock(CausalClock):
             ):
                 raise ClockError("snapshot shape does not match clock size")
 
-            def flat(rows) -> array:
+            def flat(rows: List[List[int]]) -> array:
                 out: List[int] = []
                 for row in rows:
                     out.extend(row)

@@ -27,6 +27,12 @@ from repro.mom.config import BusConfig
 from repro.mom.server import AgentServer
 from repro.mom.bus import MessageBus
 from repro.mom.failures import FailureInjector
+from repro.mom.workloads import (
+    BroadcastDriver,
+    OpenLoopDriver,
+    PingPongDriver,
+    SinkAgent,
+)
 from repro.mom.scenario import ScenarioResult, run_scenario
 
 __all__ = [

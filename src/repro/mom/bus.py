@@ -17,7 +17,7 @@ traces the causality checkers consume:
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Hashable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional
 
 from repro.causality.chains import Membership
 from repro.causality.checker import (
@@ -39,6 +39,9 @@ from repro.simulation.network import Network
 from repro.simulation.rng import RngFactory
 from repro.topology.graph import validate_topology
 from repro.topology.routing import build_routing_tables
+
+if TYPE_CHECKING:
+    from repro.causality.chains import Chain
 
 
 class MessageBus:

@@ -41,12 +41,15 @@ bit-identical.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Set, Tuple
 
 from repro.errors import RoutingError, TopologyError
 from repro.mom.domain_item import DomainItem
 from repro.mom.payloads import ChannelAck, Envelope, Notification
 from repro.simulation.metrics import LazyCounter
+
+if TYPE_CHECKING:
+    from repro.mom.server import AgentServer
 
 
 class _HoldbackStore:
@@ -61,7 +64,7 @@ class _HoldbackStore:
 
     __slots__ = ("by_sender", "mids", "count")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.by_sender: Dict[int, Dict[int, List[Tuple[int, Envelope]]]] = {}
         self.mids: Set[Tuple] = set()
         self.count = 0
@@ -102,7 +105,7 @@ class _HoldbackStore:
 class Channel:
     """One server's channel. Created by :class:`~repro.mom.server.AgentServer`."""
 
-    def __init__(self, server: "AgentServer"):  # noqa: F821 - forward ref
+    def __init__(self, server: AgentServer) -> None:
         self._server = server
         self._items: Dict[str, DomainItem] = {}
         for domain in server.domains:

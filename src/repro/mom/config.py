@@ -20,14 +20,14 @@ from repro.simulation.costs import CostModel
 from repro.simulation.network import ConstantLatency, LatencyModel
 from repro.topology.domains import Topology
 
-def _fifo_clock():
+def _fifo_clock() -> Type[CausalClock]:
     # imported lazily: baselines depend on clocks, not the reverse
     from repro.baselines.local_fifo import FifoClock
 
     return FifoClock
 
 
-_CLOCKS = {
+_CLOCKS: "dict[str, Optional[Type[CausalClock]]]" = {
     "matrix": MatrixClock,
     "updates": UpdatesClock,
     # deliberately broken baseline (per-pair FIFO only, §2): boots, runs,
@@ -98,9 +98,10 @@ class BusConfig:
     @property
     def clock_cls(self) -> Type[CausalClock]:
         """The clock class selected by :attr:`clock_algorithm`."""
-        if self.clock_algorithm == "fifo":
+        cls = _CLOCKS[self.clock_algorithm]
+        if cls is None:
             return _fifo_clock()
-        return _CLOCKS[self.clock_algorithm]
+        return cls
 
     def latency_model(self) -> LatencyModel:
         """The effective latency model."""

@@ -29,7 +29,9 @@ class DomainItem:
 
     __slots__ = ("domain", "domain_server_id", "_clock", "_local_ids")
 
-    def __init__(self, domain: Domain, server_id: int, clock_cls: Type[CausalClock]):
+    def __init__(
+        self, domain: Domain, server_id: int, clock_cls: Type[CausalClock]
+    ) -> None:
         """Args:
         domain: the topology domain this item covers.
         server_id: this server's *global* id; must be a member.

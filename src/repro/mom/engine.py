@@ -14,12 +14,15 @@ The engine runs at most one reaction at a time on the server's processor
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
 
-from repro.errors import AgentError, ServerCrashedError
+from repro.errors import AgentError
 from repro.mom.agent import Agent, ReactionContext
 from repro.mom.identifiers import AgentId
 from repro.mom.payloads import Notification
+
+if TYPE_CHECKING:
+    from repro.mom.server import AgentServer
 
 _BOOT = "__boot__"
 
@@ -27,7 +30,7 @@ _BOOT = "__boot__"
 class Engine:
     """One server's agent engine. Created by :class:`~repro.mom.server.AgentServer`."""
 
-    def __init__(self, server: "AgentServer"):  # noqa: F821 - forward ref
+    def __init__(self, server: AgentServer) -> None:
         self._server = server
         self._agents: Dict[int, Agent] = {}
         self._queue_in: Deque[Any] = deque()

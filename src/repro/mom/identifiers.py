@@ -30,7 +30,7 @@ class AgentId:
     server: int
     local: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.server < 0:
             raise ConfigurationError(f"negative server id: {self.server}")
         if self.local < 0:

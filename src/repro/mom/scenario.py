@@ -40,7 +40,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, List, Optional, Union
 
-from repro.bench.workloads import BroadcastDriver, PingPongDriver
+from repro.mom.workloads import BroadcastDriver, PingPongDriver
 from repro.errors import ConfigurationError
 from repro.mom.agent import Agent, EchoAgent, FunctionAgent
 from repro.mom.bus import MessageBus

@@ -8,7 +8,7 @@ simply never commits, which is exactly the atomicity §3 promises.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from repro.errors import ServerCrashedError
 from repro.mom.channel import Channel
@@ -20,13 +20,16 @@ from repro.simulation.transport import ReliableTransport
 from repro.topology.domains import Domain
 from repro.topology.routing import RoutingTable
 
+if TYPE_CHECKING:
+    from repro.mom.bus import MessageBus
+
 
 class AgentServer:
     """One MOM server. Constructed by :class:`~repro.mom.bus.MessageBus`."""
 
     def __init__(
         self,
-        bus: "MessageBus",  # noqa: F821 - forward ref
+        bus: MessageBus,
         server_id: int,
         domains: List[Domain],
         routing: RoutingTable,

@@ -34,8 +34,10 @@ unicast (2 messages per round trip: 56 + 0.054·n², passing through
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.clocks.base import Stamp
+if TYPE_CHECKING:
+    from repro.clocks.base import Stamp
 
 
 @dataclass(frozen=True)

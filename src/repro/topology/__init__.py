@@ -57,6 +57,7 @@ from repro.topology.repair import (
     DomainAbsorption,
     repair_topology,
 )
+from repro.topology.dot import topology_to_dot
 
 __all__ = [
     "Domain",
@@ -87,4 +88,5 @@ __all__ = [
     "RepairAction",
     "DomainAbsorption",
     "repair_topology",
+    "topology_to_dot",
 ]

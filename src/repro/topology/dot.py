@@ -1,0 +1,49 @@
+"""Graphviz (DOT) export of the domain interconnection graph.
+
+``dot -Tsvg`` (or ``neato``) renders the §4.2 picture: domains as nodes,
+shared causal router-servers annotated on the edges. The causal message
+graph of a *trace* is exported by :func:`repro.causality.dot.trace_to_dot`
+— it lives there because traces are a causality-layer concept, while this
+module only needs the static topology.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.topology.domains import Topology
+from repro.topology.graph import domain_graph
+
+
+def _quote(value: Hashable) -> str:
+    text = str(value)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def topology_to_dot(topology: Topology) -> str:
+    """The §4.2 domain interconnection graph, with shared routers on the
+    edges and member lists in the nodes."""
+    graph = domain_graph(topology)
+    lines: List[str] = [
+        "graph domains {",
+        "  layout=neato;",
+        '  node [shape=ellipse, fontsize=11, fontname="sans-serif"];',
+    ]
+    for domain in topology.domains:
+        members = ", ".join(
+            f"S{s}{'*' if topology.is_router(s) else ''}"
+            for s in domain.servers
+        )
+        label = f"{domain.domain_id}\\n{members}"
+        lines.append(
+            f"  {_quote(domain.domain_id)} [label={_quote(label)}];"
+        )
+    for first, second, data in sorted(graph.edges(data=True)):
+        shared = ", ".join(f"S{s}" for s in data["shared"])
+        lines.append(
+            f"  {_quote(first)} -- {_quote(second)} "
+            f"[label={_quote(shared)}, fontsize=9];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

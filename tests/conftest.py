@@ -1,15 +1,29 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Set ``REPRO_SANITIZE=1`` to run the whole suite with the runtime
+sanitizer installed (see :mod:`repro.analysis.sanitizer`): every
+MessageBus is instrumented and any protocol-invariant violation raises
+``SanitizerViolation`` — with zero false positives, the sanitized run is
+expected to pass bit-identically.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.bench.workloads import PingPongDriver
+from repro.mom.workloads import PingPongDriver
 from repro.mom.agent import EchoAgent
 from repro.mom.bus import MessageBus
 from repro.mom.config import BusConfig
 from repro.topology.builders import bus as bus_topology
 from repro.topology.builders import from_domain_map, single_domain
+
+if os.environ.get("REPRO_SANITIZE") == "1":
+    from repro.analysis.sanitizer import install as _install_sanitizer
+
+    _install_sanitizer()
 
 
 @pytest.fixture

@@ -1,0 +1,5 @@
+"""R003 fixture: bench/ is outside the rule's scope — no hits."""
+
+
+def summarize(rows):
+    return [row for row in set(rows)]

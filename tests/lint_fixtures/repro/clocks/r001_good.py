@@ -1,0 +1,8 @@
+"""R001 fixture: the same mutations are legal inside repro/clocks."""
+
+
+class FakeClock:
+    def bump(self):
+        self._buf[0] = 7
+        self._log.append((0, 1))
+        self._shared = True

@@ -1,0 +1,9 @@
+"""R006 fixture: clocks (layer 2) importing upward (3 hits)."""
+
+import repro.mom.channel  # hit: clocks -> mom
+from repro.bench.harness import run_broadcast  # hit: clocks -> bench
+from repro import MessageBus  # hit: root aggregator from inside a layer
+
+
+def use():
+    return repro.mom.channel, run_broadcast, MessageBus

@@ -1,0 +1,9 @@
+"""noqa fixture: suppressions silence specific or all rules per line."""
+
+
+def suppressed(clock, servers, sim, deadline):
+    clock._buf[0] = 1  # noqa: R001
+    clock._buf[1] = 2  # noqa
+    for server in set(servers):  # noqa: R003, R004
+        server.send()
+    return sim.now == deadline  # noqa: R001,R004

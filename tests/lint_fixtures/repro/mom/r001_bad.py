@@ -1,0 +1,10 @@
+"""R001 fixture: mutating clock internals outside repro/clocks (4 hits)."""
+
+
+def corrupt(clock, item, stamp):
+    clock._buf[0] = 7  # hit: subscript assignment
+    stamp._log.append((0, 1))  # hit: mutating method call
+    clock._shared = False  # hit: attribute assignment
+    del item._image  # hit: delete
+    value = clock._buf[0]  # reads are fine (the sanitizer reads buffers)
+    return value

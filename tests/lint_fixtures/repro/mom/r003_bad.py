@@ -1,0 +1,12 @@
+"""R003 fixture: hash-ordered iteration in mom/ (4 hits)."""
+
+
+def fanout(servers, table):
+    for server in set(servers):  # hit: bare set
+        server.send()
+    for key in table.keys():  # hit: keys() view
+        table[key].flush()
+    order = [item for item in {1, 2, 3}]  # hit: set literal in comprehension
+    for entry in list({s for s in servers}):  # hit: list(set) doesn't help
+        entry.poke()
+    return order

@@ -1,0 +1,10 @@
+"""R003 fixture: sorted or insertion-ordered iteration is fine."""
+
+
+def fanout(servers, table):
+    for server in sorted(set(servers)):  # sorted: deterministic
+        server.send()
+    for key, value in table.items():  # dict order is insertion order
+        value.flush()
+    for server in servers:  # plain sequence
+        server.poke()

@@ -1,0 +1,20 @@
+"""R005 fixture: bare/swallowing exception handlers (3 hits)."""
+
+
+def risky(channel, stamp):
+    try:
+        channel.deliver(stamp)
+    except:  # hit: bare except
+        pass
+    try:
+        channel.deliver(stamp)
+    except ClockError:  # hit: protocol error swallowed, no raise
+        log_it()
+    try:
+        channel.deliver(stamp)
+    except Exception:  # hit: broad catch with empty body
+        pass
+
+
+def log_it():
+    return None

@@ -1,0 +1,27 @@
+"""R005 fixture: re-raising, exit-code boundaries, narrow catches — fine."""
+
+import sys
+
+
+def careful(channel, stamp):
+    try:
+        channel.deliver(stamp)
+    except ClockError:
+        cleanup()
+        raise  # re-raised: not swallowed
+    try:
+        channel.deliver(stamp)
+    except ValueError:  # narrow, non-protocol: allowed even if trivial
+        pass
+
+
+def cli_main(run):
+    try:
+        return run()
+    except ReproError as error:  # CLI boundary: converted to an exit code
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def cleanup():
+    return None

@@ -1,0 +1,14 @@
+"""R006 fixture: importing at or below your own layer is fine."""
+
+from typing import TYPE_CHECKING
+
+from repro.clocks.base import CausalClock  # mom (6) -> clocks (2): down
+from repro.errors import ClockError  # mom (6) -> errors (0): down
+from repro.mom.identifiers import AgentId  # same layer
+
+if TYPE_CHECKING:
+    from repro.bench.harness import ExperimentResult  # annotation-only: exempt
+
+
+def use(result: "ExperimentResult") -> tuple:
+    return CausalClock, ClockError, AgentId, result

@@ -1,0 +1,16 @@
+"""R002 fixture: ambient nondeterminism outside rng.py (5 hits)."""
+
+import os
+import random
+import time
+from datetime import datetime
+from random import randint
+
+
+def jitter():
+    a = random.random()  # hit: global RNG
+    b = randint(0, 9)  # hit: global RNG via from-import
+    c = time.time()  # hit: wall clock
+    d = datetime.now()  # hit: wall clock
+    e = os.urandom(4)  # hit: OS entropy
+    return a, b, c, d, e

@@ -1,0 +1,11 @@
+"""R002 fixture: seeded RNGs and non-clock APIs are fine."""
+
+import random
+import time
+
+
+def seeded(seed):
+    rng = random.Random(seed)  # seeded: deterministic
+    rng2 = random.Random(0)
+    t = time.perf_counter()  # wall-clock *benchmarking* is not simulated time
+    return rng.random() + rng2.random() + t

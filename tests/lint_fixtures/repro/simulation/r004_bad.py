@@ -1,0 +1,10 @@
+"""R004 fixture: float equality on virtual timestamps (3 hits)."""
+
+
+def poll(sim, event, deadline):
+    if sim.now == deadline:  # hit
+        return True
+    if event.sent_at != 0.0:  # hit
+        return False
+    done = event.busy_until == sim.now  # hit (either side matches)
+    return done

@@ -1,0 +1,9 @@
+"""R004 fixture: ordered comparisons and non-time equality are fine."""
+
+
+def poll(sim, event, deadline, count):
+    if sim.now >= deadline:  # ordered comparison
+        return True
+    if count == 3:  # not a timestamp
+        return False
+    return event.sent_at <= sim.now

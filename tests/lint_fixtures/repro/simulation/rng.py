@@ -1,0 +1,7 @@
+"""R002 fixture: this path *is* simulation/rng.py — the one exempt module."""
+
+import random
+
+
+def entropy():
+    return random.random()  # allowed only here

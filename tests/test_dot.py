@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.causality import Message, Trace, topology_to_dot, trace_to_dot
+from repro.causality import Message, Trace, trace_to_dot
 from repro.topology import bus as bus_topology
+from repro.topology import topology_to_dot
 from repro.topology import from_domain_map
 
 

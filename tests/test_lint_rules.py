@@ -1,0 +1,185 @@
+"""Self-tests for the protocol linter (R001–R006).
+
+Each rule gets a firing fixture and a non-firing fixture under
+``tests/lint_fixtures/repro/...``; the directory layout mirrors the real
+package so that location-scoped rules resolve module names exactly as
+they do on ``src/``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Diagnostic, lint_file, lint_paths, lint_source
+from repro.analysis.lint import module_name
+from repro.analysis.rules import ALL_RULES, LAYERS
+
+FIXTURES = Path(__file__).parent / "lint_fixtures" / "repro"
+REPO_SRC = Path(__file__).parent.parent / "src"
+
+
+def rules_fired(path: Path) -> list:
+    return [d.rule for d in lint_file(path)]
+
+
+class TestModuleName:
+    def test_src_layout(self):
+        assert module_name("src/repro/mom/channel.py") == "repro.mom.channel"
+
+    def test_rightmost_repro_wins(self):
+        path = "tests/lint_fixtures/repro/mom/r001_bad.py"
+        assert module_name(path) == "repro.mom.r001_bad"
+
+    def test_init_maps_to_package(self):
+        assert module_name("src/repro/clocks/__init__.py") == "repro.clocks"
+
+    def test_outside_repro_is_none(self):
+        assert module_name("scripts/plot.py") is None
+
+
+class TestR001ClockInternals:
+    def test_fires_outside_clocks(self):
+        fired = rules_fired(FIXTURES / "mom" / "r001_bad.py")
+        assert fired.count("R001") == 4
+
+    def test_silent_inside_clocks(self):
+        assert rules_fired(FIXTURES / "clocks" / "r001_good.py") == []
+
+    def test_reads_never_fire(self):
+        findings = lint_source(
+            "value = clock._buf[0]\n", module="repro.mom.probe"
+        )
+        assert findings == []
+
+
+class TestR002Nondeterminism:
+    def test_fires_on_every_source(self):
+        fired = rules_fired(FIXTURES / "simulation" / "r002_bad.py")
+        assert fired.count("R002") == 5
+
+    def test_seeded_rng_is_fine(self):
+        assert rules_fired(FIXTURES / "simulation" / "r002_good.py") == []
+
+    def test_rng_module_is_exempt(self):
+        assert rules_fired(FIXTURES / "simulation" / "rng.py") == []
+
+
+class TestR003UnorderedIteration:
+    def test_fires_in_mom(self):
+        fired = rules_fired(FIXTURES / "mom" / "r003_bad.py")
+        assert fired.count("R003") == 4
+
+    def test_sorted_is_fine(self):
+        assert rules_fired(FIXTURES / "mom" / "r003_good.py") == []
+
+    def test_out_of_scope_package(self):
+        assert rules_fired(FIXTURES / "bench" / "r003_out_of_scope.py") == []
+
+
+class TestR004TimestampEquality:
+    def test_fires_on_equality(self):
+        fired = rules_fired(FIXTURES / "simulation" / "r004_bad.py")
+        assert fired.count("R004") == 3
+
+    def test_ordered_comparisons_fine(self):
+        assert rules_fired(FIXTURES / "simulation" / "r004_good.py") == []
+
+
+class TestR005SwallowedErrors:
+    def test_fires_on_swallowing(self):
+        fired = rules_fired(FIXTURES / "mom" / "r005_bad.py")
+        assert fired.count("R005") == 3
+
+    def test_reraise_and_cli_boundary_fine(self):
+        assert rules_fired(FIXTURES / "mom" / "r005_good.py") == []
+
+
+class TestR006LayeredImports:
+    def test_fires_on_upward_imports(self):
+        fired = rules_fired(FIXTURES / "clocks" / "r006_bad.py")
+        assert fired.count("R006") == 3
+
+    def test_downward_and_type_checking_fine(self):
+        assert rules_fired(FIXTURES / "mom" / "r006_good.py") == []
+
+    def test_layer_order_matches_reality(self):
+        # the declared order must keep every real package distinct
+        assert len(set(LAYERS.values())) == len(LAYERS)
+        assert LAYERS["errors"] < LAYERS["clocks"] < LAYERS["mom"]
+        assert LAYERS["mom"] < LAYERS["bench"] < LAYERS["analysis"]
+
+
+class TestSuppressions:
+    def test_noqa_fixture_is_clean(self):
+        assert rules_fired(FIXTURES / "mom" / "noqa_suppressed.py") == []
+
+    def test_noqa_only_suppresses_named_rule(self):
+        findings = lint_source(
+            "clock._buf[0] = 1  # noqa: R002\n", module="repro.mom.x"
+        )
+        assert [d.rule for d in findings] == ["R001"]
+
+
+class TestFramework:
+    def test_select_restricts_rules(self):
+        findings = lint_file(FIXTURES / "mom" / "r001_bad.py")
+        only = lint_file(FIXTURES / "mom" / "r001_bad.py", select=["R005"])
+        assert findings and only == []
+
+    def test_syntax_error_reports_e999(self):
+        findings = lint_source("def broken(:\n", path="x.py")
+        assert [d.rule for d in findings] == ["E999"]
+
+    def test_diagnostic_format(self):
+        d = Diagnostic("R001", "a.py", 3, 5, "msg")
+        assert d.format() == "a.py:3:5: R001 msg"
+        assert d.to_dict()["line"] == 3
+
+    def test_every_rule_has_a_firing_fixture(self):
+        all_fired = set()
+        for path in sorted(FIXTURES.rglob("*.py")):
+            all_fired.update(rules_fired(path))
+        assert {rule.rule_id for rule in ALL_RULES} <= all_fired
+
+    def test_repo_src_is_clean(self):
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], "\n".join(d.format() for d in findings)
+
+
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_SRC.parent),
+        )
+
+    def test_exit_zero_on_clean_tree(self):
+        result = self.run_cli("lint", "src/")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_exit_one_with_file_line_diagnostics(self):
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        result = self.run_cli("lint", str(bad))
+        assert result.returncode == 1
+        assert "r001_bad.py:5:" in result.stdout
+        assert "R001" in result.stdout
+
+    def test_json_output(self):
+        bad = FIXTURES / "simulation" / "r004_bad.py"
+        result = self.run_cli("lint", "--json", str(bad))
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert {entry["rule"] for entry in payload} == {"R004"}
+
+    def test_rules_subcommand(self):
+        result = self.run_cli("rules")
+        assert result.returncode == 0
+        for rule in ALL_RULES:
+            assert rule.rule_id in result.stdout

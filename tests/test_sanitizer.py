@@ -1,0 +1,313 @@
+"""Tests for the runtime sanitizer (:mod:`repro.analysis.sanitizer`).
+
+Three obligations: (1) real violations — stamp mutation after publish,
+FIFO skips, monotonicity regressions, causal-order breaks, holdback
+leaks — raise :class:`SanitizerViolation` with a message naming the
+culprit; (2) clean runs raise nothing (zero false positives); (3) a
+sanitized run is observationally identical to a bare one — same simulated
+end time, same metrics — because the sanitizer only watches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    BusSanitizer,
+    ClockSanitizer,
+    OrderChecker,
+    SanitizerViolation,
+    _StampRegistry,
+    install,
+    is_installed,
+    uninstall,
+)
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.updates import UpdatesClock
+from repro.mom.agent import Agent, EchoAgent, FunctionAgent
+from repro.mom.bus import MessageBus
+from repro.mom.config import BusConfig
+from repro.mom.identifiers import AgentId
+from repro.mom.payloads import Notification
+from repro.mom.workloads import PingPongDriver
+from repro.topology.builders import bus as bus_topology
+from repro.topology.builders import from_domain_map
+
+
+def wrapped_pair(clock_cls, size=3):
+    """Two sanitized clocks of one domain sharing a stamp registry."""
+    registry = _StampRegistry()
+    sender = ClockSanitizer(clock_cls(size, 0), "server 0, domain 'X'", registry)
+    receiver = ClockSanitizer(clock_cls(size, 1), "server 1, domain 'X'", registry)
+    return sender, receiver
+
+
+class TestStampFreeze:
+    def test_mutating_published_matrix_stamp_names_clock_and_cell(self):
+        sender, receiver = wrapped_pair(MatrixClock)
+        stamp = sender.prepare_send(1)
+        stamp._buf[2] = 99  # tamper with the COW-shared buffer
+        with pytest.raises(SanitizerViolation) as excinfo:
+            receiver.can_deliver(stamp)
+        message = str(excinfo.value)
+        assert "stamp-mutation" in message
+        assert "server 0, domain 'X'" in message
+        assert "cell (0, 2)" in message
+
+    def test_mutating_updates_stamp_detected(self):
+        sender, receiver = wrapped_pair(UpdatesClock)
+        stamp = sender.prepare_send(1)
+        stamp._updates = ()  # replace the published delta
+        with pytest.raises(SanitizerViolation, match="stamp-mutation"):
+            receiver.can_deliver(stamp)
+
+    def test_untouched_stamp_flows_through(self):
+        sender, receiver = wrapped_pair(MatrixClock)
+        stamp = sender.prepare_send(1)
+        assert receiver.can_deliver(stamp)
+        receiver.deliver(stamp)
+        assert receiver.cell(0, 1) == 1
+
+    def test_quiesce_reverifies_every_retained_stamp(self):
+        registry = _StampRegistry()
+        clock = ClockSanitizer(MatrixClock(3, 0), "server 0", registry)
+        stamps = [clock.prepare_send(1) for _ in range(5)]
+        stamps[2]._buf[0] = 41
+        with pytest.raises(SanitizerViolation, match="stamp-mutation"):
+            registry.verify_all()
+
+
+class TestClockChecks:
+    def test_fifo_skip_raises_before_clock_error(self):
+        sender, receiver = wrapped_pair(MatrixClock)
+        sender.prepare_send(1)  # first message never delivered
+        second = sender.prepare_send(1)
+        with pytest.raises(SanitizerViolation, match="fifo"):
+            receiver.deliver(second)
+
+    def test_monotonicity_regression_detected(self):
+        registry = _StampRegistry()
+        clock = ClockSanitizer(MatrixClock(3, 0), "server 0", registry)
+        clock.prepare_send(1)
+        clock.inner._buf[clock.inner._size * 0 + 1] = 0  # regress a cell
+        with pytest.raises(SanitizerViolation, match="monotonicity"):
+            clock.prepare_send(2)
+
+    def test_restore_rebaselines_instead_of_flagging(self):
+        registry = _StampRegistry()
+        clock = ClockSanitizer(MatrixClock(3, 0), "server 0", registry)
+        image = clock.sync_image()
+        clock.prepare_send(1)
+        clock.restore(image)  # legal rollback to the persisted image
+        clock.prepare_send(1)  # must not raise
+
+    def test_delegation_preserves_protocol_surface(self):
+        sender, _ = wrapped_pair(UpdatesClock)
+        assert sender.size == 3
+        assert sender.owner == 0
+        stamp = sender.prepare_send(1)
+        assert sender.dirty_cells() == 1
+        sender.clear_dirty()
+        assert sender.dirty_cells() == 0
+        assert stamp.wire_cells >= 1
+
+
+def note(nid, sender, target, now=0.0):
+    return Notification(
+        nid=nid, sender=sender, target=target, payload=None, sent_at=now
+    )
+
+
+class TestOrderChecker:
+    def test_out_of_order_delivery_raises(self):
+        a, b, c = AgentId(0, 0), AgentId(1, 0), AgentId(2, 0)
+        checker = OrderChecker()
+        m1 = note(1, a, c)
+        m3 = note(2, a, b)
+        checker.on_send(m1)
+        checker.on_send(m3)
+        checker.on_receive(m3)
+        m2 = note(3, b, c)  # sent by b after receiving m3: m1 ≺ m2
+        checker.on_send(m2)
+        with pytest.raises(SanitizerViolation, match="causal-order"):
+            checker.on_receive(m2)  # delivered at c while m1 still pending
+
+    def test_causal_order_respected_is_silent(self):
+        a, b, c = AgentId(0, 0), AgentId(1, 0), AgentId(2, 0)
+        checker = OrderChecker()
+        m1 = note(1, a, c)
+        m3 = note(2, a, b)
+        checker.on_send(m1)
+        checker.on_send(m3)
+        checker.on_receive(m3)
+        m2 = note(3, b, c)
+        checker.on_send(m2)
+        checker.on_receive(m1)  # FIFO-consistent order
+        checker.on_receive(m2)
+
+    def test_concurrent_messages_any_order(self):
+        a, b, c = AgentId(0, 0), AgentId(1, 0), AgentId(2, 0)
+        checker = OrderChecker()
+        m1 = note(1, a, c)
+        m2 = note(2, b, c)  # concurrent with m1
+        checker.on_send(m1)
+        checker.on_send(m2)
+        checker.on_receive(m2)
+        checker.on_receive(m1)
+
+    def test_self_sends_ignored(self):
+        a = AgentId(0, 0)
+        checker = OrderChecker()
+        checker.on_send(note(1, a, a))
+        checker.on_receive(note(1, a, a))
+
+
+def build_pingpong(**config_kwargs):
+    topology = bus_topology(9, 3)
+    mom = MessageBus(BusConfig(topology=topology, **config_kwargs))
+    echo_id = mom.deploy(EchoAgent(), 8)
+    driver = PingPongDriver(5)
+    driver.bind(echo_id)
+    mom.deploy(driver, 0)
+    return mom, driver
+
+
+class _RelayAgent(Agent):
+    def __init__(self):
+        super().__init__()
+        self.next_hop = None
+
+    def react(self, ctx, sender, payload):
+        if self.next_hop is not None:
+            ctx.send(self.next_hop, payload)
+
+
+def build_cyclic_race(seed=4):
+    """The theorem test's Figure-4(a) race on a cyclic ring topology."""
+    topology = from_domain_map({"d0": [0, 1], "d1": [1, 2], "d2": [2, 0]})
+    mom = MessageBus(BusConfig(topology=topology, validate=False, seed=seed))
+    sink_order = []
+    sink = FunctionAgent(lambda ctx, s, p: sink_order.append(p))
+    sink_id = mom.deploy(sink, 2)
+    relay = _RelayAgent()
+    relay_id = mom.deploy(relay, 1)
+    relay.next_hop = sink_id
+    starter = FunctionAgent(lambda ctx, s, p: None)
+
+    def boot(ctx):
+        ctx.send(sink_id, "n-direct")
+        ctx.send(relay_id, "m-chain")
+
+    starter.on_boot = boot
+    mom.deploy(starter, 0)
+    mom.network.partition(0, 2)
+    mom.sim.schedule_at(500.0, mom.network.heal, 0, 2)
+    return mom, sink_order
+
+
+class TestBusSanitizer:
+    def test_clean_run_is_silent_and_reaches_quiescence(self):
+        mom, driver = build_pingpong()
+        BusSanitizer(mom).attach()
+        mom.start()
+        mom.run_until_idle()
+        assert driver.mean_rtt > 0
+
+    def test_sanitized_run_observationally_identical(self):
+        bare, bare_driver = build_pingpong(seed=7)
+        bare.start()
+        bare.run_until_idle()
+
+        sanitized, san_driver = build_pingpong(seed=7)
+        BusSanitizer(sanitized).attach()
+        sanitized.start()
+        sanitized.run_until_idle()
+
+        assert sanitized.sim.now == bare.sim.now
+        assert san_driver.mean_rtt == bare_driver.mean_rtt
+        assert sanitized.metrics.snapshot() == bare.metrics.snapshot()
+
+    def test_holdback_leak_flagged_at_quiesce(self):
+        mom, _ = build_pingpong()
+        sanitizer = BusSanitizer(mom).attach()
+        mom.start()
+        mom.run_until_idle()
+        store = next(iter(mom.servers[4].channel._holdback.values()))
+        store.count = 1  # fake a stuck held-back envelope
+        with pytest.raises(SanitizerViolation, match="holdback-leak"):
+            sanitizer.check_quiesce()
+
+    def test_crashed_server_suspends_quiesce_hygiene(self):
+        mom, _ = build_pingpong()
+        sanitizer = BusSanitizer(mom).attach()
+        mom.start()
+        mom.run_until_idle()
+        store = next(iter(mom.servers[4].channel._holdback.values()))
+        store.count = 1
+        mom.servers[4].crash()
+        sanitizer.check_quiesce()  # held-back is legitimate while down
+        mom.servers[4].recover()
+        store.count = 0
+        mom.run_until_idle()
+
+    def test_cyclic_mom_violation_caught_online(self):
+        mom, _ = build_cyclic_race()
+        BusSanitizer(mom, force_order_check=True).attach()
+        mom.start()
+        with pytest.raises(SanitizerViolation, match="causal-order"):
+            mom.run_until_idle()
+
+    def test_cyclic_mom_without_forcing_is_tolerated(self):
+        # validate=False topologies promise nothing; the theorem tests
+        # depend on observing the violation, not on a sanitizer crash
+        mom, sink_order = build_cyclic_race()
+        BusSanitizer(mom).attach()
+        mom.start()
+        mom.run_until_idle()
+        assert sink_order == ["m-chain", "n-direct"]
+        assert not mom.check_app_causality().respects_causality
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SANITIZE") == "1",
+    reason="install()/uninstall() would toggle the suite-wide sanitizer",
+)
+class TestInstall:
+    def test_install_instruments_new_buses(self):
+        assert not is_installed()
+        install()
+        try:
+            assert is_installed()
+            mom, driver = build_pingpong()
+            assert isinstance(mom._sanitizer, BusSanitizer)
+            mom.start()
+            mom.run_until_idle()
+            assert driver.mean_rtt > 0
+        finally:
+            uninstall()
+        assert not is_installed()
+        mom, _ = build_pingpong()
+        assert not hasattr(mom, "_sanitizer")
+
+    def test_install_is_idempotent(self):
+        install()
+        install()
+        try:
+            mom, _ = build_pingpong()
+            assert isinstance(mom._sanitizer, BusSanitizer)
+        finally:
+            uninstall()
+            uninstall()
+
+    def test_fifo_buses_not_clock_wrapped(self):
+        install()
+        try:
+            topology = bus_topology(6, 3)
+            mom = MessageBus(
+                BusConfig(topology=topology, clock_algorithm="fifo")
+            )
+            assert mom._sanitizer.clocks == []
+        finally:
+            uninstall()
