@@ -73,34 +73,40 @@ def bench_fan_in(clock_cls, size: int, rounds: int = 50):
     return {"wall_s": round(secs, 4), "deliveries": rounds * (size - 1)}
 
 
-def bench_holdback_churn():
+def _run_churn(trace: bool = False):
+    """One jittery hold-back churn run; optionally with the obs tracer."""
     from repro.mom import BusConfig, EchoAgent, FunctionAgent, MessageBus
     from repro.simulation.network import UniformLatency
     from repro.topology import single_domain
 
-    def run():
-        mom = MessageBus(
-            BusConfig(
-                topology=single_domain(12),
-                seed=11,
-                latency=UniformLatency(0.1, 20.0),
-            )
+    mom = MessageBus(
+        BusConfig(
+            topology=single_domain(12),
+            seed=11,
+            latency=UniformLatency(0.1, 20.0),
         )
-        echo_id = mom.deploy(EchoAgent(), 11)
-        for src in range(4):
-            sender = FunctionAgent(lambda ctx, s, p: None)
+    )
+    if trace:
+        from repro.obs.tracer import attach
 
-            def boot(ctx, echo_id=echo_id):
-                for i in range(25):
-                    ctx.send(echo_id, i)
+        attach(mom)
+    echo_id = mom.deploy(EchoAgent(), 11)
+    for src in range(4):
+        sender = FunctionAgent(lambda ctx, s, p: None)
 
-            sender.on_boot = boot
-            mom.deploy(sender, src)
-        mom.start()
-        mom.run_until_idle()
-        return mom
+        def boot(ctx, echo_id=echo_id):
+            for i in range(25):
+                ctx.send(echo_id, i)
 
-    secs, mom = _time(run)
+        sender.on_boot = boot
+        mom.deploy(sender, src)
+    mom.start()
+    mom.run_until_idle()
+    return mom
+
+
+def bench_holdback_churn():
+    secs, mom = _time(_run_churn)
     snapshot = mom.metrics.snapshot()
     return {
         "wall_s": round(secs, 4),
@@ -122,6 +128,52 @@ def bench_scale(topology: str, rounds: int = 3):
         "sim_ms": round(result.mean_turnaround_ms, 3),
         "wire_cells": result.wire_cells,
         "causal_ok": result.causal_ok,
+    }
+
+
+def bench_trace_overhead() -> dict:
+    """Wall-clock cost of the obs tracer on the hold-back churn workload.
+
+    Runs the identical experiment with and without a tracer attached and
+    records the ratio. The simulated observables must match exactly —
+    tracing is observation-only — so any divergence is a hard error.
+    """
+    untraced_s, untraced = _time(_run_churn)
+    traced_s, traced = _time(lambda: _run_churn(trace=True))
+    before, after = untraced.metrics.snapshot(), traced.metrics.snapshot()
+    if before != after:
+        diff = {
+            k: (before.get(k), after.get(k))
+            for k in set(before) | set(after)
+            if before.get(k) != after.get(k)
+        }
+        raise SystemExit(f"DIVERGENCE: tracing changed metrics: {diff}")
+    tracer = traced._obs_tracer
+    return {
+        "untraced_wall_s": round(untraced_s, 4),
+        "traced_wall_s": round(traced_s, 4),
+        "overhead_ratio": round(traced_s / untraced_s, 3)
+        if untraced_s > 0
+        else 0.0,
+        "events_recorded": tracer.ring.next_seq,
+        "metrics_identical": True,
+    }
+
+
+def trace_histograms() -> dict:
+    """Histogram snapshots of traced runs, for BENCH_trace_histograms.json:
+    the Fig-10 remote unicast (percentile extras via the bench harness)
+    and the jittery churn run (full tracer snapshots, hold-back engaged).
+    """
+    from repro.bench import run_remote_unicast
+
+    fig10 = run_remote_unicast(50, topology="bus", rounds=20, trace=True)
+    churn_tracer = _run_churn(trace=True)._obs_tracer
+    return {
+        "fig10_remote_unicast_n50": {
+            k: v for k, v in sorted(fig10.extras.items())
+        },
+        "holdback_churn": churn_tracer.histogram_snapshot(),
     }
 
 
@@ -179,6 +231,13 @@ def main() -> None:
     parser.add_argument("--label", choices=["before", "after"],
                         default="after")
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="measure obs-tracer overhead (merged under 'trace_overhead') "
+        "and export traced-run histograms to BENCH_trace_histograms.json "
+        "instead of re-running the hot-path scenarios",
+    )
+    parser.add_argument(
         "--out",
         default=os.path.join(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -186,6 +245,31 @@ def main() -> None:
         ),
     )
     args = parser.parse_args()
+    if args.trace:
+        # 'trace_overhead' lives outside the before/after labels on
+        # purpose: the speedup/divergence bookkeeping in merge() only
+        # walks those two, so trace numbers never leak into it.
+        overhead = bench_trace_overhead()
+        doc = {}
+        if os.path.exists(args.out):
+            with open(args.out) as fh:
+                doc = json.load(fh)
+        doc["trace_overhead"] = overhead
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        hist_path = os.path.join(
+            os.path.dirname(args.out), "BENCH_trace_histograms.json"
+        )
+        with open(hist_path, "w") as fh:
+            json.dump(trace_histograms(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"trace overhead {overhead['overhead_ratio']}x "
+            f"({overhead['events_recorded']} events) -> {args.out}"
+        )
+        print(f"wrote traced-run histograms to {hist_path}")
+        return
     scenarios = measure()
     doc = merge(args.out, args.label, scenarios)
     print(f"wrote {args.label} ({len(scenarios)} scenarios) to {args.out}")

@@ -22,7 +22,7 @@ protocol itself) depends on:
   clock error converts a crash into a silent causality violation.
 - **R006** — layered imports only: a package may import packages at or
   below its own layer (``errors < simulation < clocks < causality <
-  topology < baselines < mom < pubsub < bench < analysis``).
+  topology < baselines < mom < pubsub < obs < bench < analysis``).
 """
 
 from __future__ import annotations
@@ -87,8 +87,9 @@ LAYERS: Dict[str, int] = {
     "baselines": 5,
     "mom": 6,
     "pubsub": 7,
-    "bench": 8,
-    "analysis": 9,
+    "obs": 8,
+    "bench": 9,
+    "analysis": 10,
 }
 
 _TIMELIKE_NAMES = frozenset(

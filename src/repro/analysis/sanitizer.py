@@ -57,11 +57,27 @@ class SanitizerViolation(ReproError):
         kind: short machine-readable category (``stamp-mutation``,
             ``monotonicity``, ``fifo``, ``causal-order``,
             ``holdback-leak``, ``queue-leak``, ``cyclic-domains``).
+        artifact: flight-recorder dump directory, when tracing was on
+            (``REPRO_TRACE=1``) at the moment of the violation.
     """
 
     def __init__(self, kind: str, message: str):
         self.kind = kind
-        super().__init__(f"[{kind}] {message}")
+        self.artifact = _flight_record(kind)
+        suffix = (
+            f" [flight record: {self.artifact}]" if self.artifact else ""
+        )
+        super().__init__(f"[{kind}] {message}{suffix}")
+
+
+def _flight_record(kind: str) -> Optional[str]:
+    """Dump the event ring of every traced bus; the violation message
+    points at the artifact so the failure is inspectable post-mortem."""
+    try:
+        from repro.obs import flight_recorder
+    except ImportError:
+        return None
+    return flight_recorder.record_violation(kind)
 
 
 def _fingerprint(stamp: Stamp) -> Optional[object]:

@@ -26,6 +26,7 @@ _FIGURES: Dict[str, Callable[..., "figures.FigureResult"]] = {
     "updates": figures.updates_ablation,
     "local": figures.local_unicast_table,
     "state": figures.state_size_table,
+    "tracehist": figures.trace_table,
 }
 
 

@@ -361,3 +361,98 @@ def state_size_table(ns: Optional[Sequence[int]] = None) -> FigureResult:
         columns=["n", "flat_state_cells", "bus_state_cells", "ratio"],
         rows=rows,
     )
+
+
+def trace_table(n: int = 50, rounds: int = 20) -> FigureResult:
+    """Latency decomposition of traced runs, for the bench report.
+
+    Two scenarios with the :mod:`repro.obs` tracer attached:
+
+    - ``fig10``: the n-server bus-of-domains remote unicast of Figure 10
+      (multi-hop routing, ordered network — hold-back rarely engages);
+    - ``jittery``: a 12-server single domain under 0.1–20 ms uniform
+      latency with four concurrent senders, the adversarial arrival order
+      that drives messages through the hold-back queue.
+
+    Tracing is observation-only, so the fig10 turn-around matches the
+    untraced Figure 10 point bit-for-bit.
+    """
+    rows: List[Dict[str, object]] = []
+    hist_names = (
+        "holdback_dwell_ms",
+        "e2e_delivery_ms",
+        "ack_rtt_ms",
+        "queue_wait_ms",
+        "clock_merge_cells",
+    )
+
+    def add_rows(scenario: str, extras: Dict[str, float]) -> None:
+        for name in hist_names:
+            if f"{name}.count" not in extras:
+                continue
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "histogram": name,
+                    "count": int(extras[f"{name}.count"]),
+                    "p50": extras[f"{name}.p50"],
+                    "p95": extras[f"{name}.p95"],
+                    "p99": extras[f"{name}.p99"],
+                }
+            )
+
+    result = run_remote_unicast(n, topology="bus", rounds=rounds, trace=True)
+    add_rows("fig10", result.extras)
+    add_rows("jittery", _jittery_trace_extras())
+    return FigureResult(
+        figure="Trace",
+        title=f"Latency decomposition of traced runs (fig10 n={n})",
+        columns=["scenario", "histogram", "count", "p50", "p95", "p99"],
+        rows=rows,
+        notes=[
+            f"fig10 turnaround {round(result.mean_turnaround_ms, 1)}ms — "
+            "identical to the untraced Figure 10 point (tracing is "
+            "observation-only)",
+        ],
+    )
+
+
+def _jittery_trace_extras() -> Dict[str, float]:
+    """A traced hold-back churn run (the export_bench scenario): 4 senders
+    flood one echo across a jittery single domain, so arrivals are
+    out of order and the hold-back dwell histogram fills up."""
+    from repro.mom import BusConfig, EchoAgent, FunctionAgent, MessageBus
+    from repro.mom.workloads import PingPongDriver  # noqa: F401  (re-export)
+    from repro.obs.tracer import attach as _attach
+    from repro.simulation.network import UniformLatency
+    from repro.topology import single_domain
+
+    mom = MessageBus(
+        BusConfig(
+            topology=single_domain(12),
+            seed=11,
+            latency=UniformLatency(0.1, 20.0),
+        )
+    )
+    tracer = _attach(mom)
+    echo_id = mom.deploy(EchoAgent(), 11)
+    for src in range(4):
+        sender = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx, echo_id=echo_id):
+            for i in range(25):
+                ctx.send(echo_id, i)
+
+        sender.on_boot = boot
+        mom.deploy(sender, src)
+    mom.start()
+    mom.run_until_idle()
+    extras: Dict[str, float] = {}
+    for name in sorted(tracer.histograms):
+        if "." in name:
+            continue
+        hist = tracer.histograms[name]
+        extras[f"{name}.count"] = float(hist.count)
+        for q in (50, 95, 99):
+            extras[f"{name}.p{q}"] = round(hist.percentile(q), 3)
+    return extras

@@ -18,6 +18,8 @@ from repro.errors import ConfigurationError
 from repro.mom.agent import EchoAgent
 from repro.mom.bus import MessageBus
 from repro.mom.config import BusConfig
+from repro.obs.tracer import Tracer
+from repro.obs.tracer import attach as attach_tracer
 from repro.simulation.costs import CostModel
 from repro.topology import builders
 from repro.topology.domains import Topology
@@ -132,6 +134,24 @@ def _build_bus(
     return MessageBus(config)
 
 
+def _trace_extras(tracer: Tracer) -> Dict[str, float]:
+    """Histogram percentiles of a traced run, flattened for ``extras``.
+
+    Per-domain breakdowns (``clock_merge_cells.D3``) are left out — at
+    bench scale they would swamp the result row; dump the tracer for the
+    full picture.
+    """
+    extras: Dict[str, float] = {}
+    for name in sorted(tracer.histograms):
+        if "." in name:
+            continue
+        hist = tracer.histograms[name]
+        extras[f"{name}.count"] = float(hist.count)
+        for q in (50, 95, 99):
+            extras[f"{name}.p{q}"] = round(hist.percentile(q), 3)
+    return extras
+
+
 def _finish(
     name: str,
     bus: MessageBus,
@@ -139,9 +159,11 @@ def _finish(
     clock: str,
     rounds: int,
     mean_ms: float,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentResult:
     report = bus.check_app_causality()
     snapshot = bus.metrics.snapshot()
+    extras = _trace_extras(tracer) if tracer is not None else {}
     return ExperimentResult(
         name=name,
         server_count=bus.config.topology.server_count,
@@ -155,6 +177,7 @@ def _finish(
         messages=int(snapshot.get("bus.notifications", 0)),
         hops=int(snapshot.get("channel.hops_sent", 0)),
         causal_ok=report.respects_causality,
+        extras=extras,
     )
 
 
@@ -166,12 +189,18 @@ def run_remote_unicast(
     domain_size: int = 0,
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
+    trace: bool = False,
 ) -> ExperimentResult:
     """§6.1 "unicast on a remote server": main agent on server 0
-    ping-pongs with the echo agent on the farthest plain server."""
+    ping-pongs with the echo agent on the farthest plain server.
+
+    With ``trace=True`` a :class:`~repro.obs.tracer.Tracer` rides along
+    and the result's ``extras`` carry p50/p95/p99 of the latency
+    histograms (holdback dwell, e2e delivery, ACK RTT, queue wait)."""
     bus = _build_bus(
         topology, server_count, domain_size, clock, cost_model, seed, False
     )
+    tracer = attach_tracer(bus) if trace else None
     target_server = farthest_plain_server(bus.config.topology, source=0)
     echo_id = bus.deploy(EchoAgent(), target_server)
     driver = PingPongDriver(rounds)
@@ -180,7 +209,8 @@ def run_remote_unicast(
     bus.start()
     bus.run_until_idle()
     return _finish(
-        "remote_unicast", bus, topology, clock, rounds, driver.mean_rtt
+        "remote_unicast", bus, topology, clock, rounds, driver.mean_rtt,
+        tracer,
     )
 
 
@@ -192,12 +222,14 @@ def run_local_unicast(
     domain_size: int = 0,
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
+    trace: bool = False,
 ) -> ExperimentResult:
     """§6.1 "unicast on the local server": driver and echo share server 0
     (Figure 1's Local Bus — no channel, no stamps, constant cost)."""
     bus = _build_bus(
         topology, server_count, domain_size, clock, cost_model, seed, False
     )
+    tracer = attach_tracer(bus) if trace else None
     echo_id = bus.deploy(EchoAgent(), 0)
     driver = PingPongDriver(rounds)
     driver.bind(echo_id)
@@ -205,7 +237,8 @@ def run_local_unicast(
     bus.start()
     bus.run_until_idle()
     return _finish(
-        "local_unicast", bus, topology, clock, rounds, driver.mean_rtt
+        "local_unicast", bus, topology, clock, rounds, driver.mean_rtt,
+        tracer,
     )
 
 
@@ -270,12 +303,14 @@ def run_broadcast(
     domain_size: int = 0,
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
+    trace: bool = False,
 ) -> ExperimentResult:
     """§6.1 "broadcast on all servers": one echo agent per server; the main
     agent sends to all of them and waits for every echo per round."""
     bus = _build_bus(
         topology, server_count, domain_size, clock, cost_model, seed, False
     )
+    tracer = attach_tracer(bus) if trace else None
     echo_ids = [
         bus.deploy(EchoAgent(), server) for server in bus.config.topology.servers
     ]
@@ -285,5 +320,6 @@ def run_broadcast(
     bus.start()
     bus.run_until_idle()
     return _finish(
-        "broadcast", bus, topology, clock, rounds, driver.mean_round_time
+        "broadcast", bus, topology, clock, rounds, driver.mean_round_time,
+        tracer,
     )

@@ -24,6 +24,10 @@ _SECTIONS: Tuple[Tuple[str, Callable[[], FigureResult]], ...] = (
     ("Appendix A — Updates algorithm ablation", figures.updates_ablation),
     ("§6.1 — local unicast", figures.local_unicast_table),
     ("§1 — resident clock state", figures.state_size_table),
+    (
+        "Observability — latency decomposition (traced runs)",
+        figures.trace_table,
+    ),
 )
 
 

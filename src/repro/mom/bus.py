@@ -42,6 +42,7 @@ from repro.topology.routing import build_routing_tables
 
 if TYPE_CHECKING:
     from repro.causality.chains import Chain
+    from repro.obs.tracer import Tracer
 
 
 class MessageBus:
@@ -73,6 +74,9 @@ class MessageBus:
         self.app_trace: Optional[Trace] = Trace() if config.record_app_trace else None
         self.hop_trace: Optional[Trace] = Trace() if config.record_hop_trace else None
         self._started = False
+        # observability hook (repro.obs); None = tracing off, and the
+        # only cost anywhere on the message path is this attribute check
+        self._tracer: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # Deployment and lifecycle
@@ -129,6 +133,8 @@ class MessageBus:
             payload=payload,
             sent_at=self.sim.now,
         )
+        if self._tracer is not None:
+            self._tracer.bus_post(notification)
         self.record_app_send(notification)
         if target.server == sender.server:
             target_server.engine.enqueue(notification)

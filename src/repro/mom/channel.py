@@ -41,7 +41,7 @@ bit-identical.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError, TopologyError
 from repro.mom.domain_item import DomainItem
@@ -50,6 +50,7 @@ from repro.simulation.metrics import LazyCounter
 
 if TYPE_CHECKING:
     from repro.mom.server import AgentServer
+    from repro.obs.tracer import Tracer
 
 
 class _HoldbackStore:
@@ -131,6 +132,8 @@ class Channel:
         self._ctr_duplicates = lazy(metrics, "channel.duplicates")
         self._ctr_heldback = lazy(metrics, "channel.heldback")
         self._ctr_forwarded = lazy(metrics, "channel.forwarded")
+        # observability hook (repro.obs); None = tracing off
+        self._tracer: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -195,6 +198,8 @@ class Channel:
         # not the later wire transmit; recording here keeps the hop trace's
         # local orders aligned with the matrix-clock protocol's view.
         self._server.bus.record_hop_send(envelope)
+        if self._tracer is not None:
+            self._tracer.channel_stamp(me, envelope)
 
         cost = self._server.config.cost_model.send_cost(
             stamp, item.clock.size, item.clock.dirty_cells()
@@ -208,6 +213,10 @@ class Channel:
     def _transmit(self, envelope: Envelope, epoch: int, attempt: int) -> None:
         if epoch != self._server.epoch:
             return
+        if self._tracer is not None:
+            self._tracer.channel_transmit(
+                self._server.server_id, envelope, attempt
+            )
         self._server.transport.send(
             envelope.dst_server, envelope, cells=envelope.stamp.wire_cells
         )
@@ -273,6 +282,8 @@ class Channel:
         removed = self._unacked.pop(ack.hop_seq, None)
         if removed is None:
             return  # duplicate ACK after a retransmission
+        if self._tracer is not None:
+            self._tracer.channel_ack(self._server.server_id, ack.hop_seq)
         self._server.store.delete_entry("channel.unacked", ack.hop_seq)
         epoch = self._server.epoch
         self._server.processor.submit(
@@ -298,6 +309,10 @@ class Channel:
             self._arrivals += 1
             store.add(self._arrivals, envelope)
             self._ctr_heldback.add()
+            if self._tracer is not None:
+                self._tracer.channel_holdback_enter(
+                    self._server.server_id, envelope
+                )
 
     def _start_commit(self, envelope: Envelope, item: DomainItem) -> None:
         """Charge the receive cost; the commit fires when it elapses."""
@@ -317,6 +332,11 @@ class Channel:
         self._pending_commits.discard(envelope.hop_mid())
         item = self._items[envelope.domain_id]
         item.clock.deliver(envelope.stamp)
+        if self._tracer is not None:
+            # dirty_cells() right after the merge = cells this commit moved
+            self._tracer.channel_commit(
+                self._server.server_id, envelope, item.clock.dirty_cells()
+            )
         item.clock.clear_dirty()
         self._persist_clock(item)
         self._ctr_hops_delivered.add()
@@ -327,6 +347,10 @@ class Channel:
             self._server.engine.enqueue(envelope.notification)
         else:
             self._ctr_forwarded.add()
+            if self._tracer is not None:
+                self._tracer.channel_route_forward(
+                    self._server.server_id, envelope
+                )
             self.post(envelope.notification)
 
         self._release_holdback(envelope.domain_id)
@@ -366,6 +390,10 @@ class Channel:
         ready.sort()  # release in arrival order, like the seed's queue scan
         for arrival, env in ready:
             store.remove(arrival, env)
+            if self._tracer is not None:
+                self._tracer.channel_holdback_release(
+                    self._server.server_id, env
+                )
         for _, env in ready:
             self._start_commit(env, item)
 

@@ -23,6 +23,7 @@ from repro.mom.payloads import Notification
 
 if TYPE_CHECKING:
     from repro.mom.server import AgentServer
+    from repro.obs.tracer import Tracer
 
 _BOOT = "__boot__"
 
@@ -35,6 +36,8 @@ class Engine:
         self._agents: Dict[int, Agent] = {}
         self._queue_in: Deque[Any] = deque()
         self._reacting = False
+        # observability hook (repro.obs); None = tracing off
+        self._tracer: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # Deployment
@@ -71,6 +74,10 @@ class Engine:
     def enqueue(self, notification: Notification) -> None:
         """Append to the persistent QueueIN and schedule processing."""
         self._queue_in.append(notification)
+        if self._tracer is not None:
+            self._tracer.engine_enqueue(
+                self._server.server_id, notification
+            )
         self._persist_queue()
         self._schedule_next()
 
@@ -117,16 +124,21 @@ class Engine:
         if isinstance(head, tuple) and head[0] == _BOOT:
             local = head[1]
             agent = self._agents[local]
-            ctx = ReactionContext(agent.agent_id, self._server.sim.now)
-            agent.on_boot(ctx)
             receive_of: Optional[Notification] = None
         else:
             notification = head
             agent = self.agent(notification.target)
             local = notification.target.local
-            ctx = ReactionContext(agent.agent_id, self._server.sim.now)
-            agent.react(ctx, notification.sender, notification.payload)
             receive_of = notification
+
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.engine_reaction_start(self._server.server_id, receive_of)
+        ctx = ReactionContext(agent.agent_id, self._server.sim.now)
+        if receive_of is None:
+            agent.on_boot(ctx)
+        else:
+            agent.react(ctx, receive_of.sender, receive_of.payload)
 
         # ---- atomic commit ----
         if receive_of is not None:
@@ -140,6 +152,8 @@ class Engine:
         self._persist_agent(local)
         # ---- end commit ----
 
+        if tracer is not None:
+            tracer.engine_reaction_commit(self._server.server_id, receive_of)
         self._server.metrics.counter("engine.reactions").add()
         self._schedule_next()
 

@@ -8,7 +8,7 @@ simply never commits, which is exactly the atomicity §3 promises.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import ServerCrashedError
 from repro.mom.channel import Channel
@@ -22,6 +22,7 @@ from repro.topology.routing import RoutingTable
 
 if TYPE_CHECKING:
     from repro.mom.bus import MessageBus
+    from repro.obs.tracer import Tracer
 
 
 class AgentServer:
@@ -45,6 +46,8 @@ class AgentServer:
 
         self.epoch = 0
         self._crashed = False
+        # observability hook (repro.obs); None = tracing off
+        self._tracer: Optional["Tracer"] = None
         self.store = PersistentStore(server_id)
         self.processor = Processor(self.sim)
         self.channel = Channel(self)
@@ -84,6 +87,8 @@ class AgentServer:
         self.channel.on_crash()
         self.engine.on_crash()
         self.metrics.counter("server.crashes").add()
+        if self._tracer is not None:
+            self._tracer.server_crash(self.server_id)
 
     def recover(self) -> None:
         """Reload persistent state and resume: clocks and unacked sends
@@ -99,6 +104,8 @@ class AgentServer:
         self.channel.on_recover()
         self.engine.on_recover()
         self.metrics.counter("server.recoveries").add()
+        if self._tracer is not None:
+            self._tracer.server_recover(self.server_id)
 
     def __repr__(self) -> str:
         state = "crashed" if self._crashed else "up"

@@ -1,0 +1,311 @@
+"""``python -m repro.obs`` — inspect trace dumps from the command line.
+
+Subcommands:
+
+- ``record``   run a small Fig-10-style routed workload with tracing on
+  and write a dump directory (the quickest way to get something to look
+  at);
+- ``summary``  event counts by kind + histogram percentiles of a dump;
+- ``trace``    reconstruct and pretty-print the causal path of one
+  message (by notification id) across all its router hops;
+- ``slowest``  the k messages with the worst end-to-end delivery time;
+- ``export``   convert a dump to Chrome ``trace_event`` JSON for
+  Perfetto / ``chrome://tracing``.
+
+Every subcommand that reads a dump accepts either the artifact directory
+written by the flight recorder / ``record`` or a bare ``events.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs import flight_recorder
+from repro.obs.events import TraceEvent
+from repro.obs.export import TraceDump, chrome_trace, read_jsonl
+from repro.obs.tracer import attach
+
+
+def _load(dump_path: str) -> TraceDump:
+    path = dump_path
+    if os.path.isdir(path):
+        path = os.path.join(path, "events.jsonl")
+    if not os.path.exists(path):
+        raise ConfigurationError(f"no trace dump at {dump_path!r}")
+    with open(path) as stream:
+        return read_jsonl(stream)
+
+
+def _fmt_event(event: TraceEvent) -> str:
+    where = f"S{event.server}"
+    hop = (
+        f" S{event.src}->S{event.dst}"
+        if event.src >= 0 and event.dst >= 0
+        else ""
+    )
+    domain = f" [{event.domain}]" if event.domain else ""
+    detail = ""
+    if event.kind in {"transmit", "retransmit"}:
+        detail = f" attempt={int(event.value)}"
+    elif event.kind == "holdback_release":
+        detail = f" dwell={event.value:.3f}ms"
+    elif event.kind == "ack":
+        detail = f" rtt={event.value:.3f}ms"
+    elif event.kind == "commit":
+        detail = f" merged_cells={int(event.value)}"
+    elif event.kind == "reaction_start":
+        detail = f" queue_wait={event.value:.3f}ms"
+    elif event.kind == "reaction_commit" and event.value > 0:
+        detail = f" e2e={event.value:.3f}ms"
+    return (
+        f"  t={event.t:10.3f}ms  {where:>5}  "
+        f"{event.kind:<17}{domain}{hop}{detail}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    dump = _load(args.dump)
+    meta = dump.meta
+    print(f"trace dump: {args.dump}")
+    print(
+        f"  sim time {meta.get('now', 0.0):.3f}ms, "
+        f"{meta.get('next_seq', 0)} events recorded, "
+        f"{len(dump.events)} retained, {meta.get('dropped', 0)} dropped"
+    )
+    print(
+        f"  {len(meta.get('server_ids', []))} servers, "
+        f"domains: {', '.join(sorted(meta.get('domains', {})))}"
+    )
+    counts: Dict[str, int] = {}
+    for event in dump.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    print("\nevents by kind:")
+    for kind in sorted(counts, key=lambda k: (-counts[k], k)):
+        print(f"  {kind:<17} {counts[kind]:>8}")
+    if dump.histograms:
+        print("\nhistograms:")
+        header = (
+            f"  {'name':<28} {'count':>7} {'mean':>9} "
+            f"{'p50':>9} {'p90':>9} {'p95':>9} {'p99':>9}"
+        )
+        print(header)
+        for name in sorted(dump.histograms):
+            snap = dump.histograms[name].get("snapshot", {})
+            print(
+                f"  {name:<28} {int(snap.get('count', 0)):>7} "
+                f"{snap.get('mean', 0.0):>9.3f} {snap.get('p50', 0.0):>9.3f} "
+                f"{snap.get('p90', 0.0):>9.3f} {snap.get('p95', 0.0):>9.3f} "
+                f"{snap.get('p99', 0.0):>9.3f}"
+            )
+    return 0
+
+
+def _hop_summary(events: List[TraceEvent]) -> List[str]:
+    """One line per hop: endpoints, domain, and where its time went."""
+    hops: Dict[Tuple[int, int], Dict[str, float]] = {}
+    order: List[Tuple[int, int]] = []
+    for event in events:
+        if event.src < 0 or event.dst < 0:
+            continue
+        key = (event.src, event.hop_seq)
+        if key not in hops:
+            hops[key] = {"dst": float(event.dst)}
+            order.append(key)
+        bucket = hops[key]
+        if event.kind == "stamp":
+            bucket["stamped_at"] = event.t
+            bucket["domain_known"] = 1.0
+            bucket.setdefault("dwell", 0.0)
+        elif event.kind == "holdback_release":
+            bucket["dwell"] = event.value
+        elif event.kind == "commit":
+            bucket["committed_at"] = event.t
+    lines = []
+    for src, hop_seq in order:
+        bucket = hops[(src, hop_seq)]
+        if "stamped_at" not in bucket or "committed_at" not in bucket:
+            continue
+        domain = next(
+            (
+                e.domain
+                for e in events
+                if e.src == src and e.hop_seq == hop_seq and e.domain
+            ),
+            "?",
+        )
+        total = bucket["committed_at"] - bucket["stamped_at"]
+        dwell = bucket.get("dwell", 0.0)
+        lines.append(
+            f"  hop S{src}->S{int(bucket['dst'])} [{domain}]: "
+            f"{total:.3f}ms stamp-to-commit"
+            + (f", {dwell:.3f}ms held back" if dwell > 0 else "")
+        )
+    return lines
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    dump = _load(args.dump)
+    events = dump.events_of(args.nid)
+    if not events:
+        print(f"no events for message {args.nid} in {args.dump}")
+        return 1
+    print(f"message {args.nid}: {len(events)} events")
+    for line in _hop_summary(events):
+        print(line)
+    print()
+    for event in events:
+        print(_fmt_event(event))
+    return 0
+
+
+def cmd_slowest(args: argparse.Namespace) -> int:
+    dump = _load(args.dump)
+    e2e: Dict[int, float] = {}
+    for event in dump.events:
+        if event.kind == "reaction_commit" and event.value > 0:
+            e2e[event.nid] = max(e2e.get(event.nid, 0.0), event.value)
+    if not e2e:
+        print("no completed cross-server deliveries in the dump")
+        return 1
+    ranked = sorted(e2e.items(), key=lambda kv: (-kv[1], kv[0]))
+    print(f"{'nid':>8}  {'e2e_ms':>10}  hops  route")
+    for nid, latency in ranked[: args.k]:
+        hops = [
+            e for e in dump.events_of(nid) if e.kind == "stamp"
+        ]
+        route = " -> ".join(
+            [f"S{h.src}" for h in hops] + [f"S{hops[-1].dst}"]
+        ) if hops else "(local)"
+        print(f"{nid:>8}  {latency:>10.3f}  {len(hops):>4}  {route}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    dump = _load(args.dump)
+    trace = chrome_trace(dump)
+    out = args.output
+    if out is None:
+        base = args.dump.rstrip("/")
+        out = (
+            os.path.join(base, "trace.json")
+            if os.path.isdir(base)
+            else base + ".trace.json"
+        )
+    with open(out, "w") as stream:
+        json.dump(trace, stream)
+    print(
+        f"wrote {len(trace['traceEvents'])} trace events to {out} "
+        "(open in https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    # A Fig-10-style routed run: a bus-of-domains topology, the driver on
+    # server 0 ping-ponging with an echo agent several domains away, so
+    # every message crosses routers (multi-hop traces) and the hold-back
+    # machinery actually engages.
+    from repro.mom.agent import EchoAgent
+    from repro.mom.bus import MessageBus
+    from repro.mom.config import BusConfig
+    from repro.mom.workloads import PingPongDriver
+    from repro.topology import builders
+
+    topology = builders.bus(args.servers, args.domain_size)
+    config = BusConfig(
+        topology=topology,
+        seed=args.seed,
+        record_app_trace=True,
+    )
+    bus = MessageBus(config)
+    tracer = attach(bus)
+    echo_id = bus.deploy(EchoAgent(), topology.server_count - 1)
+    driver = PingPongDriver(args.rounds)
+    driver.bind(echo_id)
+    bus.deploy(driver, 0)
+    bus.start()
+    bus.run_until_idle()
+
+    if args.output is not None:
+        os.environ["REPRO_OBS_DIR"] = args.output
+    path = flight_recorder.dump(tracer, "record")
+    routed = sorted(
+        {e.nid for e in tracer.ring.events() if e.kind == "route_forward"}
+    )
+    print(f"traced {args.rounds} ping-pong rounds across {args.servers} "
+          f"servers ({len(topology.domains)} domains)")
+    print(f"dump: {path}")
+    if routed:
+        print(
+            f"routed messages: {routed[:8]}{' ...' if len(routed) > 8 else ''}"
+        )
+        print(f"try: python -m repro.obs trace {routed[0]} {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="inspect repro.obs trace dumps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="event counts + histogram table")
+    p.add_argument("dump", help="dump directory or events.jsonl")
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("trace", help="causal path of one message")
+    p.add_argument("nid", type=int, help="notification id (trace id)")
+    p.add_argument("dump", help="dump directory or events.jsonl")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("slowest", help="worst end-to-end deliveries")
+    p.add_argument("dump", help="dump directory or events.jsonl")
+    p.add_argument("-k", type=int, default=10, help="how many (default 10)")
+    p.set_defaults(fn=cmd_slowest)
+
+    p = sub.add_parser("export", help="convert to Chrome trace_event JSON")
+    p.add_argument("dump", help="dump directory or events.jsonl")
+    p.add_argument("--chrome", action="store_true",
+                   help="Chrome trace_event format (the only format, "
+                   "flag kept for clarity)")
+    p.add_argument("-o", "--output", default=None, help="output path")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("record", help="run a traced demo workload")
+    p.add_argument("--servers", type=int, default=10)
+    p.add_argument("--domain-size", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None,
+                   help="artifact root (default $REPRO_OBS_DIR or tempdir)")
+    p.set_defaults(fn=cmd_record)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        result: int = args.fn(args)
+        return result
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

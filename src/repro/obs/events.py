@@ -1,0 +1,158 @@
+"""The structured event stream: typed lifecycle events in a ring buffer.
+
+Every instrumented edge of the message path emits one :class:`TraceEvent`
+into an append-only :class:`EventRing`. Events are recorded in **sim-time**
+(``Simulator.now``, milliseconds) and carry the per-message *trace id* —
+the bus-wide notification id — which survives router hops, so all the
+hops, hold-backs and reactions of one cross-domain message share one id
+and reassemble into one causal path.
+
+The ring is bounded: a run longer than the capacity keeps only the most
+recent events (``dropped`` counts the overwritten ones), which is exactly
+the flight-recorder contract — when something goes wrong, the tail of the
+stream is what matters.
+
+Recording is observation-only: no simulated cost, no RNG draw, no metric
+counter, so a traced run is bit-identical to a bare one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.errors import ConfigurationError
+
+#: Default ring capacity (events retained before wraparound).
+DEFAULT_CAPACITY = 65536
+
+
+class TraceEvent(NamedTuple):
+    """One lifecycle edge of one message, at one instant of sim-time.
+
+    Attributes:
+        seq: global, monotonically increasing event number (never reused;
+            survives ring wraparound, so gaps reveal dropped events).
+        t: simulated time of the edge, in milliseconds.
+        kind: one of :data:`KINDS`.
+        server: the global server id where the edge happened.
+        nid: the trace id — the notification's bus-wide id (``-1`` for
+            events with no associated message, e.g. boot reactions,
+            ``crash``/``recover``).
+        domain: the causality domain of a channel edge, else ``None``.
+        src: hop source server (channel edges) or ``-1``.
+        dst: hop destination server (channel edges) or ``-1``.
+        hop_seq: the hop's per-sender channel sequence number, or ``-1``.
+        value: kind-specific scalar — transmit/retransmit: attempt number;
+            ``holdback_release``: dwell ms; ``ack``: RTT ms; ``commit``:
+            merged clock cells; ``reaction_start``: engine-queue wait ms;
+            ``reaction_commit``: end-to-end delivery ms (final hop only).
+    """
+
+    seq: int
+    t: float
+    kind: str
+    server: int
+    nid: int
+    domain: Optional[str] = None
+    src: int = -1
+    dst: int = -1
+    hop_seq: int = -1
+    value: float = 0.0
+
+
+#: The event taxonomy (see docs/observability.md for the lifecycle map).
+KINDS = frozenset(
+    {
+        "post",  # bus.dispatch accepted an agent-level send
+        "stamp",  # channel stamped + persisted one hop (QueueOUT entry)
+        "transmit",  # the hop left for the wire (first attempt)
+        "retransmit",  # channel- or transport-level resend
+        "ack",  # the hop's transaction ACK came back (QueueOUT removal)
+        "holdback_enter",  # arrived too early; parked in the hold-back store
+        "holdback_release",  # the clock caught up; commit scheduled
+        "commit",  # receiver transaction: clock merge + persist + ACK
+        "route_forward",  # committed hop re-posted towards the next domain
+        "enqueue_in",  # notification appended to the engine's QueueIN
+        "reaction_start",  # engine dequeued it; agent code about to run
+        "reaction_commit",  # atomic reaction commit (delivery complete)
+        "crash",  # server fail-stop
+        "recover",  # server recovery (reload + retransmit)
+    }
+)
+
+
+class EventRing:
+    """Append-only bounded event store with O(1) writes.
+
+    The ring keeps the last ``capacity`` events; ``next_seq`` counts every
+    event ever recorded and :attr:`dropped` how many fell off the head.
+    """
+
+    __slots__ = ("capacity", "_ring", "_next_seq", "_cleared_at")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"event ring capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: List[Optional[TraceEvent]] = [None] * capacity
+        self._next_seq = 0
+        self._cleared_at = 0
+
+    @property
+    def next_seq(self) -> int:
+        """The seq the next recorded event will get (= total recorded)."""
+        return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by wraparound."""
+        return max(0, self._next_seq - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._next_seq - self._cleared_at, self.capacity)
+
+    def record(
+        self,
+        t: float,
+        kind: str,
+        server: int,
+        nid: int,
+        domain: Optional[str] = None,
+        src: int = -1,
+        dst: int = -1,
+        hop_seq: int = -1,
+        value: float = 0.0,
+    ) -> TraceEvent:
+        """Append one event; returns it (with its assigned ``seq``)."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = TraceEvent(
+            seq, t, kind, server, nid, domain, src, dst, hop_seq, value
+        )
+        self._ring[seq % self.capacity] = event
+        return event
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        n = self._next_seq
+        if n <= self.capacity:
+            return [e for e in self._ring[:n] if e is not None]
+        head = n % self.capacity
+        tail = self._ring[head:] + self._ring[:head]
+        return [e for e in tail if e is not None]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def clear(self) -> None:
+        """Drop retained events (the seq counter keeps counting)."""
+        self._ring = [None] * self.capacity
+        self._cleared_at = self._next_seq
+
+    def __repr__(self) -> str:
+        return (
+            f"EventRing(len={len(self)}, capacity={self.capacity}, "
+            f"dropped={self.dropped})"
+        )

@@ -139,13 +139,20 @@ class Processor:
     time is accumulated for utilization reporting.
     """
 
-    __slots__ = ("_sim", "_busy_until", "_busy_total", "_halted")
+    __slots__ = (
+        "_sim", "_busy_until", "_busy_total", "_halted",
+        "_tracer", "_tracer_owner",
+    )
 
     def __init__(self, sim: Simulator):
         self._sim = sim
         self._busy_until = 0.0
         self._busy_total = 0.0
         self._halted = False
+        # observability hook (repro.obs, set via duck typing — this layer
+        # cannot know the tracer's type); None = tracing off
+        self._tracer: Optional[Any] = None
+        self._tracer_owner = -1
 
     @property
     def busy_until(self) -> float:
@@ -181,6 +188,8 @@ class Processor:
         start = max(self._sim.now, self._busy_until)
         self._busy_until = start + duration
         self._busy_total += duration
+        if self._tracer is not None:
+            self._tracer.cpu(self._tracer_owner, start, duration)
         return self._sim.schedule_at(self._busy_until, fn, *args)
 
     def __repr__(self) -> str:

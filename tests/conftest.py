@@ -5,6 +5,12 @@ sanitizer installed (see :mod:`repro.analysis.sanitizer`): every
 MessageBus is instrumented and any protocol-invariant violation raises
 ``SanitizerViolation`` — with zero false positives, the sanitized run is
 expected to pass bit-identically.
+
+Set ``REPRO_TRACE=1`` to run the whole suite with the observability
+tracer attached (see :mod:`repro.obs`): every MessageBus records its
+full event stream and latency histograms, and failures leave flight-
+recorder dumps — again bit-identical, tracing is observation-only.
+Both can be combined.
 """
 
 from __future__ import annotations
@@ -24,6 +30,11 @@ if os.environ.get("REPRO_SANITIZE") == "1":
     from repro.analysis.sanitizer import install as _install_sanitizer
 
     _install_sanitizer()
+
+if os.environ.get("REPRO_TRACE") == "1":
+    from repro.obs import install as _install_tracer
+
+    _install_tracer()
 
 
 @pytest.fixture

@@ -1,0 +1,93 @@
+"""The ``python -m repro.obs`` CLI, end to end through ``main(argv)``."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def dump_dir(tmp_path_factory):
+    """One recorded demo run shared by all CLI tests."""
+    root = tmp_path_factory.mktemp("obs-cli")
+    code = main(
+        [
+            "record",
+            "--servers", "10",
+            "--domain-size", "4",
+            "--rounds", "5",
+            "--seed", "0",
+            "-o", str(root),
+        ]
+    )
+    assert code == 0
+    (artifact,) = os.listdir(root)
+    return str(root / artifact)
+
+
+def test_record_produces_full_artifact(dump_dir):
+    assert sorted(os.listdir(dump_dir)) == [
+        "events.jsonl", "state.json", "trace.json",
+    ]
+
+
+def test_summary(dump_dir, capsys):
+    assert main(["summary", dump_dir]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    for kind in ("post", "stamp", "commit", "reaction_commit"):
+        assert kind in out
+    assert "e2e_delivery_ms" in out
+
+
+def routed_nid(dump_dir):
+    """A nid that crossed a router (has a route_forward event)."""
+    with open(os.path.join(dump_dir, "events.jsonl")) as stream:
+        for line in stream:
+            row = json.loads(line)
+            if row.get("record") == "event" and row["kind"] == "route_forward":
+                return row["nid"]
+    raise AssertionError("demo run produced no routed message")
+
+
+def test_trace_shows_per_hop_path(dump_dir, capsys):
+    nid = routed_nid(dump_dir)
+    assert main(["trace", str(nid), dump_dir]) == 0
+    out = capsys.readouterr().out
+    assert f"nid {nid}" in out or f"msg {nid}" in out or str(nid) in out
+    assert "hop" in out
+    assert "route_forward" in out
+    assert "reaction_commit" in out
+
+
+def test_trace_unknown_nid_fails(dump_dir, capsys):
+    assert main(["trace", "999999", dump_dir]) != 0
+
+
+def test_slowest(dump_dir, capsys):
+    assert main(["slowest", dump_dir, "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ms" in out
+    assert len([l for l in out.splitlines() if l.strip()]) >= 2
+
+
+def test_export_chrome(dump_dir, tmp_path, capsys):
+    out_path = str(tmp_path / "trace.json")
+    assert main(["export", dump_dir, "--chrome", "-o", out_path]) == 0
+    with open(out_path) as stream:
+        doc = json.load(stream)
+    assert "traceEvents" in doc
+    assert doc["otherData"]["source"] == "repro.obs"
+    assert any(e["ph"] == "i" for e in doc["traceEvents"])
+
+
+def test_loads_events_file_directly(dump_dir, capsys):
+    assert main(["summary", os.path.join(dump_dir, "events.jsonl")]) == 0
+    assert "events" in capsys.readouterr().out
+
+
+def test_missing_dump_is_a_clean_error(tmp_path, capsys):
+    assert main(["summary", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err

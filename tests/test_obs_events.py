@@ -1,0 +1,101 @@
+"""The typed event ring: bounded memory, global seq, wraparound."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import DEFAULT_CAPACITY, KINDS, EventRing, TraceEvent
+
+
+def fill(ring, n, kind="post"):
+    return [ring.record(float(i), kind, 0, i) for i in range(n)]
+
+
+class TestRecord:
+    def test_assigns_monotonic_seq(self):
+        ring = EventRing(8)
+        events = fill(ring, 5)
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+        assert ring.next_seq == 5
+
+    def test_event_fields_roundtrip(self):
+        ring = EventRing(8)
+        event = ring.record(
+            1.5, "transmit", 3, 42, domain="D1", src=3, dst=7, hop_seq=9,
+            value=2.0,
+        )
+        assert event == TraceEvent(
+            0, 1.5, "transmit", 3, 42, "D1", 3, 7, 9, 2.0
+        )
+
+    def test_default_capacity(self):
+        assert EventRing().capacity == DEFAULT_CAPACITY
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EventRing(0)
+
+
+class TestWraparound:
+    def test_under_capacity_keeps_everything(self):
+        ring = EventRing(10)
+        fill(ring, 7)
+        assert len(ring) == 7
+        assert ring.dropped == 0
+        assert [e.seq for e in ring.events()] == list(range(7))
+
+    def test_exactly_at_capacity(self):
+        ring = EventRing(10)
+        fill(ring, 10)
+        assert len(ring) == 10
+        assert ring.dropped == 0
+        assert [e.seq for e in ring.events()] == list(range(10))
+
+    def test_overflow_drops_oldest_keeps_order(self):
+        ring = EventRing(10)
+        fill(ring, 25)
+        assert len(ring) == 10
+        assert ring.dropped == 15
+        kept = ring.events()
+        assert [e.seq for e in kept] == list(range(15, 25))
+        # chronological: time mirrors seq in this fixture
+        assert [e.t for e in kept] == sorted(e.t for e in kept)
+
+    def test_seq_survives_wraparound(self):
+        ring = EventRing(4)
+        fill(ring, 9)
+        assert ring.next_seq == 9
+        assert ring.record(9.0, "post", 0, 9).seq == 9
+
+    def test_iter_matches_events(self):
+        ring = EventRing(4)
+        fill(ring, 6)
+        assert list(ring) == ring.events()
+
+    def test_clear_resets_contents_not_seq(self):
+        ring = EventRing(4)
+        fill(ring, 6)
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.events() == []
+        # seq keeps counting so post-clear events are still globally ordered
+        assert ring.record(0.0, "post", 0, 0).seq == 6
+
+
+class TestKinds:
+    def test_taxonomy_is_complete(self):
+        assert KINDS == {
+            "post",
+            "stamp",
+            "transmit",
+            "retransmit",
+            "ack",
+            "holdback_enter",
+            "holdback_release",
+            "commit",
+            "route_forward",
+            "enqueue_in",
+            "reaction_start",
+            "reaction_commit",
+            "crash",
+            "recover",
+        }

@@ -1,0 +1,145 @@
+"""The flight recorder: post-mortem dumps on failure paths.
+
+On a :class:`SanitizerViolation` (or an unhandled exception during a
+traced run) every live tracer dumps its ring, Chrome trace and per-server
+state to an artifact directory, and the violation message points at it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.sanitizer import SanitizerViolation
+from repro.mom.agent import EchoAgent
+from repro.mom.bus import MessageBus
+from repro.mom.config import BusConfig
+from repro.mom.workloads import PingPongDriver
+from repro.obs import flight_recorder
+from repro.obs.export import read_jsonl
+from repro.obs.tracer import attach
+from repro.topology.builders import bus as bus_topology
+from repro.topology.builders import single_domain
+
+
+def traced_pingpong(topology=None, rounds=3):
+    mom = MessageBus(BusConfig(topology=topology or single_domain(4)))
+    tracer = attach(mom)
+    echo_id = mom.deploy(EchoAgent(), mom.config.topology.server_count - 1)
+    driver = PingPongDriver(rounds)
+    driver.bind(echo_id)
+    mom.deploy(driver, 0)
+    mom.start()
+    mom.run_until_idle()
+    return mom, tracer
+
+
+class TestDumpArtifact:
+    def test_dump_writes_all_three_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        _, tracer = traced_pingpong()
+        path = flight_recorder.dump(tracer, reason="unit test!")
+        assert os.path.dirname(path) == str(tmp_path)
+        assert "unit-test" in os.path.basename(path)
+        files = sorted(os.listdir(path))
+        assert files == ["events.jsonl", "state.json", "trace.json"]
+
+    def test_events_artifact_reloads_as_dump(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        _, tracer = traced_pingpong()
+        path = flight_recorder.dump(tracer)
+        with open(os.path.join(path, "events.jsonl")) as stream:
+            dump = read_jsonl(stream)
+        assert dump.meta["next_seq"] == tracer.ring.next_seq
+        assert dump.events == tracer.events()
+
+    def test_state_artifact_describes_every_server(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        mom, tracer = traced_pingpong(topology=bus_topology(8, 4))
+        path = flight_recorder.dump(tracer, reason="state-check")
+        with open(os.path.join(path, "state.json")) as stream:
+            state = json.load(stream)
+        assert state["reason"] == "state-check"
+        assert state["sim_now_ms"] == mom.sim.now
+        servers = state["servers"]
+        assert sorted(int(k) for k in servers) == list(
+            mom.config.topology.servers
+        )
+        for entry in servers.values():
+            assert entry["crashed"] is False
+            assert "clocks" in entry
+
+
+class TestAutodump:
+    def test_capped_per_tracer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        _, tracer = traced_pingpong()
+        paths = [
+            flight_recorder.autodump(tracer, "cap-check") for _ in range(5)
+        ]
+        assert all(p is not None for p in paths[: flight_recorder.MAX_AUTODUMPS])
+        assert all(p is None for p in paths[flight_recorder.MAX_AUTODUMPS :])
+
+    def test_kill_switch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_OBS_AUTODUMP", "0")
+        _, tracer = traced_pingpong()
+        assert flight_recorder.autodump(tracer, "disabled") is None
+        assert os.listdir(tmp_path) == []
+
+
+class TestSanitizerIntegration:
+    def test_violation_message_points_at_flight_record(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        _, tracer = traced_pingpong()
+        error = SanitizerViolation("unit-kind", "something broke")
+        assert error.artifact is not None
+        assert f"[flight record: {error.artifact}]" in str(error)
+        assert "violation-unit-kind" in os.path.basename(error.artifact)
+        assert os.path.exists(os.path.join(error.artifact, "events.jsonl"))
+        assert tracer.ring.next_seq > 0
+
+    def test_violation_without_tracing_has_no_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        import gc
+
+        gc.collect()  # tracer<->bus cycles from earlier tests
+        if flight_recorder._live_tracers():
+            pytest.skip("another live tracer in this process would dump")
+        error = SanitizerViolation("unit-kind", "something broke")
+        assert error.artifact is None
+        assert "[flight record:" not in str(error)
+
+
+class TestCrashEvents:
+    def test_crash_and_recover_recorded(self):
+        mom, tracer = traced_pingpong(topology=single_domain(4), rounds=8)
+        # run again with a mid-stream crash of the echo server
+        mom = MessageBus(BusConfig(topology=single_domain(4)))
+        tracer = attach(mom)
+        echo_id = mom.deploy(EchoAgent(), 3)
+        driver = PingPongDriver(8)
+        driver.bind(echo_id)
+        mom.deploy(driver, 0)
+        mom.sim.schedule_at(5.0, lambda: mom.server(3).crash())
+        mom.sim.schedule_at(250.0, lambda: mom.server(3).recover())
+        mom.start()
+        mom.run_until_idle()
+        kinds = [
+            (e.kind, e.server)
+            for e in tracer.events()
+            if e.kind in ("crash", "recover")
+        ]
+        assert kinds == [("crash", 3), ("recover", 3)]
+        crash, recover = (
+            e for e in tracer.events() if e.kind in ("crash", "recover")
+        )
+        assert crash.t == 5.0
+        assert recover.t == 250.0
+        assert crash.nid == -1
