@@ -1,0 +1,112 @@
+"""Cost of the always-on accounting layer (``repro.metrics``).
+
+The claims that keep "always-on" honest:
+
+1. **Observation-only** — an accounted run is bit-identical to a
+   disabled one on every simulated observable (metrics snapshot, sim
+   time): accounting never schedules events, never draws randomness,
+   never touches the experiment metrics.
+2. **Hot-path budget** — the per-event cost is a preallocated-handle
+   increment, so the churn benchmark with accounting on stays within
+   1.10x of the accounting-off run (the ISSUE's acceptance band; a
+   generous pathological bound backs it up for noisy CI boxes).
+
+The companion exporter (``export_bench.py --metrics``) records the same
+ratio into ``BENCH_hotpath.json`` under ``metrics_overhead``, which
+``tools/bench_gate.py`` gates.
+"""
+
+import time
+
+import pytest
+
+from conftest import bench_once
+from repro.mom import BusConfig, EchoAgent, FunctionAgent, MessageBus
+from repro.simulation.network import UniformLatency
+from repro.topology import single_domain
+
+
+def _churn(accounting=True, sends=25):
+    """The export_bench hold-back churn scenario: 4 senders flood one
+    echo across a jittery 12-server domain."""
+    mom = MessageBus(
+        BusConfig(
+            topology=single_domain(12),
+            seed=11,
+            latency=UniformLatency(0.1, 20.0),
+            accounting=accounting,
+        )
+    )
+    echo_id = mom.deploy(EchoAgent(), 11)
+    for src in range(4):
+        sender = FunctionAgent(lambda ctx, s, p: None)
+
+        def boot(ctx, echo_id=echo_id):
+            for i in range(sends):
+                ctx.send(echo_id, i)
+
+        sender.on_boot = boot
+        mom.deploy(sender, src)
+    mom.start()
+    mom.run_until_idle()
+    return mom
+
+
+def test_accounted_churn(benchmark):
+    mom = bench_once(benchmark, _churn)
+    benchmark.extra_info["sim_ms"] = round(mom.sim.now, 3)
+    snapshot = mom.cost_snapshot()
+    benchmark.extra_info["instruments"] = len(snapshot["instruments"])
+    assert mom.check_app_causality().respects_causality
+
+
+def test_unaccounted_churn(benchmark):
+    mom = bench_once(benchmark, lambda: _churn(accounting=False))
+    benchmark.extra_info["sim_ms"] = round(mom.sim.now, 3)
+    assert mom.cost_snapshot() is None
+
+
+def test_accounting_is_observation_only():
+    """Same seed, same workload: accounted and disabled runs agree on
+    every simulated observable."""
+    off = _churn(accounting=False)
+    on = _churn(accounting=True)
+    assert on.metrics.snapshot() == off.metrics.snapshot()
+    assert on.sim.now == off.sim.now
+    assert on.total_persisted_cells() == off.total_persisted_cells()
+    assert on.cost_snapshot() is not None
+
+
+def test_overhead_within_budget():
+    """Accounting on the churn run stays within the 1.10x acceptance
+    band. Measured on an 8x-longer churn (~250ms a run) with the two
+    sides interleaved, best-of-4 each — on the short default run a
+    couple of ms of scheduler jitter can fake a 10% overhead."""
+    off_s = on_s = float("inf")
+    for _ in range(4):
+        start = time.perf_counter()
+        _churn(accounting=False, sends=200)
+        off_s = min(off_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        _churn(accounting=True, sends=200)
+        on_s = min(on_s, time.perf_counter() - start)
+    ratio = on_s / off_s if off_s > 0 else 0.0
+    assert ratio <= 1.10, (
+        f"accounting overhead {ratio:.3f}x exceeds the 1.10x budget "
+        f"(off={off_s:.4f}s on={on_s:.4f}s)"
+    )
+
+
+def test_env_kill_switch(monkeypatch):
+    """REPRO_METRICS=0 disables accounting even with the config on."""
+    monkeypatch.setenv("REPRO_METRICS", "0")
+    mom = _churn(accounting=True)
+    assert mom.accounting is None
+    assert mom.acct is None
+    assert mom.cost_snapshot() is None
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v"]))

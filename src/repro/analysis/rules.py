@@ -80,16 +80,17 @@ _MUTATOR_METHODS = frozenset(
 # Layer order for R006; a package may import itself and anything below.
 LAYERS: Dict[str, int] = {
     "errors": 0,
-    "simulation": 1,
-    "clocks": 2,
-    "causality": 3,
-    "topology": 4,
-    "baselines": 5,
-    "mom": 6,
-    "pubsub": 7,
-    "obs": 8,
-    "bench": 9,
-    "analysis": 10,
+    "metrics": 1,
+    "simulation": 2,
+    "clocks": 3,
+    "causality": 4,
+    "topology": 5,
+    "baselines": 6,
+    "mom": 7,
+    "pubsub": 8,
+    "obs": 9,
+    "bench": 10,
+    "analysis": 11,
 }
 
 _TIMELIKE_NAMES = frozenset(

@@ -149,6 +149,8 @@ class MatrixClock(CausalClock):
         "_journal",
         "_journal_full",
         "_image",
+        "stat_window_merges",
+        "stat_full_merges",
     )
 
     def __init__(self, size: int, owner: int) -> None:
@@ -170,6 +172,10 @@ class MatrixClock(CausalClock):
         self._journal: set = set()
         self._journal_full = True  # first sync_image copies everything
         self._image: Optional[MatrixImage] = None
+        # merge-strategy tallies (read by repro.metrics' collector; plain
+        # ints so the clock stays free of upward dependencies)
+        self.stat_window_merges = 0
+        self.stat_full_merges = 0
 
     @property
     def size(self) -> int:
@@ -270,6 +276,10 @@ class MatrixClock(CausalClock):
         log = self._log
         journal = self._journal
         dirty = 0
+        if window is not None:
+            self.stat_window_merges += 1
+        else:
+            self.stat_full_merges += 1
         if window is not None:
             for idx, value in window.items():
                 if value > buf[idx]:

@@ -176,6 +176,8 @@ class UpdatesClock(CausalClock):
         "_journal_sent",
         "_journal_full",
         "_image",
+        "stat_window_merges",
+        "stat_full_merges",
     )
 
     def __init__(self, size: int, owner: int) -> None:
@@ -200,6 +202,10 @@ class UpdatesClock(CausalClock):
         self._journal_sent: set = set()
         self._journal_full = True
         self._image: Optional[UpdatesImage] = None
+        # merge-strategy tallies (read by repro.metrics' collector): every
+        # Appendix-A delivery replays only shipped cells, i.e. window-like
+        self.stat_window_merges = 0
+        self.stat_full_merges = 0
 
     @property
     def size(self) -> int:
@@ -326,6 +332,7 @@ class UpdatesClock(CausalClock):
         journal = self._journal
         self._state += 1
         state = self._state
+        self.stat_window_merges += 1
         # stamp.updates is in ascending cell-index order, so these appends
         # keep _changes sorted.
         for update in stamp.updates:

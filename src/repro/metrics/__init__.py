@@ -1,0 +1,58 @@
+"""repro.metrics — always-on causality-cost accounting.
+
+The paper's central claim is quantitative: domains of causality cut the
+per-message causality cost from Θ(n²) to Θ(n) (§6). This package makes
+that cost a continuously observable quantity instead of an after-the-fact
+benchmark result: a :class:`Registry` of typed instruments
+(:class:`Counter`, :class:`Gauge`, sim-time-windowed :class:`EwmaRate`,
+bounded-memory :class:`LogHistogram`) that the MOM's hot paths update
+through preallocated handles — no dict lookup, no allocation, no wall
+clock per event — labeled per ``server`` and per ``domain``.
+
+The package sits at the very bottom of the layer stack (only ``errors``
+below it) so every layer — clocks, topology, mom — may account its own
+costs. It never *reads* the simulation: callers pass sim-time in, and a
+metrics-enabled run is bit-identical to a disabled one (accounting is
+observation-only, like the tracer).
+
+Exposition: :func:`to_prometheus` (Prometheus text format),
+:func:`write_json` (deterministic JSON snapshots), and a ``top``-style
+per-domain terminal dashboard (:func:`render_dashboard`), all available
+offline over dumped snapshots via ``python -m repro.metrics``.
+
+Disable switch: ``REPRO_METRICS=0`` in the environment (or
+``BusConfig(accounting=False)``) turns the whole surface off; the hot
+paths then pay one ``is not None`` check per edge, exactly like the
+tracer's off mode.
+"""
+
+from repro.metrics.dashboard import render as render_dashboard
+from repro.metrics.exposition import (
+    PROM_PREFIX,
+    label_values,
+    read_json,
+    select,
+    to_prometheus,
+    total,
+    write_json,
+)
+from repro.metrics.histogram import LogHistogram
+from repro.metrics.instruments import Counter, EwmaRate, Gauge
+from repro.metrics.registry import SNAPSHOT_FORMAT, Registry
+
+__all__ = [
+    "Counter",
+    "EwmaRate",
+    "Gauge",
+    "LogHistogram",
+    "PROM_PREFIX",
+    "Registry",
+    "SNAPSHOT_FORMAT",
+    "label_values",
+    "read_json",
+    "render_dashboard",
+    "select",
+    "to_prometheus",
+    "total",
+    "write_json",
+]

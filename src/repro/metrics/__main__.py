@@ -1,0 +1,166 @@
+"""``python -m repro.metrics`` — cost-accounting snapshots from the CLI.
+
+Subcommands:
+
+- ``demo``  run a small routed workload with accounting on and show the
+  per-domain dashboard (optionally dumping JSON / Prometheus text) — the
+  quickest way to *see* the Θ(n²)→Θ(n) decomposition;
+- ``top``   render the per-domain dashboard from a snapshot JSON file
+  (written by ``demo``, ``python -m repro.mom ... --metrics-out``, or
+  :func:`repro.metrics.write_json`);
+- ``prom``  convert a snapshot JSON file to Prometheus text exposition;
+- ``json``  re-emit a snapshot normalized (sorted keys, strict JSON) —
+  handy for diffing two runs.
+
+Everything operates on files or one-shot runs: snapshots are
+deterministic artifacts, not a live scrape endpoint, so they diff
+cleanly and gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, ReproError
+from repro.metrics.dashboard import render
+from repro.metrics.exposition import read_json, to_prometheus, write_json
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path) as stream:
+            return read_json(stream)
+    except FileNotFoundError:
+        raise ConfigurationError(f"no snapshot at {path!r}") from None
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{path!r} is not a metrics snapshot: {exc}"
+        ) from None
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    print(render(_load(args.snapshot), servers=args.servers))
+    return 0
+
+
+def cmd_prom(args: argparse.Namespace) -> int:
+    text = to_prometheus(_load(args.snapshot))
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(text)
+        print(f"wrote Prometheus text to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_json(args: argparse.Namespace) -> int:
+    snapshot = _load(args.snapshot)
+    if args.output:
+        with open(args.output, "w") as stream:
+            write_json(snapshot, stream)
+        print(f"wrote normalized snapshot to {args.output}")
+    else:
+        write_json(snapshot, sys.stdout)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    # The CLI is an application boundary: it drives the MOM the way a
+    # user script would, so (exactly like the bench and obs CLIs driving
+    # lower layers from above) it may import the mom layer here.
+    from repro.mom.agent import EchoAgent  # noqa: R006
+    from repro.mom.bus import MessageBus  # noqa: R006
+    from repro.mom.config import BusConfig  # noqa: R006
+    from repro.mom.workloads import PingPongDriver  # noqa: R006
+    from repro.topology import builders  # noqa: R006
+
+    topology = builders.bus(args.servers, args.domain_size)
+    bus = MessageBus(
+        BusConfig(topology=topology, seed=args.seed, record_app_trace=True)
+    )
+    if bus.accounting is None:
+        raise ConfigurationError(
+            "accounting is disabled (REPRO_METRICS=0); demo needs it on"
+        )
+    echo_id = bus.deploy(EchoAgent(), topology.server_count - 1)
+    driver = PingPongDriver(args.rounds)
+    driver.bind(echo_id)
+    bus.deploy(driver, 0)
+    bus.start()
+    bus.run_until_idle()
+
+    snapshot = bus.cost_snapshot()
+    assert snapshot is not None
+    print(render(snapshot, servers=args.servers_table))
+    if args.json:
+        with open(args.json, "w") as stream:
+            write_json(snapshot, stream)
+        print(f"\nsnapshot: {args.json}")
+    if args.prom:
+        with open(args.prom, "w") as stream:
+            stream.write(to_prometheus(snapshot))
+        print(f"prometheus text: {args.prom}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.metrics",
+        description="causality-cost accounting snapshots",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("top", help="per-domain dashboard of a snapshot")
+    p.add_argument("snapshot", help="snapshot JSON file")
+    p.add_argument(
+        "--servers", action="store_true", help="add the per-server table"
+    )
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("prom", help="snapshot -> Prometheus text format")
+    p.add_argument("snapshot", help="snapshot JSON file")
+    p.add_argument("-o", "--output", default=None, help="output path")
+    p.set_defaults(fn=cmd_prom)
+
+    p = sub.add_parser("json", help="re-emit a snapshot normalized")
+    p.add_argument("snapshot", help="snapshot JSON file")
+    p.add_argument("-o", "--output", default=None, help="output path")
+    p.set_defaults(fn=cmd_json)
+
+    p = sub.add_parser("demo", help="run a routed demo workload, show costs")
+    p.add_argument("--servers", type=int, default=12)
+    p.add_argument("--domain-size", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--servers-table",
+        action="store_true",
+        help="also print the per-server table",
+    )
+    p.add_argument("--json", default=None, help="dump snapshot JSON here")
+    p.add_argument("--prom", default=None, help="dump Prometheus text here")
+    p.set_defaults(fn=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        result: int = args.fn(args)
+        return result
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved Unix filter.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The terminal dashboard: a ``top``-style per-domain cost table.
+
+Renders a :meth:`~repro.metrics.registry.Registry.snapshot` dict as the
+causality-cost ledger the paper's §6 argues about, one row per domain of
+causality: stamp bytes serialized, merge work, commit counts, hold-back
+pressure and resident clock state. Domains are ranked by stamp bytes —
+the most expensive domain first, like ``top`` ranks by CPU.
+
+Pure function of the snapshot: no colors, no wall clock, no terminal
+queries, so the output is diffable and usable in tests and CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.exposition import label_values, select, total
+
+
+def _fmt_bytes(n: float) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return (
+                f"{int(value)}{unit}"
+                if unit == "B"
+                else f"{value:.1f}{unit}"
+            )
+        value /= 1024.0
+    return f"{value:.1f}GiB"
+
+
+def _one(rows: List[dict], key: str, default: float = 0.0) -> float:
+    return float(rows[0].get(key, default)) if rows else default
+
+
+def render(snapshot: dict, servers: bool = False) -> str:
+    """The per-domain table (plus a per-server table with ``servers``)."""
+    meta = snapshot.get("meta", {})
+    out: List[str] = []
+    out.append(
+        f"repro.metrics — t={snapshot.get('sim_now_ms', 0.0):.1f}ms  "
+        f"servers={meta.get('servers', '?')}  "
+        f"notifications={int(total(snapshot, 'bus_notifications_total'))}"
+    )
+    delivery = select(snapshot, "bus_delivery_ms")
+    if delivery and delivery[0].get("count"):
+        row = delivery[0]
+        out.append(
+            f"delivery e2e: n={int(row['count'])}  "
+            f"p50={row['p50']:.2f}ms  p95={row['p95']:.2f}ms  "
+            f"p99={row['p99']:.2f}ms"
+        )
+    out.append("")
+
+    header = (
+        f"{'domain':<10} {'srv':>4} {'stamp bytes':>12} {'B/commit':>9} "
+        f"{'merge cells':>11} {'commits':>8} {'held':>6} "
+        f"{'dwell p95':>10} {'depth max':>9} {'clock cells':>11}"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+
+    domains = label_values(snapshot, "domain")
+    rows: List[Dict[str, float]] = []
+    for domain in domains:
+        commits = total(snapshot, "channel_commits_total", domain=domain)
+        stamp = total(snapshot, "channel_stamp_bytes_total", domain=domain)
+        depth_rows = select(
+            snapshot, "channel_holdback_depth", domain=domain
+        )
+        dwell = select(
+            snapshot, "channel_holdback_dwell_ms", domain=domain
+        )
+        rows.append(
+            {
+                "domain": domain,
+                "servers": len(
+                    {
+                        r["labels"].get("server", "")
+                        for r in select(
+                            snapshot, "clock_state_cells", domain=domain
+                        )
+                    }
+                ),
+                "stamp": stamp,
+                "merge": total(
+                    snapshot, "channel_merge_cells_total", domain=domain
+                ),
+                "commits": commits,
+                "held": total(
+                    snapshot, "channel_holdback_enters_total", domain=domain
+                ),
+                "dwell_p95": _one(dwell, "p95"),
+                "depth_max": max(
+                    (float(r.get("max", 0.0)) for r in depth_rows),
+                    default=0.0,
+                ),
+                "clock_cells": total(
+                    snapshot, "clock_state_cells", domain=domain
+                ),
+            }
+        )
+    rows.sort(key=lambda r: (-r["stamp"], r["domain"]))
+    for r in rows:
+        per_commit = r["stamp"] / r["commits"] if r["commits"] else 0.0
+        out.append(
+            f"{r['domain']:<10} {int(r['servers']):>4} "
+            f"{_fmt_bytes(r['stamp']):>12} {per_commit:>9.1f} "
+            f"{int(r['merge']):>11} {int(r['commits']):>8} "
+            f"{int(r['held']):>6} {r['dwell_p95']:>8.2f}ms "
+            f"{int(r['depth_max']):>9} {int(r['clock_cells']):>11}"
+        )
+    if rows:
+        out.append("-" * len(header))
+        out.append(
+            f"{'TOTAL':<10} {'':>4} "
+            f"{_fmt_bytes(sum(r['stamp'] for r in rows)):>12} {'':>9} "
+            f"{int(sum(r['merge'] for r in rows)):>11} "
+            f"{int(sum(r['commits'] for r in rows)):>8} "
+            f"{int(sum(r['held'] for r in rows)):>6} {'':>10} {'':>9} "
+            f"{int(sum(r['clock_cells'] for r in rows)):>11}"
+        )
+
+    if servers:
+        out.append("")
+        sheader = (
+            f"{'server':>6} {'reactions':>10} {'rate/s':>8} "
+            f"{'forwards':>9} {'ack retries':>11} {'unacked':>8} "
+            f"{'queued':>7}"
+        )
+        out.append(sheader)
+        out.append("-" * len(sheader))
+        for server in sorted(
+            label_values(snapshot, "server"), key=lambda s: int(s)
+        ):
+            reactions = total(
+                snapshot, "engine_reactions_total", server=server
+            )
+            rate_rows = select(
+                snapshot, "engine_reaction_rate", server=server
+            )
+            out.append(
+                f"{server:>6} {int(reactions):>10} "
+                f"{_one(rate_rows, 'value'):>8.2f} "
+                f"{int(total(snapshot, 'channel_forwards_total', server=server)):>9} "
+                f"{int(total(snapshot, 'channel_ack_retries_total', server=server)):>11} "
+                f"{int(total(snapshot, 'channel_unacked_depth', server=server)):>8} "
+                f"{int(total(snapshot, 'engine_queue_depth', server=server)):>7}"
+            )
+    return "\n".join(out)

@@ -1,0 +1,173 @@
+"""Exposition formats: Prometheus text and JSON, plus snapshot queries.
+
+Both formats render the same :meth:`~repro.metrics.registry.Registry.snapshot`
+dict, so a snapshot written to disk by ``--metrics-out`` converts to
+Prometheus text offline (``python -m repro.metrics prom out.json``) —
+no live process required, and everything stays byte-deterministic.
+
+Prometheus conventions used:
+
+- every family is prefixed ``repro_`` and sample lines carry the sorted
+  label set, e.g.
+  ``repro_channel_stamp_bytes_total{domain="D0",server="3"} 1800``;
+- counters keep their ``_total`` suffix; gauges and EWMA rates expose as
+  ``gauge`` (a rate is *not* a Prometheus counter — it is already a
+  derivative); gauge high-water marks get a ``_peak`` companion family;
+- histograms expose the classic ``_bucket{le=...}`` cumulative series
+  (upper bounds are the log-scale bucket edges actually hit, plus
+  ``+Inf``), ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Family-name prefix on every exposed Prometheus metric.
+PROM_PREFIX = "repro_"
+
+
+def _fmt_value(value: float) -> str:
+    """Prometheus sample value: integers bare, floats via repr."""
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[str] = None) -> str:
+    parts = [
+        f'{key}="{_escape(str(val))}"' for key, val in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _check_snapshot(snapshot: dict) -> List[dict]:
+    fmt = snapshot.get("format")
+    if fmt != "repro.metrics/v1":
+        raise ConfigurationError(
+            f"not a repro.metrics snapshot (format={fmt!r})"
+        )
+    instruments = snapshot.get("instruments")
+    if not isinstance(instruments, list):
+        raise ConfigurationError("snapshot has no instruments list")
+    return instruments
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot dict as Prometheus text exposition format."""
+    instruments = _check_snapshot(snapshot)
+    lines: List[str] = []
+    seen_header = set()
+
+    def header(family: str, kind: str, help_text: str) -> None:
+        if family in seen_header:
+            return
+        seen_header.add(family)
+        if help_text:
+            lines.append(f"# HELP {family} {_escape(help_text)}")
+        lines.append(f"# TYPE {family} {kind}")
+
+    for row in instruments:
+        family = PROM_PREFIX + row["name"]
+        labels = row.get("labels", {})
+        help_text = row.get("help", "")
+        kind = row["type"]
+        if kind == "counter":
+            header(family, "counter", help_text)
+            lines.append(
+                f"{family}{_label_str(labels)} {_fmt_value(row['value'])}"
+            )
+        elif kind in ("gauge", "rate"):
+            header(family, "gauge", help_text)
+            lines.append(
+                f"{family}{_label_str(labels)} {_fmt_value(row['value'])}"
+            )
+            if kind == "gauge" and "max" in row:
+                peak = family + "_peak"
+                header(peak, "gauge", f"high-water mark of {family}")
+                lines.append(
+                    f"{peak}{_label_str(labels)} {_fmt_value(row['max'])}"
+                )
+        elif kind == "histogram":
+            header(family, "histogram", help_text)
+            cumulative = 0
+            for _lo, hi, count in row.get("buckets", []):
+                cumulative += count
+                le = 'le="' + _fmt_value(hi) + '"'
+                lines.append(
+                    f"{family}_bucket{_label_str(labels, le)} {cumulative}"
+                )
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{family}_bucket{_label_str(labels, inf)} {row['count']}"
+            )
+            lines.append(
+                f"{family}_sum{_label_str(labels)} {_fmt_value(row['sum'])}"
+            )
+            lines.append(
+                f"{family}_count{_label_str(labels)} {row['count']}"
+            )
+        else:
+            raise ConfigurationError(f"unknown instrument type {kind!r}")
+    return "\n".join(lines) + "\n"
+
+
+def write_json(snapshot: dict, stream: IO[str]) -> None:
+    """Write a snapshot as deterministic, strict (NaN-free) JSON."""
+    json.dump(snapshot, stream, sort_keys=True, indent=1, allow_nan=False)
+    stream.write("\n")
+
+
+def read_json(stream: IO[str]) -> dict:
+    """Load and validate a snapshot written by :func:`write_json`."""
+    snapshot = json.load(stream)
+    _check_snapshot(snapshot)
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Snapshot queries (used by the dashboard, the bench exporter, tests)
+# ----------------------------------------------------------------------
+
+
+def select(
+    snapshot: dict, name: str, **labels: str
+) -> List[dict]:
+    """Instrument rows matching ``name`` and every given label (exact)."""
+    rows = []
+    for row in _check_snapshot(snapshot):
+        if row["name"] != name:
+            continue
+        row_labels = row.get("labels", {})
+        if all(row_labels.get(k) == str(v) for k, v in labels.items()):
+            rows.append(row)
+    return rows
+
+
+def total(snapshot: dict, name: str, **labels: str) -> float:
+    """Sum of ``value`` over matching counter/gauge rows (0.0 if none)."""
+    return float(
+        sum(row.get("value", 0.0) for row in select(snapshot, name, **labels))
+    )
+
+
+def label_values(snapshot: dict, label: str) -> List[str]:
+    """Every distinct value the given label takes, sorted."""
+    values = {
+        row["labels"][label]
+        for row in _check_snapshot(snapshot)
+        if label in row.get("labels", {})
+    }
+    return sorted(values)

@@ -1,0 +1,214 @@
+"""The instrument registry: named, labeled, snapshot-able.
+
+A :class:`Registry` owns every instrument of one accounting surface (one
+:class:`~repro.mom.bus.MessageBus` in practice). Instruments are created
+on first request — ``registry.counter(name, labels)`` — and the returned
+handle is the bare instrument object, so hot paths pay **zero** registry
+cost per event: resolve the handle once at boot, call ``inc``/``mark``
+forever after (the same discipline as the tracer's single
+``_tracer is not None`` check).
+
+Labels are ``{key: value}`` string pairs; the registry interns each
+``(name, sorted labels)`` combination to exactly one instrument. The
+paper's two label axes are ``server`` (global server id) and ``domain``
+(causality-domain id) — the decomposition §4 argues about is literally
+the ``domain`` label here.
+
+*Collectors* are zero-argument callables run at snapshot time; the
+instrumented layers register them to pull state that would be wasteful to
+push per event (queue depths, resident clock-state cells, clock
+merge-mode counts). Collection order is registration order and every
+collector reads sim-state deterministically, so two identical runs
+produce byte-identical snapshots (pinned by the determinism tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.histogram import LogHistogram
+from repro.metrics.instruments import Counter, EwmaRate, Gauge
+
+#: Snapshot schema identifier (bumped on incompatible changes).
+SNAPSHOT_FORMAT = "repro.metrics/v1"
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Entry:
+    """One registered instrument plus its exposition metadata."""
+
+    __slots__ = ("kind", "name", "labels", "help", "instrument")
+
+    def __init__(
+        self, kind: str, name: str, labels: Labels, help: str, instrument
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.instrument = instrument
+
+
+def _finite(value: float) -> float:
+    """NaN/inf-free float for strict-JSON snapshots (empty -> 0.0)."""
+    return value if math.isfinite(value) else 0.0
+
+
+class Registry:
+    """Named, labeled instruments plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, Labels], _Entry] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument factories (idempotent per (name, labels))
+    # ------------------------------------------------------------------
+
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        labels: Optional[Mapping[str, str]],
+        help: str,
+        factory: Callable[[], object],
+    ):
+        key = (name, _labels_key(labels))
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _Entry(kind, name, key[1], help, factory())
+            self._entries[key] = entry
+        elif entry.kind != kind:
+            raise ConfigurationError(
+                f"instrument {name!r}{dict(key[1])} already registered "
+                f"as {entry.kind}, requested as {kind}"
+            )
+        return entry.instrument
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Counter:
+        return self._get("counter", name, labels, help, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Gauge:
+        return self._get("gauge", name, labels, help, Gauge)
+
+    def rate(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+        tau_ms: float = 1000.0,
+    ) -> EwmaRate:
+        return self._get(
+            "rate", name, labels, help, lambda: EwmaRate(tau_ms)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+        low: float = 1e-3,
+        high: float = 1e7,
+        per_decade: int = 32,
+    ) -> LogHistogram:
+        return self._get(
+            "histogram",
+            name,
+            labels,
+            help,
+            lambda: LogHistogram(name, low=low, high=high,
+                                 per_decade=per_decade),
+        )
+
+    # ------------------------------------------------------------------
+    # Collectors
+    # ------------------------------------------------------------------
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a pull hook run (in order) at every snapshot."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        for collector in self._collectors:
+            collector()
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> List[str]:
+        return sorted({entry.name for entry in self._entries.values()})
+
+    def snapshot(
+        self, now: float = 0.0, meta: Optional[dict] = None
+    ) -> dict:
+        """JSON-ready snapshot: run collectors, then serialize everything.
+
+        Deterministic: instruments sorted by (name, labels), every float
+        finite, no wall-clock anywhere — two identical sim runs dump
+        byte-identical JSON.
+        """
+        self.collect()
+        instruments = []
+        for (name, labels), entry in sorted(self._entries.items()):
+            row: dict = {
+                "name": name,
+                "type": entry.kind,
+                "labels": dict(labels),
+            }
+            if entry.help:
+                row["help"] = entry.help
+            obj = entry.instrument
+            if entry.kind == "counter":
+                row["value"] = obj.value
+            elif entry.kind == "gauge":
+                row["value"] = _finite(obj.value)
+                row["max"] = _finite(obj.max_value)
+            elif entry.kind == "rate":
+                row["value"] = _finite(obj.per_second(now))
+                row["tau_ms"] = obj.tau_ms
+            else:  # histogram
+                row["count"] = obj.count
+                row["sum"] = _finite(obj.total)
+                row["min"] = _finite(obj.minimum)
+                row["max"] = _finite(obj.maximum)
+                for q in (50, 90, 95, 99):
+                    row[f"p{q}"] = _finite(obj.percentile(q))
+                row["buckets"] = [
+                    [lo, hi, count] for lo, hi, count in obj.buckets()
+                ]
+            instruments.append(row)
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "meta": dict(meta or {}),
+            "sim_now_ms": now,
+            "instruments": instruments,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Registry(instruments={len(self._entries)}, "
+            f"collectors={len(self._collectors)})"
+        )

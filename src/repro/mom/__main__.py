@@ -5,6 +5,7 @@ Usage::
     python -m repro.mom scenario.json
     python -m repro.mom scenario.json --stats      # per-server table too
     python -m repro.mom scenario.json --trace out.jsonl
+    python -m repro.mom scenario.json --metrics-out costs.json
 """
 
 from __future__ import annotations
@@ -28,6 +29,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--trace", metavar="PATH", help="export the app trace as JSONL"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the cost-accounting snapshot as JSON "
+        "(view with `python -m repro.metrics top PATH`)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -44,6 +51,19 @@ def main(argv=None) -> int:
         with open(args.trace, "w") as handle:
             events = result.bus.export_app_trace(handle)
         print(f"app trace ({events} events) written to {args.trace}")
+    if args.metrics_out:
+        snapshot = result.bus.cost_snapshot()
+        if snapshot is None:
+            print(
+                "error: cost accounting is disabled (REPRO_METRICS=0)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.metrics import write_json
+
+        with open(args.metrics_out, "w") as handle:
+            write_json(snapshot, handle)
+        print(f"cost snapshot written to {args.metrics_out}")
     return 0 if result.causal_ok else 1
 
 

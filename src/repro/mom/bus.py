@@ -17,6 +17,7 @@ traces the causality checkers consume:
 from __future__ import annotations
 
 import itertools
+import os
 from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional
 
 from repro.causality.chains import Membership
@@ -28,6 +29,8 @@ from repro.causality.checker import (
 from repro.causality.message import Message
 from repro.causality.trace import Trace
 from repro.errors import ConfigurationError, ServerCrashedError
+from repro.metrics.registry import Registry
+from repro.mom.accounting import BusAccounting, install_collector
 from repro.mom.agent import Agent
 from repro.mom.config import BusConfig
 from repro.mom.identifiers import AgentId
@@ -55,13 +58,23 @@ class MessageBus:
         self.sim = Simulator()
         self.rng = RngFactory(config.seed)
         self.metrics = MetricsRegistry()
+        # Always-on cost accounting (repro.metrics): per-server/per-domain
+        # causality costs, exposed via cost_snapshot(). REPRO_METRICS=0 or
+        # BusConfig(accounting=False) turns it off; the hot paths then pay
+        # one `is not None` check per edge, exactly like the tracer.
+        self.accounting: Optional[Registry] = None
+        self.acct: Optional[BusAccounting] = None
+        if config.accounting and os.environ.get("REPRO_METRICS") != "0":
+            self.accounting = Registry()
+            self.acct = BusAccounting(self.accounting)
+            install_collector(self.accounting, self)
         self.network = Network(
             sim=self.sim,
             latency=config.latency_model(),
             loss_rate=config.loss_rate,
             rng=self.rng.stream("network"),
         )
-        tables = build_routing_tables(config.topology)
+        tables = build_routing_tables(config.topology, registry=self.accounting)
         self.servers: Dict[int, AgentServer] = {}
         for server_id in config.topology.servers:
             self.servers[server_id] = AgentServer(
@@ -135,6 +148,8 @@ class MessageBus:
         )
         if self._tracer is not None:
             self._tracer.bus_post(notification)
+        if self.acct is not None:
+            self.acct.notifications.inc()
         self.record_app_send(notification)
         if target.server == sender.server:
             target_server.engine.enqueue(notification)
@@ -165,6 +180,8 @@ class MessageBus:
             self.metrics.samples("bus.delivery_ms").record(
                 self.sim.now - notification.sent_at
             )
+            if self.acct is not None and notification.sender.server != notification.target.server:
+                self.acct.delivery_ms.record(self.sim.now - notification.sent_at)
         if self.app_trace is None or notification.sender == notification.target:
             return
         self.app_trace.record_receive(
@@ -309,6 +326,27 @@ class MessageBus:
             f"wire_cells={self.network.cells_transmitted}"
         )
         return "\n".join(lines)
+
+    def cost_snapshot(self) -> Optional[Dict[str, Any]]:
+        """One deterministic snapshot of the cost-accounting registry.
+
+        Returns ``None`` when accounting is disabled. The snapshot embeds
+        the run's identity (server count, domains, seed, clock mode) so
+        two snapshots diff meaningfully; feed it to
+        :func:`repro.metrics.write_json`, :func:`~repro.metrics.to_prometheus`
+        or :func:`~repro.metrics.render_dashboard`.
+        """
+        if self.accounting is None:
+            return None
+        return self.accounting.snapshot(
+            now=self.sim.now,
+            meta={
+                "servers": len(self.servers),
+                "domains": sorted(self.config.topology.domain_ids),
+                "seed": self.config.seed,
+                "clock": self.config.clock_algorithm,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -44,6 +44,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError, TopologyError
+from repro.mom.accounting import CELL_BYTES
 from repro.mom.domain_item import DomainItem
 from repro.mom.payloads import ChannelAck, Envelope, Notification
 from repro.simulation.metrics import LazyCounter
@@ -110,9 +111,14 @@ class Channel:
         self._server = server
         self._items: Dict[str, DomainItem] = {}
         for domain in server.domains:
-            self._items[domain.domain_id] = DomainItem(
+            item = DomainItem(
                 domain, server.server_id, server.config.clock_cls
             )
+            if server.bus.acct is not None:
+                item.acct = server.bus.acct.domain(
+                    server.server_id, domain.domain_id
+                )
+            self._items[domain.domain_id] = item
         self._hop_seq = 0
         self._unacked: Dict[int, Envelope] = {}
         self._holdback: Dict[str, _HoldbackStore] = {
@@ -134,6 +140,11 @@ class Channel:
         self._ctr_forwarded = lazy(metrics, "channel.forwarded")
         # observability hook (repro.obs); None = tracing off
         self._tracer: Optional["Tracer"] = None
+        # cost accounting (repro.metrics); None = accounting off.
+        # _acct_held_since remembers each held-back envelope's arrival
+        # instant so release can record the dwell histogram.
+        self._sacct = server.acct
+        self._acct_held_since: Dict[Tuple, float] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -159,6 +170,10 @@ class Channel:
     @property
     def heldback_count(self) -> int:
         return sum(store.count for store in self._holdback.values())
+
+    def holdback_depth(self, domain_id: str) -> int:
+        """Envelopes currently held back in one domain's store."""
+        return self._holdback[domain_id].count
 
     # ------------------------------------------------------------------
     # Send path
@@ -207,6 +222,8 @@ class Channel:
         item.clock.clear_dirty()
         self._ctr_hops_sent.add()
         self._ctr_cells_stamped.add(stamp.wire_cells)
+        if item.acct is not None:
+            item.acct.stamp_bytes.inc(stamp.wire_cells * CELL_BYTES)
         epoch = self._server.epoch
         self._server.processor.submit(cost, self._transmit, envelope, epoch, 1)
 
@@ -247,6 +264,8 @@ class Channel:
             envelope.stamp, item.clock.size, 0
         )
         self._ctr_hops_resent.add()
+        if self._sacct is not None:
+            self._sacct.ack_retries.inc()
         self._server.processor.submit(
             cost, self._transmit, envelope, epoch, attempt + 1
         )
@@ -309,6 +328,10 @@ class Channel:
             self._arrivals += 1
             store.add(self._arrivals, envelope)
             self._ctr_heldback.add()
+            if item.acct is not None:
+                item.acct.holdback_enters.inc()
+                item.acct.holdback_depth.inc()
+                self._acct_held_since[key] = self._server.sim.now
             if self._tracer is not None:
                 self._tracer.channel_holdback_enter(
                     self._server.server_id, envelope
@@ -332,6 +355,9 @@ class Channel:
         self._pending_commits.discard(envelope.hop_mid())
         item = self._items[envelope.domain_id]
         item.clock.deliver(envelope.stamp)
+        if item.acct is not None:
+            item.acct.merge_cells.inc(item.clock.dirty_cells())
+            item.acct.commits.inc()
         if self._tracer is not None:
             # dirty_cells() right after the merge = cells this commit moved
             self._tracer.channel_commit(
@@ -347,6 +373,8 @@ class Channel:
             self._server.engine.enqueue(envelope.notification)
         else:
             self._ctr_forwarded.add()
+            if self._sacct is not None:
+                self._sacct.forwards.inc()
             if self._tracer is not None:
                 self._tracer.channel_route_forward(
                     self._server.server_id, envelope
@@ -388,8 +416,14 @@ class Channel:
         if not ready:
             return
         ready.sort()  # release in arrival order, like the seed's queue scan
+        acct = item.acct
         for arrival, env in ready:
             store.remove(arrival, env)
+            if acct is not None:
+                acct.holdback_depth.dec()
+                since = self._acct_held_since.pop(env.hop_mid(), None)
+                if since is not None:
+                    acct.dwell_ms.record(self._server.sim.now - since)
             if self._tracer is not None:
                 self._tracer.channel_holdback_release(
                     self._server.server_id, env
@@ -431,6 +465,12 @@ class Channel:
             store.clear()
         self._pending_commits.clear()
         self._unacked.clear()
+        # account the wipe: the held-back envelopes are gone (the gauge's
+        # peak keeps the pre-crash high-water mark)
+        self._acct_held_since.clear()
+        for item in self._items.values():
+            if item.acct is not None:
+                item.acct.holdback_depth.set(0.0)
 
     def on_recover(self) -> None:
         """Reload clocks, the unacked table and the hop counter from the

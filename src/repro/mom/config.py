@@ -84,6 +84,12 @@ class BusConfig:
     max_transport_attempts: int = 30
     """Transport give-up threshold."""
 
+    accounting: bool = True
+    """Always-on causality-cost accounting (:mod:`repro.metrics`). On by
+    default — the hot-path cost is a preallocated-handle increment per
+    event. ``False`` (or ``REPRO_METRICS=0`` in the environment) disables
+    it entirely; hot paths then pay one ``is not None`` check per edge."""
+
     def __post_init__(self):
         if self.clock_algorithm not in _CLOCKS:
             raise ConfigurationError(

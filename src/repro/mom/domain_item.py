@@ -17,17 +17,20 @@ causal-router-server".
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import TYPE_CHECKING, Dict, Optional, Type
 
 from repro.clocks.base import CausalClock
 from repro.errors import TopologyError
 from repro.topology.domains import Domain
 
+if TYPE_CHECKING:
+    from repro.mom.accounting import DomainAccounting
+
 
 class DomainItem:
     """One server's view of one domain: local identity + matrix clock."""
 
-    __slots__ = ("domain", "domain_server_id", "_clock", "_local_ids")
+    __slots__ = ("domain", "domain_server_id", "_clock", "_local_ids", "acct")
 
     def __init__(
         self, domain: Domain, server_id: int, clock_cls: Type[CausalClock]
@@ -46,6 +49,9 @@ class DomainItem:
         }
         self.domain_server_id = self._local_ids_lookup(server_id)
         self._clock = clock_cls(domain.size, self.domain_server_id)
+        # cost-accounting handle bundle, attached by the Channel at boot;
+        # None = accounting off (one pointer compare on the hot path)
+        self.acct: Optional["DomainAccounting"] = None
 
     @property
     def domain_id(self) -> str:

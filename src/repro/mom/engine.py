@@ -155,6 +155,10 @@ class Engine:
         if tracer is not None:
             tracer.engine_reaction_commit(self._server.server_id, receive_of)
         self._server.metrics.counter("engine.reactions").add()
+        sacct = self._server.acct
+        if sacct is not None:
+            sacct.reactions.inc()
+            sacct.reaction_rate.mark(self._server.sim.now)
         self._schedule_next()
 
     # ------------------------------------------------------------------

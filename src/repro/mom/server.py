@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import ServerCrashedError
+from repro.mom.accounting import ServerAccounting
 from repro.mom.channel import Channel
 from repro.mom.config import BusConfig
 from repro.mom.engine import Engine
@@ -48,6 +49,10 @@ class AgentServer:
         self._crashed = False
         # observability hook (repro.obs); None = tracing off
         self._tracer: Optional["Tracer"] = None
+        # cost-accounting handle bundle (repro.metrics); None = accounting off
+        self.acct: Optional[ServerAccounting] = (
+            bus.acct.server(server_id) if bus.acct is not None else None
+        )
         self.store = PersistentStore(server_id)
         self.processor = Processor(self.sim)
         self.channel = Channel(self)

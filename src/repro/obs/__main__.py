@@ -8,6 +8,9 @@ Subcommands:
 - ``summary``  event counts by kind + histogram percentiles of a dump;
 - ``trace``    reconstruct and pretty-print the causal path of one
   message (by notification id) across all its router hops;
+- ``why``      the causal-wait explainer: for each hop of one message
+  that was held back, name the dependency whose commit released it and
+  how long the wait cost;
 - ``slowest``  the k messages with the worst end-to-end delivery time;
 - ``export``   convert a dump to Chrome ``trace_event`` JSON for
   Perfetto / ``chrome://tracing``.
@@ -168,6 +171,98 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_why(args: argparse.Namespace) -> int:
+    """Explain a message's causal waits.
+
+    A hold-back ends inside another envelope's commit transaction (the
+    release is recorded at the same instant, right after that commit's
+    event), so the blocking dependency of each held hop is the latest
+    ``commit`` event at the same server and domain with a smaller ``seq``
+    than the ``holdback_release``.
+    """
+    dump = _load(args.dump)
+    events = dump.events_of(args.nid)
+    if not events:
+        print(f"no events for message {args.nid} in {args.dump}")
+        return 1
+    enters = [e for e in events if e.kind == "holdback_enter"]
+    releases = {
+        (e.server, e.src, e.hop_seq): e
+        for e in events
+        if e.kind == "holdback_release"
+    }
+    e2e = next(
+        (
+            e.value
+            for e in events
+            if e.kind == "reaction_commit" and e.value > 0
+        ),
+        None,
+    )
+    header = f"message {args.nid}"
+    if e2e is not None:
+        header += f": delivered end-to-end in {e2e:.3f}ms"
+    print(header)
+    if not enters:
+        print(
+            "  never held back: every hop was deliverable on arrival "
+            "(no causal wait)"
+        )
+        return 0
+    commits = sorted(
+        (e for e in dump.events if e.kind == "commit"),
+        key=lambda e: e.seq,
+    )
+    total_dwell = 0.0
+    for enter in enters:
+        release = releases.get((enter.server, enter.src, enter.hop_seq))
+        where = f"S{enter.server} [{enter.domain}]"
+        if release is None:
+            print(
+                f"  hop S{enter.src}->S{enter.dst} at {where}: "
+                f"held back at t={enter.t:.3f}ms and NEVER released "
+                "(crash wiped it, or the run stopped early)"
+            )
+            continue
+        dwell = release.value
+        total_dwell += dwell
+        blocker = None
+        for commit in commits:
+            if commit.seq >= release.seq:
+                break
+            if (
+                commit.server == enter.server
+                and commit.domain == enter.domain
+                and commit.nid != args.nid
+            ):
+                blocker = commit
+        print(
+            f"  hop S{enter.src}->S{enter.dst} at {where}: held back "
+            f"{dwell:.3f}ms (t={enter.t:.3f} -> {release.t:.3f}ms)"
+        )
+        if blocker is not None:
+            print(
+                f"    released by the commit of message {blocker.nid} "
+                f"(hop S{blocker.src}->S{blocker.dst}, merged "
+                f"{int(blocker.value)} cells) — message {args.nid} "
+                f"causally depended on it"
+            )
+        else:
+            print(
+                "    releasing commit not retained in the ring "
+                "(wraparound dropped it)"
+            )
+    if e2e is not None and e2e > 0:
+        share = 100.0 * total_dwell / e2e
+        print(
+            f"  causal wait total: {total_dwell:.3f}ms "
+            f"({share:.1f}% of end-to-end latency)"
+        )
+    else:
+        print(f"  causal wait total: {total_dwell:.3f}ms")
+    return 0
+
+
 def cmd_slowest(args: argparse.Namespace) -> int:
     dump = _load(args.dump)
     e2e: Dict[int, float] = {}
@@ -271,6 +366,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("nid", type=int, help="notification id (trace id)")
     p.add_argument("dump", help="dump directory or events.jsonl")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "why", help="which dependency held a message back, and for how long"
+    )
+    p.add_argument("nid", type=int, help="notification id (trace id)")
+    p.add_argument("dump", help="dump directory or events.jsonl")
+    p.set_defaults(fn=cmd_why)
 
     p = sub.add_parser("slowest", help="worst end-to-end deliveries")
     p.add_argument("dump", help="dump directory or events.jsonl")

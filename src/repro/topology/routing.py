@@ -40,6 +40,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError, TopologyError
+from repro.metrics.instruments import Counter
+from repro.metrics.registry import Registry
 from repro.topology.domains import Topology
 
 
@@ -52,9 +54,23 @@ class _RoutingIndex:
     ``dest``), computed on first use and cached.
     """
 
-    __slots__ = ("_n", "_members", "_domains_of", "_parents")
+    __slots__ = ("_n", "_members", "_domains_of", "_parents", "_trees", "_scans")
 
-    def __init__(self, topology: Topology):
+    def __init__(
+        self, topology: Topology, registry: Optional[Registry] = None
+    ):
+        # cost accounting (repro.metrics): how much BFS work routing does
+        self._trees: Optional[Counter] = None
+        self._scans: Optional[Counter] = None
+        if registry is not None:
+            self._trees = registry.counter(
+                "routing_bfs_trees_total",
+                help="per-destination BFS trees materialized lazily",
+            )
+            self._scans = registry.counter(
+                "routing_bfs_scans_total",
+                help="BFS neighbour-candidate scans while building trees",
+            )
         servers = topology.servers
         # Topology guarantees ids are exactly 0..n-1, so server ids double
         # as dense array indices.
@@ -95,6 +111,7 @@ class _RoutingIndex:
         visited[dest] = 1
         order = [dest]
         pop = 0
+        scans = 0
         domains_of = self._domains_of
         members = self._members
         while pop < len(order):
@@ -114,12 +131,17 @@ class _RoutingIndex:
                     merged.extend(members[d])
                 merged.sort()
                 candidates = merged
+            scans += len(candidates)
             for neighbor in candidates:
                 if not visited[neighbor]:
                     visited[neighbor] = 1
                     parents[neighbor] = current
                     order.append(neighbor)
         self._parents[dest] = parents
+        if self._trees is not None:
+            self._trees.inc()
+            assert self._scans is not None
+            self._scans.inc(scans)
         return parents
 
     def distances_from(self, source: int) -> List[int]:
@@ -229,7 +251,9 @@ def _server_graph(topology: Topology):
     return graph
 
 
-def build_routing_tables(topology: Topology) -> Dict[int, RoutingTable]:
+def build_routing_tables(
+    topology: Topology, registry: Optional[Registry] = None
+) -> Dict[int, RoutingTable]:
     """Build every server's routing table with per-destination BFS trees.
 
     A BFS is rooted at each *destination*; following BFS parents from any
@@ -242,7 +266,7 @@ def build_routing_tables(topology: Topology) -> Dict[int, RoutingTable]:
             validation also catches this earlier, as a disconnected domain
             graph).
     """
-    index = _RoutingIndex(topology)
+    index = _RoutingIndex(topology, registry=registry)
     return {
         source: RoutingTable(source, index=index) for source in topology.servers
     }

@@ -1,0 +1,169 @@
+"""The perf-regression gate (``tools/bench_gate.py``).
+
+Unit tests of the comparator plus the keep-them-honest check: the
+committed ``BENCH_*.json`` snapshots must pass the committed baseline,
+so CI fails whenever someone regenerates one without the other.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+spec = importlib.util.spec_from_file_location(
+    "bench_gate", os.path.join(REPO, "tools", "bench_gate.py")
+)
+bench_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_gate)
+
+
+class TestResolve:
+    DOC = {"a": {"b": [10, {"c": 42}]}, "flag": True}
+
+    def test_nested_dicts_and_lists(self):
+        assert bench_gate.resolve(self.DOC, "a.b.1.c") == 42
+        assert bench_gate.resolve(self.DOC, "a.b.0") == 10
+        assert bench_gate.resolve(self.DOC, "flag") is True
+
+    def test_missing_paths(self):
+        missing = bench_gate._MISSING
+        assert bench_gate.resolve(self.DOC, "a.x") is missing
+        assert bench_gate.resolve(self.DOC, "a.b.9") is missing
+        assert bench_gate.resolve(self.DOC, "a.b.nope") is missing
+        assert bench_gate.resolve(self.DOC, "flag.deeper") is missing
+
+
+class TestCheckOne:
+    def test_exact_number(self):
+        ok, _ = bench_gate.check_one({"x": 2048.0}, {"path": "x", "expect": 2048.0})
+        assert ok
+        ok, msg = bench_gate.check_one({"x": 2049.0}, {"path": "x", "expect": 2048.0})
+        assert not ok and "FAIL" in msg
+
+    def test_rtol_band(self):
+        check = {"path": "x", "expect": 100.0, "rtol": 0.05}
+        assert bench_gate.check_one({"x": 104.9}, check)[0]
+        assert not bench_gate.check_one({"x": 106.0}, check)[0]
+
+    def test_atol_band(self):
+        check = {"path": "x", "expect": 10.0, "atol": 0.5}
+        assert bench_gate.check_one({"x": 10.5}, check)[0]
+        assert not bench_gate.check_one({"x": 10.6}, check)[0]
+
+    def test_bool_expect_is_exact(self):
+        assert bench_gate.check_one({"x": True}, {"path": "x", "expect": True})[0]
+        assert not bench_gate.check_one({"x": 1.0}, {"path": "x", "expect": True})[0]
+
+    def test_min_max_bounds(self):
+        assert bench_gate.check_one({"r": 1.05}, {"path": "r", "max": 1.10})[0]
+        assert not bench_gate.check_one({"r": 1.2}, {"path": "r", "max": 1.10})[0]
+        assert bench_gate.check_one({"r": 3.0}, {"path": "r", "min": 2.0})[0]
+        assert not bench_gate.check_one({"r": 1.0}, {"path": "r", "min": 2.0})[0]
+
+    def test_missing_path_fails_unless_optional(self):
+        assert not bench_gate.check_one({}, {"path": "gone", "expect": 1})[0]
+        ok, msg = bench_gate.check_one(
+            {}, {"path": "gone", "expect": 1, "optional": True}
+        )
+        assert ok and "SKIP" in msg
+
+    def test_malformed_check_fails(self):
+        assert not bench_gate.check_one({"x": 1}, {"path": "x"})[0]
+        assert not bench_gate.check_one(
+            {"x": "str"}, {"path": "x", "max": 2}
+        )[0]
+
+
+class TestBaselineSchema:
+    def test_good_baseline_validates(self):
+        baseline = {
+            "format": bench_gate.FORMAT,
+            "targets": [
+                {"file": "B.json", "checks": [{"path": "x", "expect": 1}]}
+            ],
+        }
+        assert bench_gate.validate_baseline(baseline) == []
+
+    def test_bad_format_and_shape(self):
+        assert bench_gate.validate_baseline({"format": "nope"})
+        errors = bench_gate.validate_baseline(
+            {
+                "format": bench_gate.FORMAT,
+                "targets": [
+                    {"file": "B.json", "checks": [{"path": "x"}]},
+                    {"checks": [{"expect": 1}]},
+                ],
+            }
+        )
+        assert len(errors) >= 3
+
+
+class TestRunGate:
+    def _write(self, tmp_path, baseline, snapshot):
+        bpath = tmp_path / "baseline.json"
+        bpath.write_text(json.dumps(baseline))
+        (tmp_path / "B.json").write_text(json.dumps(snapshot))
+        return str(bpath)
+
+    def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        baseline = {
+            "format": bench_gate.FORMAT,
+            "targets": [
+                {"file": "B.json", "checks": [{"path": "x", "expect": 5}]}
+            ],
+        }
+        bpath = self._write(tmp_path, baseline, {"x": 5})
+        assert bench_gate.run_gate(bpath, str(tmp_path)) == 0
+        (tmp_path / "B.json").write_text(json.dumps({"x": 6}))
+        assert bench_gate.run_gate(bpath, str(tmp_path)) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_snapshot_fails(self, tmp_path, capsys):
+        baseline = {
+            "format": bench_gate.FORMAT,
+            "targets": [
+                {"file": "GONE.json", "checks": [{"path": "x", "expect": 1}]}
+            ],
+        }
+        bpath = tmp_path / "baseline.json"
+        bpath.write_text(json.dumps(baseline))
+        assert bench_gate.run_gate(str(bpath), str(tmp_path)) == 1
+
+    def test_broken_baseline_fails_closed(self, tmp_path, capsys):
+        bpath = tmp_path / "baseline.json"
+        bpath.write_text(json.dumps({"format": "wrong", "targets": []}))
+        assert bench_gate.run_gate(str(bpath), str(tmp_path)) == 1
+
+
+class TestCommittedSnapshots:
+    """The actual gate CI runs: committed baselines vs committed BENCH
+    files. Regenerate both together (`export_bench.py` then update
+    `tools/bench_baseline.json`) when a change legitimately moves them."""
+
+    def test_committed_snapshots_pass_the_gate(self, capsys):
+        code = bench_gate.run_gate(
+            os.path.join(REPO, "tools", "bench_baseline.json"), REPO
+        )
+        out = capsys.readouterr().out
+        assert code == 0, f"bench gate failed on committed snapshots:\n{out}"
+
+    def test_gate_covers_the_metrics_sections(self):
+        with open(os.path.join(REPO, "tools", "bench_baseline.json")) as fh:
+            baseline = json.load(fh)
+        paths = [
+            c["path"]
+            for t in baseline["targets"]
+            for c in t["checks"]
+        ]
+        assert any(p.startswith("metrics.") for p in paths)
+        assert "metrics_overhead.overhead_ratio" in paths
+        overhead = next(
+            c
+            for t in baseline["targets"]
+            for c in t["checks"]
+            if c["path"] == "metrics_overhead.overhead_ratio"
+        )
+        assert overhead.get("max") == pytest.approx(1.10)

@@ -1,0 +1,210 @@
+"""End-to-end properties of the always-on cost accounting.
+
+Three contracts the subsystem lives by:
+
+1. **Determinism** — two runs with the same seed produce *byte-identical*
+   snapshots (``write_json`` and ``to_prometheus`` output), including
+   when the flight recorder (``REPRO_TRACE=1``) rides along. Snapshots
+   are artifacts, so they must diff cleanly and gate in CI.
+2. **The paper's cost claim** — read straight off the registry: a flat
+   domain stamps 8·n² bytes per message (matrix clock over n servers),
+   the bus decomposition at √n domain size stamps Θ(n). The empirical
+   exponent must separate cleanly even at small sizes.
+3. **CLI surfaces** — ``python -m repro.metrics`` demo/top/prom/json and
+   ``python -m repro.mom --metrics-out`` round-trip the same snapshot.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.metrics import read_json, to_prometheus, total, write_json
+from repro.metrics.__main__ import main as metrics_main
+from repro.mom import BusConfig, EchoAgent, MessageBus
+from repro.mom.__main__ import main as mom_main
+from repro.mom.workloads import PingPongDriver
+from repro.simulation.network import UniformLatency
+from repro.topology import builders
+
+
+def _pingpong(topology, seed=0, rounds=6, latency=None):
+    config = BusConfig(topology=topology, seed=seed)
+    if latency is not None:
+        config = BusConfig(topology=topology, seed=seed, latency=latency)
+    mom = MessageBus(config)
+    echo_id = mom.deploy(EchoAgent(), topology.server_count - 1)
+    driver = PingPongDriver(rounds)
+    driver.bind(echo_id)
+    mom.deploy(driver, 0)
+    mom.start()
+    mom.run_until_idle()
+    return mom
+
+
+def _snapshot_bytes(mom):
+    snapshot = mom.cost_snapshot()
+    assert snapshot is not None
+    out = io.StringIO()
+    write_json(snapshot, out)
+    return out.getvalue(), to_prometheus(snapshot)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_byte_identical(self):
+        jitter = UniformLatency(0.1, 15.0)
+        a = _pingpong(builders.bus(12, 4), seed=3, latency=jitter)
+        b = _pingpong(builders.bus(12, 4), seed=3, latency=jitter)
+        json_a, prom_a = _snapshot_bytes(a)
+        json_b, prom_b = _snapshot_bytes(b)
+        assert json_a == json_b
+        assert prom_a == prom_b
+
+    def test_seed_changes_the_snapshot(self):
+        """Negative control: the byte-identity above is not vacuous."""
+        jitter = UniformLatency(0.1, 15.0)
+        a = _pingpong(builders.bus(12, 4), seed=3, latency=jitter)
+        b = _pingpong(builders.bus(12, 4), seed=4, latency=jitter)
+        assert _snapshot_bytes(a)[0] != _snapshot_bytes(b)[0]
+
+    def test_trace_does_not_perturb_accounting(self, monkeypatch):
+        off = _snapshot_bytes(_pingpong(builders.bus(12, 4), seed=3))
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        on = _snapshot_bytes(_pingpong(builders.bus(12, 4), seed=3))
+        assert on == off
+
+    def test_snapshot_roundtrips_through_json(self):
+        mom = _pingpong(builders.bus(12, 4))
+        snapshot = mom.cost_snapshot()
+        out = io.StringIO()
+        write_json(snapshot, out)
+        assert read_json(io.StringIO(out.getvalue())) == snapshot
+
+
+class TestStampCostScaling:
+    """The §6 decomposition claim, empirically, at test-sized n."""
+
+    def _bytes_per_msg(self, topology):
+        mom = _pingpong(topology)
+        snapshot = mom.cost_snapshot()
+        messages = total(snapshot, "bus_notifications_total")
+        return total(snapshot, "channel_stamp_bytes_total") / messages
+
+    def test_flat_is_quadratic(self):
+        # 8 bytes/cell × n² cells per stamp, exactly.
+        for n in (9, 16, 36):
+            assert self._bytes_per_msg(builders.single_domain(n)) == 8 * n * n
+
+    def test_bus_is_linear(self):
+        # √n leaf domains: every stamp is 8·n bytes over a 3-hop route,
+        # constant 16·n per end-to-end message.
+        for n in (16, 36, 64):
+            assert self._bytes_per_msg(builders.bus(n)) == 16 * n
+
+    def test_empirical_exponents_separate(self):
+        """Fit log(bytes)/log(n) growth between n=16 and n=64: the flat
+        exponent must be ~2, the decomposed one ~1."""
+        import math
+
+        def exponent(build):
+            lo = self._bytes_per_msg(build(16))
+            hi = self._bytes_per_msg(build(64))
+            return math.log(hi / lo) / math.log(64 / 16)
+
+        flat = exponent(builders.single_domain)
+        bus = exponent(builders.bus)
+        assert flat == pytest.approx(2.0, abs=0.01)
+        assert bus == pytest.approx(1.0, abs=0.01)
+        assert flat - bus > 0.9
+
+
+class TestMetricsCli:
+    def test_demo_writes_snapshot_and_prom(self, tmp_path, capsys):
+        json_path = tmp_path / "snap.json"
+        prom_path = tmp_path / "snap.prom"
+        code = metrics_main(
+            [
+                "demo",
+                "--servers",
+                "12",
+                "--rounds",
+                "4",
+                "--json",
+                str(json_path),
+                "--prom",
+                str(prom_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stamp" in out  # the dashboard rendered something costy
+        snapshot = json.loads(json_path.read_text())
+        assert snapshot["format"].startswith("repro.metrics")
+        assert "channel_stamp_bytes_total" in prom_path.read_text()
+
+    def test_top_prom_json_consume_a_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        metrics_main(["demo", "--rounds", "3", "--json", str(snap)])
+        capsys.readouterr()
+
+        assert metrics_main(["top", str(snap), "--servers"]) == 0
+        assert "domain" in capsys.readouterr().out
+
+        assert metrics_main(["prom", str(snap)]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE" in prom and "channel_commits_total" in prom
+
+        norm = tmp_path / "norm.json"
+        assert metrics_main(["json", str(snap), "-o", str(norm)]) == 0
+        assert json.loads(norm.read_text()) == json.loads(snap.read_text())
+
+    def test_missing_snapshot_is_a_config_error(self, tmp_path, capsys):
+        assert metrics_main(["top", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_snapshot_is_a_config_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a snapshot"}')
+        assert metrics_main(["prom", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMomMetricsOut:
+    SCENARIO = {
+        "topology": {"kind": "bus", "servers": 12, "domain_size": 4},
+        "seed": 5,
+        "agents": [
+            {"name": "echo", "server": 11, "kind": "echo"},
+            {
+                "name": "driver",
+                "server": 0,
+                "kind": "pingpong",
+                "target": "echo",
+                "rounds": 8,
+            },
+        ],
+    }
+
+    def test_metrics_out_writes_loadable_snapshot(self, tmp_path, capsys):
+        scenario = tmp_path / "s.json"
+        scenario.write_text(json.dumps(self.SCENARIO))
+        out = tmp_path / "costs.json"
+        code = mom_main([str(scenario), "--metrics-out", str(out)])
+        assert code == 0
+        assert "cost snapshot written" in capsys.readouterr().out
+        with open(out) as stream:
+            snapshot = read_json(stream)
+        assert total(snapshot, "bus_notifications_total") > 0
+        # ...and the metrics CLI can render it.
+        assert metrics_main(["top", str(out)]) == 0
+
+    def test_metrics_out_fails_cleanly_when_disabled(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        scenario = tmp_path / "s.json"
+        scenario.write_text(json.dumps(self.SCENARIO))
+        out = tmp_path / "costs.json"
+        assert mom_main([str(scenario), "--metrics-out", str(out)]) == 2
+        assert "disabled" in capsys.readouterr().err
+        assert not out.exists()

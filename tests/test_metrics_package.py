@@ -1,0 +1,222 @@
+"""Unit tests for the :mod:`repro.metrics` primitives.
+
+Instruments (Counter/Gauge/EwmaRate), the labeled Registry with its
+snapshot-time collectors, and the exposition layer (Prometheus text,
+strict JSON, snapshot queries). The end-to-end accounting behavior is in
+``test_metrics_accounting.py``; this file pins the building blocks.
+"""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    Counter,
+    EwmaRate,
+    Gauge,
+    LogHistogram,
+    Registry,
+    label_values,
+    read_json,
+    select,
+    to_prometheus,
+    total,
+    write_json,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        with pytest.raises(ConfigurationError, match="decrease"):
+            c.inc(-1)
+        assert c.value == 42
+
+    def test_zero_inc_allowed(self):
+        c = Counter()
+        c.inc(0)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_high_water_mark_survives_dec(self):
+        g = Gauge()
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 2.0
+        assert g.max_value == 5.0
+        g.set(1.0)
+        assert g.max_value == 5.0
+        g.set(9.0)
+        assert g.max_value == 9.0
+
+
+class TestEwmaRate:
+    def test_steady_stream_converges_to_true_rate(self):
+        # One event per ms == 1000 events/s; after many tau the EWMA
+        # must sit on it.
+        r = EwmaRate(tau_ms=100.0)
+        for t in range(1, 2001):
+            r.mark(float(t))
+        assert r.per_second(2000.0) == pytest.approx(1000.0, rel=0.01)
+
+    def test_decays_when_idle(self):
+        r = EwmaRate(tau_ms=100.0)
+        for t in range(1, 501):
+            r.mark(float(t))
+        busy = r.per_second(500.0)
+        idle = r.per_second(500.0 + 5 * 100.0)
+        assert idle == pytest.approx(busy * math.exp(-5), rel=1e-9)
+
+    def test_reads_do_not_mutate(self):
+        r = EwmaRate(tau_ms=50.0)
+        r.mark(10.0)
+        first = r.per_second(60.0)
+        assert r.per_second(60.0) == first
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            EwmaRate(tau_ms=0.0)
+
+
+class TestRegistry:
+    def test_handles_are_interned_per_name_and_labels(self):
+        reg = Registry()
+        a = reg.counter("hops", {"server": "1", "domain": "D0"})
+        b = reg.counter("hops", {"domain": "D0", "server": "1"})
+        c = reg.counter("hops", {"server": "2", "domain": "D0"})
+        assert a is b
+        assert a is not c
+        assert len(reg) == 2
+
+    def test_kind_collision_rejected(self):
+        reg = Registry()
+        reg.counter("depth")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.gauge("depth")
+
+    def test_collectors_run_in_order_at_snapshot(self):
+        reg = Registry()
+        g = reg.gauge("pulled")
+        order = []
+        reg.add_collector(lambda: (order.append("a"), g.set(7.0)))
+        reg.add_collector(lambda: order.append("b"))
+        snapshot = reg.snapshot(now=123.0)
+        assert order == ["a", "b"]
+        assert total(snapshot, "pulled") == 7.0
+        assert snapshot["sim_now_ms"] == 123.0
+
+    def test_snapshot_is_sorted_and_strict_json(self):
+        reg = Registry()
+        reg.counter("zz")
+        reg.counter("aa", {"server": "3"})
+        reg.gauge("aa_depth").set(float("nan"))  # must not leak into JSON
+        snapshot = reg.snapshot()
+        names = [row["name"] for row in snapshot["instruments"]]
+        assert names == sorted(names)
+        out = io.StringIO()
+        write_json(snapshot, out)  # allow_nan=False would raise on NaN
+        assert "NaN" not in out.getvalue()
+
+    def test_histogram_snapshot_row(self):
+        reg = Registry()
+        h = reg.histogram("lat_ms")
+        assert isinstance(h, LogHistogram)
+        for v in (1.0, 2.0, 4.0, 8.0):
+            h.record(v)
+        row = select(reg.snapshot(), "lat_ms")[0]
+        assert row["count"] == 4
+        assert row["sum"] == 15.0
+        assert row["min"] == 1.0 and row["max"] == 8.0
+        assert sum(count for _lo, _hi, count in row["buckets"]) == 4
+
+
+class TestPrometheusExposition:
+    def _snapshot(self):
+        reg = Registry()
+        reg.counter(
+            "stamp_bytes_total", {"server": "0", "domain": "D0"},
+            help="wire bytes of clock stamps",
+        ).inc(1800)
+        reg.counter("stamp_bytes_total", {"server": "1", "domain": "D0"})
+        depth = reg.gauge("holdback_depth", {"server": "0"})
+        depth.inc(3)
+        depth.dec(3)
+        reg.rate("reactions", tau_ms=100.0).mark(5.0)
+        reg.histogram("dwell_ms").record(2.5)
+        return reg.snapshot(now=10.0)
+
+    def test_families_and_samples(self):
+        text = to_prometheus(self._snapshot())
+        assert "# TYPE repro_stamp_bytes_total counter" in text
+        assert (
+            'repro_stamp_bytes_total{domain="D0",server="0"} 1800' in text
+        )
+        # One header per family even with several labeled samples.
+        assert text.count("# TYPE repro_stamp_bytes_total") == 1
+        assert "# HELP repro_stamp_bytes_total wire bytes" in text
+
+    def test_gauge_exports_peak_companion(self):
+        text = to_prometheus(self._snapshot())
+        assert 'repro_holdback_depth{server="0"} 0' in text
+        assert 'repro_holdback_depth_peak{server="0"} 3' in text
+
+    def test_rate_is_a_gauge_not_a_counter(self):
+        text = to_prometheus(self._snapshot())
+        assert "# TYPE repro_reactions gauge" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = to_prometheus(self._snapshot())
+        assert 'repro_dwell_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_dwell_ms_sum 2.5" in text
+        assert "repro_dwell_ms_count 1" in text
+
+    def test_label_escaping(self):
+        reg = Registry()
+        reg.counter("odd", {"k": 'a"b\\c'}).inc()
+        text = to_prometheus(reg.snapshot())
+        assert 'k="a\\"b\\\\c"' in text
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ConfigurationError, match="not a repro.metrics"):
+            to_prometheus({"format": "something/else"})
+
+
+class TestSnapshotQueries:
+    def _snapshot(self):
+        reg = Registry()
+        reg.counter("hops", {"server": "0", "domain": "D0"}).inc(3)
+        reg.counter("hops", {"server": "1", "domain": "D1"}).inc(4)
+        reg.counter("other").inc(100)
+        return reg.snapshot()
+
+    def test_select_and_total(self):
+        snap = self._snapshot()
+        assert total(snap, "hops") == 7.0
+        assert total(snap, "hops", domain="D1") == 4.0
+        assert total(snap, "absent") == 0.0
+        assert len(select(snap, "hops", server="0")) == 1
+
+    def test_label_values(self):
+        assert label_values(self._snapshot(), "domain") == ["D0", "D1"]
+
+    def test_json_roundtrip(self):
+        snap = self._snapshot()
+        out = io.StringIO()
+        write_json(snap, out)
+        again = read_json(io.StringIO(out.getvalue()))
+        assert again == snap
+        # Deterministic bytes: dumping the reloaded dict matches.
+        out2 = io.StringIO()
+        write_json(again, out2)
+        assert out2.getvalue() == out.getvalue()
+
+    def test_read_json_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            read_json(io.StringIO(json.dumps({"instruments": []})))

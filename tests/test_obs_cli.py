@@ -91,3 +91,112 @@ def test_loads_events_file_directly(dump_dir, capsys):
 def test_missing_dump_is_a_clean_error(tmp_path, capsys):
     assert main(["summary", str(tmp_path / "nope")]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def jittery_dump(tmp_path_factory):
+    """A lossy, jittery run that actually exercises hold-back, dumped."""
+    from repro.mom.agent import EchoAgent, FunctionAgent
+    from repro.mom.bus import MessageBus
+    from repro.mom.config import BusConfig
+    from repro.obs import attach, flight_recorder
+    from repro.simulation.network import UniformLatency
+    from repro.topology.builders import bus as bus_topology
+
+    mom = MessageBus(
+        BusConfig(
+            topology=bus_topology(12, 4),
+            seed=7,
+            latency=UniformLatency(0.1, 20.0),
+            loss_rate=0.1,
+        )
+    )
+    tracer = attach(mom)
+    echo_id = mom.deploy(EchoAgent(), 9)
+    sender = FunctionAgent(lambda ctx, s, p: None)
+
+    def boot(ctx):
+        for i in range(10):
+            ctx.send(echo_id, i)
+
+    sender.on_boot = boot
+    mom.deploy(sender, 0)
+    mom.start()
+    mom.run_until_idle()
+
+    held = sorted(
+        {e.nid for e in tracer.events() if e.kind == "holdback_enter"}
+    )
+    assert held, "seed 7 must exercise hold-back (see test_obs_tracing)"
+    root = tmp_path_factory.mktemp("obs-why")
+    old = os.environ.get("REPRO_OBS_DIR")
+    os.environ["REPRO_OBS_DIR"] = str(root)
+    try:
+        path = flight_recorder.dump(tracer, "whytest")
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_OBS_DIR", None)
+        else:
+            os.environ["REPRO_OBS_DIR"] = old
+    unheld = sorted(
+        {e.nid for e in tracer.events() if e.nid > 0} - set(held)
+    )
+    return path, held, unheld
+
+
+def test_why_names_the_blocking_dependency(jittery_dump, capsys):
+    path, held, _ = jittery_dump
+    assert main(["why", str(held[0]), path]) == 0
+    out = capsys.readouterr().out
+    assert "held back" in out
+    assert "released by the commit of message" in out
+    assert "causal wait total" in out
+
+
+def test_why_reports_no_wait_for_unheld_message(jittery_dump, capsys):
+    path, _, unheld = jittery_dump
+    assert unheld, "some messages must go through without hold-back"
+    assert main(["why", str(unheld[0]), path]) == 0
+    out = capsys.readouterr().out
+    assert "never held back" in out
+
+
+def test_why_unknown_nid_fails(jittery_dump, capsys):
+    path, _, _ = jittery_dump
+    assert main(["why", "999999", path]) == 1
+
+
+def test_why_blocker_is_causally_consistent(jittery_dump, capsys):
+    """The named blocker must have committed at the same server/domain
+    strictly before our release — re-derive it from the raw events."""
+    path, held, _ = jittery_dump
+    nid = held[0]
+    assert main(["why", str(nid), path]) == 0
+    out = capsys.readouterr().out
+    import re
+
+    blockers = [
+        int(m.group(1))
+        for m in re.finditer(r"commit of message (\d+)", out)
+    ]
+    assert blockers
+    with open(os.path.join(path, "events.jsonl")) as stream:
+        rows = [json.loads(line) for line in stream]
+    events = [r for r in rows if r.get("record") == "event"]
+    releases = [
+        e for e in events
+        if e["kind"] == "holdback_release" and e["nid"] == nid
+    ]
+    assert releases
+    for blocker in blockers:
+        commits = [
+            e for e in events
+            if e["kind"] == "commit" and e["nid"] == blocker
+        ]
+        assert any(
+            c["seq"] < r["seq"]
+            and c["server"] == r["server"]
+            and c["domain"] == r["domain"]
+            for c in commits
+            for r in releases
+        )

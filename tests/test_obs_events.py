@@ -99,3 +99,80 @@ class TestKinds:
             "crash",
             "recover",
         }
+
+
+class TestMultiWrap:
+    """Direct regression tests for ≥2 full wraparounds: the retained
+    window, its ordering, and the JSONL export path must all agree."""
+
+    def test_two_full_wraps_keep_exact_window(self):
+        ring = EventRing(8)
+        fill(ring, 8 * 3 + 5)  # 3 wraps + 5 into the fourth lap
+        assert ring.next_seq == 29
+        assert ring.dropped == 29 - 8
+        assert len(ring) == 8
+        kept = ring.events()
+        assert [e.seq for e in kept] == list(range(21, 29))
+
+    def test_wrap_landing_exactly_on_boundary(self):
+        # next_seq a multiple of capacity: head == 0, no rotation needed
+        ring = EventRing(8)
+        fill(ring, 8 * 3)
+        kept = ring.events()
+        assert [e.seq for e in kept] == list(range(16, 24))
+
+    def test_wrap_off_by_one_around_boundary(self):
+        # one short of / one past a lap boundary: the windows must abut
+        ring = EventRing(8)
+        fill(ring, 8 * 2 - 1)
+        assert [e.seq for e in ring.events()] == list(range(7, 15))
+        ring.record(15.0, "post", 0, 15)
+        assert [e.seq for e in ring.events()] == list(range(8, 16))
+        ring.record(16.0, "post", 0, 16)
+        assert [e.seq for e in ring.events()] == list(range(9, 17))
+
+    def test_multiwrap_ordering_is_seq_and_time(self):
+        ring = EventRing(16)
+        fill(ring, 100)
+        kept = ring.events()
+        seqs = [e.seq for e in kept]
+        assert seqs == sorted(seqs)
+        assert [e.t for e in kept] == sorted(e.t for e in kept)
+        assert len(kept) == 16
+
+    def test_clear_then_multiwrap(self):
+        ring = EventRing(4)
+        fill(ring, 10)
+        ring.clear()
+        fill4 = [ring.record(float(i), "post", 0, i) for i in range(9)]
+        assert [e.seq for e in ring.events()] == [
+            e.seq for e in fill4[-4:]
+        ]
+
+    def test_export_roundtrip_preserves_multiwrap_order(self):
+        from io import StringIO
+
+        from repro.obs.export import TraceDump, read_jsonl, write_jsonl
+
+        ring = EventRing(8)
+        fill(ring, 30)  # > 3 wraps
+        dump = TraceDump(
+            meta={
+                "now": 30.0,
+                "capacity": ring.capacity,
+                "next_seq": ring.next_seq,
+                "dropped": ring.dropped,
+                "server_ids": [0],
+                "domains": {},
+            },
+            events=ring.events(),
+            cpu=[],
+            histograms={},
+        )
+        buffer = StringIO()
+        write_jsonl(dump, buffer)
+        buffer.seek(0)
+        loaded = read_jsonl(buffer)
+        assert [e.seq for e in loaded.events] == list(range(22, 30))
+        assert loaded.events == ring.events()
+        assert loaded.meta["dropped"] == 22

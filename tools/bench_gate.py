@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""The perf-regression gate: compare committed ``BENCH_*.json`` snapshots
+against ``tools/bench_baseline.json`` tolerance bands.
+
+The baseline is a schema'd list of checks over dotted paths into the
+benchmark JSON documents::
+
+    {
+     "format": "repro.bench-gate/v1",
+     "targets": [
+      {"file": "BENCH_hotpath.json",
+       "checks": [
+        {"path": "metrics.s16.flat.stamp_bytes_per_msg", "expect": 2048.0},
+        {"path": "metrics_overhead.overhead_ratio", "max": 1.10},
+        {"path": "speedup.pingpong_matrix_s150", "min": 2.0}
+       ]}
+     ]
+    }
+
+Check kinds (exactly one per check, plus the mandatory ``path``):
+
+- ``expect`` — value must equal the expectation; optional ``rtol`` /
+  ``atol`` widen the comparison for numbers (both default to 0, i.e.
+  exact: right for simulated-time observables, which are deterministic).
+- ``min`` / ``max`` — numeric bound (inclusive). Use for wall-clock
+  ratios, which are noisy: bound, don't pin.
+- a missing path fails the gate (the schema is part of the contract)
+  unless the check carries ``"optional": true``.
+
+Exit status 0 when every check passes, 1 otherwise — wire it into CI
+after the benchmarks export fresh snapshots, or run it bare against the
+committed ones:
+
+    python tools/bench_gate.py
+    python tools/bench_gate.py --baseline tools/bench_baseline.json --root .
+
+Stdlib-only on purpose: the gate must run before/without PYTHONPATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, List, Tuple
+
+FORMAT = "repro.bench-gate/v1"
+
+_MISSING = object()
+
+
+def resolve(doc: Any, path: str) -> Any:
+    """Walk a dotted path through dicts (and list indices)."""
+    node = doc
+    for part in path.split("."):
+        if isinstance(node, dict):
+            if part not in node:
+                return _MISSING
+            node = node[part]
+        elif isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError):
+                return _MISSING
+        else:
+            return _MISSING
+    return node
+
+
+def check_one(doc: Any, check: dict) -> Tuple[bool, str]:
+    """Run one check; returns (ok, human-readable verdict)."""
+    path = check["path"]
+    value = resolve(doc, path)
+    if value is _MISSING:
+        if check.get("optional"):
+            return True, f"SKIP  {path} (absent, optional)"
+        return False, f"FAIL  {path}: missing from snapshot"
+    if "expect" in check:
+        expect = check["expect"]
+        rtol = float(check.get("rtol", 0.0))
+        atol = float(check.get("atol", 0.0))
+        if isinstance(expect, (int, float)) and not isinstance(expect, bool):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return False, (
+                    f"FAIL  {path}: expected number {expect}, got {value!r}"
+                )
+            band = max(atol, rtol * abs(float(expect)))
+            if abs(float(value) - float(expect)) <= band:
+                return True, f"ok    {path} = {value} (expect {expect}±{band:g})"
+            return False, (
+                f"FAIL  {path} = {value}, expected {expect} "
+                f"± {band:g} (rtol={rtol}, atol={atol})"
+            )
+        if isinstance(expect, bool) and not isinstance(value, bool):
+            return False, f"FAIL  {path} = {value!r}, expected {expect!r}"
+        if value == expect:
+            return True, f"ok    {path} = {value!r}"
+        return False, f"FAIL  {path} = {value!r}, expected {expect!r}"
+    if "min" in check or "max" in check:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False, f"FAIL  {path}: bound check on non-number {value!r}"
+        lo = check.get("min")
+        hi = check.get("max")
+        if lo is not None and float(value) < float(lo):
+            return False, f"FAIL  {path} = {value} < min {lo}"
+        if hi is not None and float(value) > float(hi):
+            return False, f"FAIL  {path} = {value} > max {hi}"
+        bounds = []
+        if lo is not None:
+            bounds.append(f">= {lo}")
+        if hi is not None:
+            bounds.append(f"<= {hi}")
+        return True, f"ok    {path} = {value} ({', '.join(bounds)})"
+    return False, f"FAIL  {path}: check has no expect/min/max"
+
+
+def validate_baseline(baseline: dict) -> List[str]:
+    """Schema errors in the baseline itself (a broken gate must not pass)."""
+    errors = []
+    if baseline.get("format") != FORMAT:
+        errors.append(
+            f"baseline format {baseline.get('format')!r} != {FORMAT!r}"
+        )
+    targets = baseline.get("targets")
+    if not isinstance(targets, list) or not targets:
+        errors.append("baseline has no targets")
+        return errors
+    for ti, target in enumerate(targets):
+        if not isinstance(target.get("file"), str):
+            errors.append(f"targets[{ti}]: missing 'file'")
+        checks = target.get("checks")
+        if not isinstance(checks, list) or not checks:
+            errors.append(f"targets[{ti}]: missing 'checks'")
+            continue
+        for ci, check in enumerate(checks):
+            where = f"targets[{ti}].checks[{ci}]"
+            if not isinstance(check, dict) or "path" not in check:
+                errors.append(f"{where}: missing 'path'")
+                continue
+            kinds = [k for k in ("expect", "min", "max") if k in check]
+            if "expect" in kinds and len(kinds) > 1:
+                errors.append(f"{where}: 'expect' excludes min/max")
+            if not kinds:
+                errors.append(f"{where}: needs expect, min or max")
+    return errors
+
+
+def run_gate(baseline_path: str, root: str, verbose: bool = False) -> int:
+    with open(baseline_path) as stream:
+        baseline = json.load(stream)
+    schema_errors = validate_baseline(baseline)
+    if schema_errors:
+        for error in schema_errors:
+            print(f"FAIL  baseline schema: {error}")
+        return 1
+    failures = 0
+    total = 0
+    for target in baseline["targets"]:
+        path = os.path.join(root, target["file"])
+        if not os.path.exists(path):
+            print(f"FAIL  {target['file']}: snapshot not found at {path}")
+            failures += 1
+            continue
+        with open(path) as stream:
+            doc = json.load(stream)
+        for check in target["checks"]:
+            ok, verdict = check_one(doc, check)
+            total += 1
+            if not ok:
+                failures += 1
+                print(f"{target['file']}: {verdict}")
+            elif verbose:
+                print(f"{target['file']}: {verdict}")
+    if failures:
+        print(f"bench gate: {failures}/{total} checks FAILED")
+        return 1
+    print(f"bench gate: all {total} checks passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json against baseline tolerance bands"
+    )
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(default_root, "tools", "bench_baseline.json"),
+    )
+    parser.add_argument(
+        "--root",
+        default=default_root,
+        help="directory containing the BENCH_*.json snapshots",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    return run_gate(args.baseline, args.root, verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
