@@ -1,6 +1,8 @@
 """CLI entry point: ``python -m repro.analysis lint src/``.
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+Exit codes: 0 = clean, 1 = findings, 2 = usage error. The ``--json``
+payload and the exit code are computed from the same post-suppression,
+post-baseline finding list, so they can never disagree.
 """
 
 from __future__ import annotations
@@ -10,19 +12,56 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.analysis.lint import lint_paths
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.lint import (
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    select = args.select.split(",") if args.select else None
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [code for code in args.select.split(",") if code]
+    if args.rule:
+        select = (select or []) + list(args.rule)
+    if select is not None:
+        unknown = [code for code in select if code.upper() not in RULES_BY_ID]
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
     try:
-        findings = lint_paths(args.paths, select=select)
+        findings = lint_paths(args.paths, select=select, cache=args.cache)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote {len(findings)} fingerprint(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: bad baseline file: {exc}", file=sys.stderr)
+            return 2
+        kept = apply_baseline(findings, baseline)
+        suppressed = len(findings) - len(kept)
+        findings = kept
     if args.json:
-        print(json.dumps([d.to_dict() for d in findings], indent=2))
+        payload = {
+            "findings": [d.to_dict() for d in findings],
+            "count": len(findings),
+            "baseline_suppressed": suppressed,
+            "clean": not findings,
+        }
+        print(json.dumps(payload, indent=2))
     else:
         for diagnostic in findings:
             print(diagnostic.format())
@@ -53,6 +92,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--select",
         default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RXXX",
+        help="run one rule (repeatable; combines with --select)",
+    )
+    lint_parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="content-hash result cache (ignored when rules are selected)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
     )
     lint_parser.set_defaults(func=_cmd_lint)
 

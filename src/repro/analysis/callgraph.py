@@ -1,0 +1,587 @@
+"""The whole-program model: modules, classes, functions, call graph.
+
+A :class:`Project` is built from the parsed trees of every file handed
+to the linter. It indexes every class and function by qualified name
+(``repro.mom.channel.Channel._commit``), performs *light* type
+inference — parameter/attribute annotations, ``x = ClassName(...)``
+constructor assignments, annotated returns, ``Optional``/``Dict``
+unwrapping — and resolves call expressions to candidate callees:
+
+- ``self.m()`` → methods of the enclosing class (and same-name project
+  classes it inherits from);
+- ``obj.m()`` with an inferable receiver type → that class's method;
+- ``f()`` → the module-local or project-wide function of that name;
+- ``obj.m()`` with an *unknown* receiver → every project function named
+  ``m``, unless ``m`` is a builtin-collection method name (``append``,
+  ``add``, ``pop``, …), which overwhelmingly targets ``list``/``set``/
+  ``dict`` and would drown the graph in false edges.
+
+The call graph feeds Tarjan's SCC condensation so interprocedural
+effect summaries (:mod:`repro.analysis.effects`) can be computed
+bottom-up to a fixpoint. Everything is deterministic: indices are built
+in sorted module order and candidate lists are sorted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+
+# Method names that near-certainly target builtin containers when the
+# receiver type is unknown; resolving them project-wide by bare name
+# would wire, say, every `seen.add(x)` to _HoldbackStore.add.
+_BUILTIN_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "get",
+        "keys",
+        "values",
+        "items",
+        "copy",
+        "count",
+        "index",
+        "sort",
+        "reverse",
+        "join",
+        "split",
+        "strip",
+        "startswith",
+        "endswith",
+        "format",
+        "encode",
+        "decode",
+        "write",
+        "read",
+        "close",
+        "flush",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# Inferred types
+# ----------------------------------------------------------------------
+
+#: A type is ``("cls", "Name")``, ``("dict", value_type)``, or ``None``.
+InferredType = Optional[Tuple[str, object]]
+
+
+def _annotation_type(ann: Optional[ast.expr]) -> InferredType:
+    """Best-effort class name from an annotation expression."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.Name):
+        return ("cls", ann.id)
+    if isinstance(ann, ast.Attribute):
+        return ("cls", ann.attr)
+    if isinstance(ann, ast.Subscript):
+        base = ann.value
+        base_name = (
+            base.id
+            if isinstance(base, ast.Name)
+            else base.attr
+            if isinstance(base, ast.Attribute)
+            else None
+        )
+        inner = ann.slice
+        if base_name == "Optional":
+            return _annotation_type(inner)
+        if base_name in ("Dict", "dict", "Mapping", "MutableMapping"):
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                return ("dict", _annotation_type(inner.elts[1]))
+        if base_name in ("List", "list", "Sequence", "Deque", "Set", "FrozenSet"):
+            return None  # element access loses too much precision anyway
+    return None
+
+
+# ----------------------------------------------------------------------
+# Index records
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str
+    name: str
+    module: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional["ClassInfo"] = None
+    _cfg: Optional[CFG] = None
+
+    @property
+    def params(self) -> List[ast.arg]:
+        args = self.node.args  # type: ignore[attr-defined]
+        return list(args.posonlyargs) + list(args.args)
+
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node)
+        return self._cfg
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.qualname})"
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    name: str
+    module: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: Dict[str, InferredType] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"ClassInfo({self.qualname})"
+
+
+@dataclass
+class ModuleInfo:
+    module: str
+    path: str
+    tree: ast.Module
+    source: str
+
+
+# ----------------------------------------------------------------------
+# The project
+# ----------------------------------------------------------------------
+
+
+class Project:
+    """Index + call graph over a set of parsed modules."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.classes_by_qualname: Dict[str, ClassInfo] = {}
+        self.functions_by_name: Dict[str, List[FunctionInfo]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        for info in sorted(modules, key=lambda m: m.module or m.path):
+            # duplicate module names (rare: fixture trees) — last one wins
+            self.modules[info.module] = info
+        for info in self.modules.values():
+            self._index_module(info)
+        for cls in self.classes_by_qualname.values():
+            self._infer_class_attrs(cls)
+        self._edges: Optional[Dict[str, List[str]]] = None
+
+    # -- indexing -------------------------------------------------------
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._index_class(info, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(info, node, cls=None)
+                # nested defs (closures like install_collector's collect)
+                for inner in ast.walk(node):
+                    if inner is not node and isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._index_function(
+                            info, inner, cls=None, parent=node.name
+                        )
+
+    def _index_class(self, info: ModuleInfo, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            qualname=f"{info.module}.{node.name}",
+            name=node.name,
+            module=info.module,
+            node=node,
+            bases=[b for b in map(_base_name, node.bases) if b],
+        )
+        self.classes_by_qualname[cls.qualname] = cls
+        self.classes_by_name.setdefault(cls.name, []).append(cls)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(info, item, cls=cls)
+                cls.methods[item.name] = fn
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                cls.attr_types[item.target.id] = _annotation_type(
+                    item.annotation
+                )
+
+    def _index_function(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        cls: Optional[ClassInfo],
+        parent: Optional[str] = None,
+    ) -> FunctionInfo:
+        name = node.name  # type: ignore[attr-defined]
+        if cls is not None:
+            qualname = f"{cls.qualname}.{name}"
+        elif parent is not None:
+            qualname = f"{info.module}.{parent}.<locals>.{name}"
+        else:
+            qualname = f"{info.module}.{name}"
+        fn = FunctionInfo(
+            qualname=qualname, name=name, module=info.module, node=node, cls=cls
+        )
+        self.functions[qualname] = fn
+        self.functions_by_name.setdefault(name, []).append(fn)
+        return fn
+
+    def _infer_class_attrs(self, cls: ClassInfo) -> None:
+        """Attribute types from ``self.x: T``/``self.x = Expr()`` in
+        methods (``__init__`` first, then the rest; first type wins)."""
+        method_order = sorted(
+            cls.methods.values(), key=lambda f: (f.name != "__init__", f.name)
+        )
+        for fn in method_order:
+            env = self.param_env(fn)
+            for stmt in ast.walk(fn.node):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                ann: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value, ann = stmt.target, stmt.value, stmt.annotation
+                if (
+                    not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                    or target.attr in cls.attr_types
+                ):
+                    continue
+                inferred = _annotation_type(ann)
+                if inferred is None and value is not None:
+                    inferred = self.infer_expr(value, env, fn)
+                if inferred is not None:
+                    cls.attr_types[target.attr] = inferred
+
+    # -- type inference -------------------------------------------------
+
+    def param_env(self, fn: FunctionInfo) -> Dict[str, InferredType]:
+        env: Dict[str, InferredType] = {}
+        for arg in fn.params:
+            inferred = _annotation_type(arg.annotation)
+            if inferred is not None:
+                env[arg.arg] = inferred
+        if fn.cls is not None and fn.params:
+            env[fn.params[0].arg] = ("cls", fn.cls.name)
+        return env
+
+    def local_env(self, fn: FunctionInfo) -> Dict[str, InferredType]:
+        """Parameter types plus single-consistent-type local bindings."""
+        env = self.param_env(fn)
+        seen: Dict[str, InferredType] = {}
+        conflicted: Set[str] = set()
+        for stmt in ast.walk(fn.node):
+            target = None
+            value = None
+            ann = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, ann = stmt.target, stmt.value, stmt.annotation
+            if not isinstance(target, ast.Name) or target.id in env:
+                continue
+            inferred = _annotation_type(ann)
+            if inferred is None and value is not None:
+                inferred = self.infer_expr(value, env, fn)
+            name = target.id
+            if name in seen and seen[name] != inferred:
+                conflicted.add(name)
+            seen[name] = inferred
+        for name, inferred in sorted(seen.items()):
+            if inferred is not None and name not in conflicted:
+                env[name] = inferred
+        return env
+
+    def class_named(self, name: str) -> Optional[ClassInfo]:
+        candidates = self.classes_by_name.get(name)
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def lookup_method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        seen: Set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.methods:
+                return current.methods[name]
+            for base in current.bases:
+                parent = self.class_named(base)
+                if parent is not None:
+                    stack.append(parent)
+        return None
+
+    def lookup_attr_type(self, cls: ClassInfo, name: str) -> InferredType:
+        seen: Set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.attr_types:
+                return current.attr_types[name]
+            for base in current.bases:
+                parent = self.class_named(base)
+                if parent is not None:
+                    stack.append(parent)
+        return None
+
+    def infer_expr(
+        self,
+        expr: ast.expr,
+        env: Dict[str, InferredType],
+        fn: Optional[FunctionInfo] = None,
+    ) -> InferredType:
+        """Best-effort type of an expression under a name environment."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.infer_expr(expr.value, env, fn)
+            if base is not None and base[0] == "cls":
+                cls = self.class_named(str(base[1]))
+                if cls is not None:
+                    attr = self.lookup_attr_type(cls, expr.attr)
+                    if attr is not None:
+                        return attr
+                    prop = self.lookup_method(cls, expr.attr)
+                    if prop is not None and _is_property(prop.node):
+                        return _annotation_type(
+                            getattr(prop.node, "returns", None)
+                        )
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.infer_expr(expr.value, env, fn)
+            if base is not None and base[0] == "dict":
+                value_type = base[1]
+                if isinstance(value_type, tuple):
+                    return value_type  # type: ignore[return-value]
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                if self.class_named(func.id) is not None:
+                    return ("cls", func.id)
+                target = self._function_named(func.id, env)
+                if target is not None:
+                    return _annotation_type(getattr(target.node, "returns", None))
+            elif isinstance(func, ast.Attribute):
+                base = self.infer_expr(func.value, env, fn)
+                if base is not None and base[0] == "cls":
+                    cls = self.class_named(str(base[1]))
+                    if cls is not None:
+                        method = self.lookup_method(cls, func.attr)
+                        if method is not None:
+                            return _annotation_type(
+                                getattr(method.node, "returns", None)
+                            )
+            return None
+        if isinstance(expr, ast.IfExp):
+            body = self.infer_expr(expr.body, env, fn)
+            orelse = self.infer_expr(expr.orelse, env, fn)
+            return body if body is not None else orelse
+        return None
+
+    def _function_named(
+        self, name: str, env: Dict[str, InferredType]
+    ) -> Optional[FunctionInfo]:
+        candidates = self.functions_by_name.get(name)
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- call resolution ------------------------------------------------
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        env: Optional[Dict[str, InferredType]] = None,
+    ) -> List[FunctionInfo]:
+        """Candidate callees of a call expression inside ``fn``."""
+        if env is None:
+            env = self.local_env(fn)
+        func = call.func
+        if isinstance(func, ast.Name):
+            cls = self.class_named(func.id)
+            if cls is not None:
+                ctor = self.lookup_method(cls, "__init__")
+                return [ctor] if ctor is not None else []
+            local = self.functions.get(f"{fn.module}.{func.id}")
+            if local is not None:
+                return [local]
+            nested = self.functions.get(
+                f"{fn.module}.{_outer_name(fn)}.<locals>.{func.id}"
+            )
+            if nested is not None:
+                return [nested]
+            return sorted(
+                self.functions_by_name.get(func.id, []),
+                key=lambda f: f.qualname,
+            )
+        if isinstance(func, ast.Attribute):
+            receiver = self.infer_expr(func.value, env, fn)
+            if receiver is not None and receiver[0] == "cls":
+                cls = self.class_named(str(receiver[1]))
+                if cls is not None:
+                    method = self.lookup_method(cls, func.attr)
+                    return [method] if method is not None else []
+            # unknown receiver: bare-name fallback, builtins filtered
+            if func.attr in _BUILTIN_METHODS:
+                return []
+            return sorted(
+                self.functions_by_name.get(func.attr, []),
+                key=lambda f: f.qualname,
+            )
+        return []
+
+    # -- the graph ------------------------------------------------------
+
+    def call_edges(self) -> Dict[str, List[str]]:
+        """``caller qualname -> sorted callee qualnames`` (cached)."""
+        if self._edges is not None:
+            return self._edges
+        edges: Dict[str, List[str]] = {}
+        for qualname in sorted(self.functions):
+            fn = self.functions[qualname]
+            env = self.local_env(fn)
+            targets: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    for callee in self.resolve_call(node, fn, env):
+                        targets.add(callee.qualname)
+            edges[qualname] = sorted(targets)
+        self._edges = edges
+        return edges
+
+    def sccs(self) -> List[List[str]]:
+        """Strongly-connected components in reverse topological order
+        (callees before callers) — Tarjan, iterative."""
+        edges = self.call_edges()
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[List[str]] = []
+        counter = [0]
+
+        for root in sorted(edges):
+            if root in index_of:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, edge_index = work[-1]
+                if edge_index == 0:
+                    index_of[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                targets = edges.get(node, [])
+                while edge_index < len(targets):
+                    succ = targets[edge_index]
+                    edge_index += 1
+                    if succ not in edges:
+                        continue
+                    if succ not in index_of:
+                        work[-1] = (node, edge_index)
+                        work.append((succ, 0))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(sorted(component))
+        return result
+
+    def reachable_from(self, roots: Sequence[str]) -> Dict[str, str]:
+        """BFS closure over the call graph; returns ``{function:
+        parent}`` for every reached function (roots map to ``""``)."""
+        edges = self.call_edges()
+        parent: Dict[str, str] = {}
+        queue: List[str] = []
+        for root in sorted(set(roots)):
+            if root in edges and root not in parent:
+                parent[root] = ""
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for succ in edges.get(current, []):
+                if succ not in parent and succ in edges:
+                    parent[succ] = current
+                    queue.append(succ)
+        return parent
+
+    def path_to(self, parent: Dict[str, str], qualname: str) -> List[str]:
+        chain = [qualname]
+        while parent.get(chain[-1]):
+            chain.append(parent[chain[-1]])
+        return list(reversed(chain))
+
+
+def _base_name(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _outer_name(fn: FunctionInfo) -> str:
+    # nested functions carry "<parent>.<locals>.<name>" qualnames
+    parts = fn.qualname.rsplit(".", 3)
+    if len(parts) >= 3 and parts[-2] == "<locals>":
+        return parts[-3]
+    return fn.name
+
+
+def _is_property(node: ast.AST) -> bool:
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Name) and decorator.id == "property":
+            return True
+    return False
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function/method definition in a module, source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,459 @@
+"""Intraprocedural control-flow graphs over the ``ast`` module.
+
+One :class:`CFG` per function body. Nodes are individual statements plus
+three synthetic nodes (entry, normal exit, raise exit); edges carry a
+label — ``normal``, ``true``/``false`` for branch outcomes, ``exc`` for
+exception edges. The builder understands branches, loops (with explicit
+back-edges), ``try``/``except``/``else``/``finally``, ``with`` blocks,
+``break``/``continue``/``return``/``raise``.
+
+Precision notes (deliberate over-approximations, all safe for the rules
+built on top):
+
+- every statement that contains a call, subscript or attribute access is
+  treated as may-raise; ``pass``/``continue``-style statements are not;
+- a ``finally`` body is built once and its continuation is the union of
+  every way control could have entered it (normal fall-through, caught
+  or uncaught exception, ``return``/``break``/``continue``), so a path
+  through ``finally`` may over-approximate where it resumes;
+- an exception raised in a ``try`` body gets edges to *every* handler of
+  every enclosing ``try`` (a handler's type may not match) and to the
+  raise exit.
+
+The graph is deterministic: node indices follow source order, successor
+lists follow insertion order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Edge labels.
+NORMAL = "normal"
+TRUE = "true"
+FALSE = "false"
+EXC = "exc"
+
+#: Synthetic node indices (fixed for every CFG).
+ENTRY = 0
+EXIT = 1
+RAISE = 2
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement, or a synthetic entry/exit marker."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    kind: str  # "entry" | "exit" | "raise" | "stmt" | "test" | "loop" | "finally"
+
+    def __repr__(self) -> str:
+        what = type(self.stmt).__name__ if self.stmt is not None else "-"
+        return f"CFGNode({self.index}, {self.kind}, {what})"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: List[CFGNode] = []
+        self.succs: Dict[int, List[Tuple[int, str]]] = {}
+        self.preds: Dict[int, List[Tuple[int, str]]] = {}
+        self.back_edges: Set[Tuple[int, int]] = set()
+        self._by_stmt: Dict[int, int] = {}
+        for kind in ("entry", "exit", "raise"):
+            self._add_node(None, kind)
+
+    # -- construction ---------------------------------------------------
+
+    def _add_node(self, stmt: Optional[ast.stmt], kind: str) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index, stmt, kind))
+        self.succs[index] = []
+        self.preds[index] = []
+        if stmt is not None and id(stmt) not in self._by_stmt:
+            self._by_stmt[id(stmt)] = index
+        return index
+
+    def _add_edge(self, src: int, dst: int, label: str) -> None:
+        if (dst, label) not in self.succs[src]:
+            self.succs[src].append((dst, label))
+            self.preds[dst].append((src, label))
+
+    # -- queries --------------------------------------------------------
+
+    def node_of(self, stmt: ast.stmt) -> Optional[int]:
+        """The node index of a statement object, if it is in this CFG."""
+        return self._by_stmt.get(id(stmt))
+
+    def statements(self) -> Iterator[Tuple[int, ast.stmt]]:
+        for node in self.nodes:
+            if node.stmt is not None and node.kind != "finally":
+                yield node.index, node.stmt
+
+    def successors(self, index: int) -> List[Tuple[int, str]]:
+        return self.succs[index]
+
+    def predecessors(self, index: int) -> List[Tuple[int, str]]:
+        return self.preds[index]
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """``dom[n]`` = nodes on *every* path from entry to ``n``
+        (iterative dataflow; deterministic)."""
+        all_nodes = set(range(len(self.nodes)))
+        dom: Dict[int, Set[int]] = {n: set(all_nodes) for n in all_nodes}
+        dom[ENTRY] = {ENTRY}
+        changed = True
+        while changed:
+            changed = False
+            for n in range(len(self.nodes)):
+                if n == ENTRY:
+                    continue
+                preds = [p for p, _ in self.preds[n]]
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set()
+                new.add(n)
+                if new != dom[n]:
+                    dom[n] = new
+                    changed = True
+        return dom
+
+    def reaches_exit_without(
+        self,
+        start: int,
+        blockers: Set[int],
+        require_exc_edge: bool = False,
+    ) -> bool:
+        """Is the normal exit reachable from ``start``'s successors on a
+        path that avoids every node in ``blockers``?
+
+        With ``require_exc_edge`` the path must additionally traverse at
+        least one exception edge (used by the hold-back-leak rule: an
+        entry that survives only because a handler swallowed the error).
+        Paths ending at the raise exit never count — an uncaught
+        exception crashes the run loudly, which is not a silent leak.
+        """
+        seen: Set[Tuple[int, bool]] = set()
+        stack: List[Tuple[int, bool]] = [(start, False)]
+        while stack:
+            node, crossed = stack.pop()
+            for succ, label in self.succs[node]:
+                state = (succ, crossed or label == EXC)
+                if state in seen:
+                    continue
+                seen.add(state)
+                if succ in blockers or succ == RAISE:
+                    continue
+                if succ == EXIT:
+                    if state[1] or not require_exc_edge:
+                        return True
+                    continue
+                stack.append(state)
+        return False
+
+    def __repr__(self) -> str:
+        return f"CFG(nodes={len(self.nodes)}, edges={sum(len(v) for v in self.succs.values())})"
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+
+#: Dangling edge: (source node, label) waiting for its target.
+_Dangling = Tuple[int, str]
+
+
+@dataclass
+class _TryFrame:
+    """One enclosing ``try`` while its body/handlers are being built."""
+
+    handler_entries: List[int] = field(default_factory=list)
+    finally_entry: Optional[int] = None
+    #: which kinds of control flow were routed into the finally body
+    flows: Set[str] = field(default_factory=set)
+    #: loop targets for break/continue that passed through the finally
+    break_targets: List["_LoopFrame"] = field(default_factory=list)
+    continue_targets: List["_LoopFrame"] = field(default_factory=list)
+
+
+@dataclass
+class _LoopFrame:
+    header: int
+    breaks: List[_Dangling] = field(default_factory=list)
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservative: anything that evaluates a call, attribute,
+    subscript, binary operation or raise can raise."""
+    if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)):
+        return False
+    if isinstance(stmt, ast.Raise):
+        return True
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node,
+            (ast.Call, ast.Attribute, ast.Subscript, ast.BinOp, ast.Raise, ast.Assert),
+        ):
+            return True
+        # don't descend into nested function/class bodies
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ) and node is not stmt:
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class _Builder:
+    def __init__(self, func: ast.AST, body: Sequence[ast.stmt]) -> None:
+        self.cfg = CFG(func)
+        self.loops: List[_LoopFrame] = []
+        self.frames: List[_TryFrame] = []
+        dangling = self._stmts(body, [(ENTRY, NORMAL)])
+        self._connect(dangling, EXIT)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _connect(self, dangling: List[_Dangling], target: int) -> None:
+        for src, label in dangling:
+            self.cfg._add_edge(src, target, label)
+
+    def _exception_targets(self) -> List[int]:
+        """Every node an exception from here could transfer to."""
+        targets: List[int] = []
+        for frame in reversed(self.frames):
+            targets.extend(frame.handler_entries)
+            if frame.finally_entry is not None:
+                targets.append(frame.finally_entry)
+                frame.flows.add("exc")
+        targets.append(RAISE)
+        return targets
+
+    def _add_raise_edges(self, node: int) -> None:
+        for target in self._exception_targets():
+            self.cfg._add_edge(node, target, EXC)
+
+    def _innermost_finally(self) -> Optional[_TryFrame]:
+        for frame in reversed(self.frames):
+            if frame.finally_entry is not None:
+                return frame
+        return None
+
+    # -- statement dispatch ---------------------------------------------
+
+    def _stmts(
+        self, body: Sequence[ast.stmt], dangling: List[_Dangling]
+    ) -> List[_Dangling]:
+        for stmt in body:
+            dangling = self._stmt(stmt, dangling)
+        return dangling
+
+    def _stmt(self, stmt: ast.stmt, dangling: List[_Dangling]) -> List[_Dangling]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, dangling)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, dangling)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, dangling)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, dangling)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, dangling)
+        if isinstance(stmt, (ast.Return,)):
+            return self._return(stmt, dangling)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, dangling)
+        if isinstance(stmt, ast.Break):
+            return self._break(stmt, dangling)
+        if isinstance(stmt, ast.Continue):
+            return self._continue(stmt, dangling)
+        # simple statement (incl. nested def/class treated opaquely)
+        node = self.cfg._add_node(stmt, "stmt")
+        self._connect(dangling, node)
+        if _may_raise(stmt):
+            self._add_raise_edges(node)
+        return [(node, NORMAL)]
+
+    # -- control constructs ---------------------------------------------
+
+    def _if(self, stmt: ast.If, dangling: List[_Dangling]) -> List[_Dangling]:
+        test = self.cfg._add_node(stmt, "test")
+        self._connect(dangling, test)
+        if _may_raise(stmt):  # the test expression itself
+            self._add_raise_edges(test)
+        out = self._stmts(stmt.body, [(test, TRUE)])
+        if stmt.orelse:
+            out += self._stmts(stmt.orelse, [(test, FALSE)])
+        else:
+            out.append((test, FALSE))
+        return out
+
+    @staticmethod
+    def _test_is_literally_true(expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Constant) and bool(expr.value) is True
+
+    def _while(self, stmt: ast.While, dangling: List[_Dangling]) -> List[_Dangling]:
+        header = self.cfg._add_node(stmt, "loop")
+        self._connect(dangling, header)
+        if _may_raise(stmt):
+            self._add_raise_edges(header)
+        frame = _LoopFrame(header)
+        self.loops.append(frame)
+        body_out = self._stmts(stmt.body, [(header, TRUE)])
+        self.loops.pop()
+        for src, label in body_out:
+            self.cfg._add_edge(src, header, label)
+            self.cfg.back_edges.add((src, header))
+        out: List[_Dangling] = list(frame.breaks)
+        if not self._test_is_literally_true(stmt.test):
+            if stmt.orelse:
+                out += self._stmts(stmt.orelse, [(header, FALSE)])
+            else:
+                out.append((header, FALSE))
+        return out
+
+    def _for(self, stmt: ast.stmt, dangling: List[_Dangling]) -> List[_Dangling]:
+        header = self.cfg._add_node(stmt, "loop")
+        self._connect(dangling, header)
+        self._add_raise_edges(header)  # the iterator can always raise
+        frame = _LoopFrame(header)
+        self.loops.append(frame)
+        body_out = self._stmts(stmt.body, [(header, TRUE)])
+        self.loops.pop()
+        for src, label in body_out:
+            self.cfg._add_edge(src, header, label)
+            self.cfg.back_edges.add((src, header))
+        out: List[_Dangling] = list(frame.breaks)
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            out += self._stmts(orelse, [(header, FALSE)])
+        else:
+            out.append((header, FALSE))
+        return out
+
+    def _with(self, stmt: ast.stmt, dangling: List[_Dangling]) -> List[_Dangling]:
+        node = self.cfg._add_node(stmt, "stmt")
+        self._connect(dangling, node)
+        self._add_raise_edges(node)  # __enter__ can raise
+        return self._stmts(stmt.body, [(node, NORMAL)])
+
+    def _try(self, stmt: ast.Try, dangling: List[_Dangling]) -> List[_Dangling]:
+        entry = self.cfg._add_node(stmt, "stmt")
+        self._connect(dangling, entry)
+
+        frame = _TryFrame()
+        for handler in stmt.handlers:
+            frame.handler_entries.append(self.cfg._add_node(handler, "stmt"))
+        if stmt.finalbody:
+            frame.finally_entry = self.cfg._add_node(stmt, "finally")
+
+        # body: handlers + finally are live exception targets
+        self.frames.append(frame)
+        body_out = self._stmts(stmt.body, [(entry, NORMAL)])
+        # else-block: runs when the body completed; this try's handlers no
+        # longer apply but its finally still does
+        frame.handler_entries, live_handlers = [], frame.handler_entries
+        if stmt.orelse:
+            body_out = self._stmts(stmt.orelse, body_out)
+        # handler bodies: same frame minus the handlers themselves
+        handler_out: List[_Dangling] = []
+        for handler, hentry in zip(stmt.handlers, live_handlers):
+            handler_out += self._stmts(handler.body, [(hentry, NORMAL)])
+        self.frames.pop()
+
+        out: List[_Dangling] = []
+        if frame.finally_entry is not None:
+            # everything converges on the finally body, built once
+            if body_out:
+                frame.flows.add("normal")
+            self._connect(body_out, frame.finally_entry)
+            self._connect(handler_out, frame.finally_entry)
+            if handler_out:
+                frame.flows.add("normal")
+            fin_out = self._stmts(stmt.finalbody, [(frame.finally_entry, NORMAL)])
+            # continuation union: wherever control could have been headed
+            if "normal" in frame.flows:
+                out += fin_out
+            if "exc" in frame.flows:
+                self._connect(fin_out, RAISE)
+            if "return" in frame.flows:
+                target = self._innermost_finally()
+                if target is not None and target is not frame:
+                    target.flows.add("return")
+                    self._connect(fin_out, target.finally_entry)  # type: ignore[arg-type]
+                else:
+                    self._connect(fin_out, EXIT)
+            for loop in frame.break_targets:
+                loop.breaks.extend(fin_out)
+            for loop in frame.continue_targets:
+                for src, label in fin_out:
+                    self.cfg._add_edge(src, loop.header, label)
+                    self.cfg.back_edges.add((src, loop.header))
+        else:
+            out = body_out + handler_out
+        return out
+
+    # -- jumps ----------------------------------------------------------
+
+    def _return(self, stmt: ast.Return, dangling: List[_Dangling]) -> List[_Dangling]:
+        node = self.cfg._add_node(stmt, "stmt")
+        self._connect(dangling, node)
+        if _may_raise(stmt):
+            self._add_raise_edges(node)
+        frame = self._innermost_finally()
+        if frame is not None:
+            frame.flows.add("return")
+            self.cfg._add_edge(node, frame.finally_entry, NORMAL)  # type: ignore[arg-type]
+        else:
+            self.cfg._add_edge(node, EXIT, NORMAL)
+        return []
+
+    def _raise(self, stmt: ast.Raise, dangling: List[_Dangling]) -> List[_Dangling]:
+        node = self.cfg._add_node(stmt, "stmt")
+        self._connect(dangling, node)
+        self._add_raise_edges(node)
+        return []
+
+    def _break(self, stmt: ast.Break, dangling: List[_Dangling]) -> List[_Dangling]:
+        node = self.cfg._add_node(stmt, "stmt")
+        self._connect(dangling, node)
+        frame = self._innermost_finally()
+        if frame is not None:
+            frame.flows.add("break")
+            if self.loops and self.loops[-1] not in frame.break_targets:
+                frame.break_targets.append(self.loops[-1])
+            self.cfg._add_edge(node, frame.finally_entry, NORMAL)  # type: ignore[arg-type]
+        elif self.loops:
+            self.loops[-1].breaks.append((node, NORMAL))
+        return []
+
+    def _continue(self, stmt: ast.Continue, dangling: List[_Dangling]) -> List[_Dangling]:
+        node = self.cfg._add_node(stmt, "stmt")
+        self._connect(dangling, node)
+        frame = self._innermost_finally()
+        if frame is not None:
+            frame.flows.add("continue")
+            if self.loops and self.loops[-1] not in frame.continue_targets:
+                frame.continue_targets.append(self.loops[-1])
+            self.cfg._add_edge(node, frame.finally_entry, NORMAL)  # type: ignore[arg-type]
+        elif self.loops:
+            header = self.loops[-1].header
+            self.cfg._add_edge(node, header, NORMAL)
+            self.cfg.back_edges.add((node, header))
+        return []
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a ``FunctionDef``/``AsyncFunctionDef`` body."""
+    body = getattr(func, "body", None)
+    if not isinstance(body, list):
+        raise TypeError(f"cannot build a CFG for {func!r}")
+    return _Builder(func, body).cfg

@@ -9,26 +9,58 @@ iterate a set into the event scheduler, compare virtual timestamps with
 invariant into a merge gate; ``python -m repro.analysis lint src/`` runs
 them all.
 
+Two rule tiers share one driver:
+
+- *file rules* (R001–R006, R009–R012) see a single parsed tree at a time
+  and run from :func:`lint_source`;
+- *project rules* (R007, R008) need the whole-program
+  :class:`~repro.analysis.callgraph.Project` — call graph, effect
+  summaries — and run once per :func:`lint_paths` invocation.
+
+Results are cached by file content hash (:class:`LintCache`): per-file
+findings are keyed on each file's SHA-256, the project-level findings on
+the combined hash of every file, and the whole cache is invalidated when
+any ``repro.analysis`` source changes. A warm run re-hashes but never
+re-parses.
+
 Suppressions use the conventional ``# noqa`` comment syntax::
 
     clock._buf[0] = 1  # noqa: R001      -- suppress one rule on this line
     clock._buf[0] = 1  # noqa            -- suppress every rule on this line
 
-Only the ``ast`` standard library is used — no third-party dependency.
+A *baseline file* (``--baseline``) holds fingerprints of known findings
+— ``(path, rule, message)`` triples — that are filtered from the report,
+for adopting a new rule without a flag-day fixup.
+
+Only the standard library is used — no third-party dependency.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 _NOQA_RE = re.compile(
     r"#\s*noqa(?P<codes>\s*:\s*[A-Z][A-Z0-9]*(?:\d+)?(?:\s*,\s*[A-Z][A-Z0-9]*\d*)*)?",
     re.IGNORECASE,
 )
+
+CACHE_FORMAT = "repro.analysis-cache/v1"
+BASELINE_FORMAT = "repro.analysis-baseline/v1"
 
 
 @dataclass(frozen=True)
@@ -53,11 +85,25 @@ class Diagnostic:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "Diagnostic":
+        return cls(
+            rule=str(raw["rule"]),
+            path=str(raw["path"]),
+            line=int(raw["line"]),  # type: ignore[arg-type]
+            col=int(raw["col"]),  # type: ignore[arg-type]
+            message=str(raw["message"]),
+        )
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-insensitive identity, used by baseline suppression."""
+        return (self.path, self.rule, self.message)
+
 
 class LintContext:
     """Everything a rule needs to know about the file under analysis."""
 
-    def __init__(self, path: str, module: Optional[str], source: str):
+    def __init__(self, path: str, module: Optional[str], source: str) -> None:
         self.path = path
         self.module = module
         self.source = source
@@ -126,10 +172,11 @@ def lint_source(
     module: Optional[str] = "",
     select: Optional[Iterable[str]] = None,
 ) -> List[Diagnostic]:
-    """Lint one source string. ``module=""`` (the default) derives the
-    module name from ``path``; pass an explicit dotted name to override
-    (the fixture tests do)."""
-    from repro.analysis.rules import ALL_RULES
+    """Lint one source string with the *file* rules. ``module=""`` (the
+    default) derives the module name from ``path``; pass an explicit
+    dotted name to override (the fixture tests do). Project rules
+    (R007/R008) need :func:`lint_paths`."""
+    from repro.analysis.rules import FILE_RULES
 
     if module == "":
         module = module_name(path)
@@ -149,7 +196,7 @@ def lint_source(
     wanted = None if select is None else {code.upper() for code in select}
     table = _suppressions(source)
     findings: List[Diagnostic] = []
-    for rule in ALL_RULES:
+    for rule in FILE_RULES:
         if wanted is not None and rule.rule_id not in wanted:
             continue
         for diagnostic in rule.check(tree, context):
@@ -179,11 +226,227 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return found
 
 
-def lint_paths(
-    paths: Sequence[Union[str, Path]], select: Optional[Iterable[str]] = None
+# ----------------------------------------------------------------------
+# Content-hash cache
+# ----------------------------------------------------------------------
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def analysis_signature() -> str:
+    """Hash of every ``repro.analysis`` source file: a rule or engine
+    change invalidates the whole cache."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source_file in sorted(package_dir.glob("*.py")):
+        digest.update(source_file.name.encode("utf-8"))
+        digest.update(source_file.read_bytes())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """JSON cache: per-file findings keyed by content hash, project
+    findings keyed by the combined hash of every file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.signature = analysis_signature()
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._project: Dict[str, object] = {}
+        self._dirty = False
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(raw, dict)
+            and raw.get("format") == CACHE_FORMAT
+            and raw.get("signature") == self.signature
+        ):
+            files = raw.get("files")
+            project = raw.get("project")
+            if isinstance(files, dict):
+                self._files = files
+            if isinstance(project, dict):
+                self._project = project
+
+    def file_findings(self, path: str, sha: str) -> Optional[List[Diagnostic]]:
+        entry = self._files.get(path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return None
+        return [Diagnostic.from_dict(d) for d in entry.get("findings", [])]  # type: ignore[union-attr]
+
+    def store_file(self, path: str, sha: str, findings: List[Diagnostic]) -> None:
+        self._files[path] = {
+            "sha": sha,
+            "findings": [d.to_dict() for d in findings],
+        }
+        self._dirty = True
+
+    def project_findings(self, key: str) -> Optional[List[Diagnostic]]:
+        if self._project.get("key") != key:
+            return None
+        return [
+            Diagnostic.from_dict(d) for d in self._project.get("findings", [])  # type: ignore[union-attr]
+        ]
+
+    def store_project(self, key: str, findings: List[Diagnostic]) -> None:
+        self._project = {
+            "key": key,
+            "findings": [d.to_dict() for d in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "format": CACHE_FORMAT,
+            "signature": self.signature,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout just runs cold
+
+
+# ----------------------------------------------------------------------
+# Baseline suppressions
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Union[str, Path]) -> FrozenSet[Tuple[str, str, str]]:
+    """Fingerprints ``(path, rule, message)`` of accepted findings."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("format") != BASELINE_FORMAT:
+        raise ValueError(f"{path}: not a {BASELINE_FORMAT} file")
+    entries = raw.get("findings", [])
+    fingerprints = set()
+    for entry in entries:
+        fingerprints.add(
+            (str(entry["path"]), str(entry["rule"]), str(entry["message"]))
+        )
+    return frozenset(fingerprints)
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Diagnostic]) -> None:
+    payload = {
+        "format": BASELINE_FORMAT,
+        "findings": [
+            {"path": d.path, "rule": d.rule, "message": d.message}
+            for d in sorted(findings, key=lambda d: d.fingerprint())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Diagnostic],
+    baseline: FrozenSet[Tuple[str, str, str]],
 ) -> List[Diagnostic]:
-    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    return [d for d in findings if d.fingerprint() not in baseline]
+
+
+# ----------------------------------------------------------------------
+# The whole-program driver
+# ----------------------------------------------------------------------
+
+
+def _lint_project(
+    parsed: Sequence[Tuple[str, Optional[str], str, ast.Module]],
+    select: Optional[Iterable[str]],
+) -> List[Diagnostic]:
+    """Run the project rules over every successfully parsed file."""
+    from repro.analysis.callgraph import ModuleInfo, Project
+    from repro.analysis.rules import PROJECT_RULES
+
+    wanted = None if select is None else {code.upper() for code in select}
+    rules = [
+        rule
+        for rule in PROJECT_RULES
+        if wanted is None or rule.rule_id in wanted
+    ]
+    if not rules or not parsed:
+        return []
+    modules: List[ModuleInfo] = []
+    contexts: Dict[str, LintContext] = {}
+    tables: Dict[str, Dict[int, Optional[FrozenSet[str]]]] = {}
+    for path, module, source, tree in parsed:
+        name = module if module is not None else path
+        modules.append(
+            ModuleInfo(module=name, path=path, tree=tree, source=source)
+        )
+        contexts[name] = LintContext(path=path, module=module, source=source)
+        tables[path] = _suppressions(source)
+    project = Project(modules)
     findings: List[Diagnostic] = []
+    for rule in rules:
+        for diagnostic in rule.check_project(project, contexts):
+            table = tables.get(diagnostic.path, {})
+            if not _suppressed(diagnostic, table):
+                findings.append(diagnostic)
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    cache: Optional[Union[str, Path]] = None,
+) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under ``paths``: file rules per file,
+    then the project rules over the whole set. With ``cache``, per-file
+    and project results are reused when content hashes match (``select``
+    bypasses the cache — partial runs must not poison full ones)."""
+    store = (
+        LintCache(Path(cache)) if cache is not None and select is None else None
+    )
+    sources: List[Tuple[str, Optional[str], str]] = []  # path, module, source
+    file_findings: List[Diagnostic] = []
+    fresh: Dict[str, bool] = {}
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, select=select))
+        text = path.read_text(encoding="utf-8")
+        key = str(path)
+        sources.append((key, module_name(path), text))
+        cached = (
+            store.file_findings(key, _sha(text)) if store is not None else None
+        )
+        if cached is not None:
+            file_findings.extend(cached)
+            fresh[key] = False
+        else:
+            found = lint_source(text, path=key, module="", select=select)
+            file_findings.extend(found)
+            fresh[key] = True
+            if store is not None:
+                store.store_file(key, _sha(text), found)
+
+    project_key = _sha(
+        "\n".join(f"{path}\0{_sha(text)}" for path, _, text in sources)
+    )
+    project_findings = (
+        store.project_findings(project_key) if store is not None else None
+    )
+    if project_findings is None:
+        parsed: List[Tuple[str, Optional[str], str, ast.Module]] = []
+        for path, module, text in sources:
+            try:
+                parsed.append((path, module, text, ast.parse(text, filename=path)))
+            except SyntaxError:
+                continue  # already reported as E999 by the file pass
+        project_findings = _lint_project(parsed, select)
+        if store is not None:
+            store.store_project(project_key, project_findings)
+    if store is not None:
+        store.save()
+
+    findings = file_findings + project_findings
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return findings

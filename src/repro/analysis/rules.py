@@ -1,4 +1,4 @@
-"""The rule catalogue, R001–R006 (see ``docs/analysis.md`` for rationale).
+"""The rule catalogue, R001–R012 (see ``docs/analysis.md`` for rationale).
 
 Each rule guards one invariant the PR-1 hot-path rewrite (and the paper's
 protocol itself) depends on:
@@ -23,13 +23,50 @@ protocol itself) depends on:
 - **R006** — layered imports only: a package may import packages at or
   below its own layer (``errors < simulation < clocks < causality <
   topology < baselines < mom < pubsub < obs < bench < analysis``).
+
+R007–R012 are the whole-program/flow-sensitive tier added with the
+CFG/call-graph/dataflow engine (:mod:`repro.analysis.cfg`,
+:mod:`repro.analysis.callgraph`, :mod:`repro.analysis.dataflow`,
+:mod:`repro.analysis.effects`):
+
+- **R007** — nondeterminism taint: a value drawn from an
+  ``RngFactory`` stream must never flow (through assignments and calls,
+  interprocedurally) into protocol-visible state outside the
+  ``simulation`` layer. Determinism of protocol state given message
+  order is what makes runs replayable.
+- **R008** — observation purity: no function reachable over the call
+  graph from a ``repro.obs``/``repro.metrics`` hook may mutate
+  ``mom``/``clocks`` protocol state — the static form of the
+  "bit-identical with tracer/accounting on" claim.
+- **R009** — guard discipline: every hook call through a
+  ``_tracer``/accounting handle must be dominated by an
+  ``is not None`` check (CFG must-facts, plus ``x and x.m()`` /
+  ternary lexical guards), so the no-observer fast path stays a
+  pointer test.
+- **R010** — transaction pairing: a ``._pending_commits.add(...)``
+  must reach a ``.discard()``/``.clear()`` or a processor hand-off
+  (``.submit()``/``.schedule()``) on **every** CFG path to the normal
+  exit, exception edges included.
+- **R011** — persistence API: the store internals ``_data`` /
+  ``writes`` / ``cells_written`` are written only inside
+  ``repro/mom/persistence.py``; everyone else goes through
+  ``save()``/``put_entry()``/``delete_entry()`` so recovery replays
+  see every write.
+- **R012** — hold-back leaks: a hold-back insertion whose only route
+  to the normal exit crosses an exception edge without a matching
+  ``remove()``/``clear()`` leaves a zombie entry that blocks the
+  domain's delivery queue forever.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.callgraph import Project
+from repro.analysis.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.dataflow import expr_chain, guard_facts_from_test, non_none_facts
+from repro.analysis.effects import EffectEngine
 from repro.analysis.lint import Diagnostic, LintContext
 
 # Attributes that are private to the clock implementations: the flat
@@ -573,6 +610,448 @@ class LayeredImports(Rule):
                 yield module, node
 
 
+# ----------------------------------------------------------------------
+# Whole-program tier (R007–R012)
+# ----------------------------------------------------------------------
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole :class:`Project` (call graph, effect
+    summaries). The per-file :meth:`check` yields nothing; the lint
+    driver calls :meth:`check_project` once per run."""
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(
+        self, project: Project, contexts: Dict[str, LintContext]
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+def effect_engine(project: Project) -> EffectEngine:
+    """One :class:`EffectEngine` per project, shared across rules."""
+    engine = getattr(project, "_effect_engine", None)
+    if engine is None:
+        engine = EffectEngine(project)
+        project._effect_engine = engine  # type: ignore[attr-defined]
+    return engine
+
+
+#: Attribute-chain tails that carry an optional observation handle.
+HOOK_HANDLES = frozenset({"_tracer", "tracer", "_sacct", "sacct", "acct", "_acct"})
+
+#: Modules that *are* the observation layer (hook targets for R008).
+_OBSERVATION_PREFIXES = ("repro.obs", "repro.metrics", "repro.mom.accounting")
+
+
+def _is_observation_module(module: Optional[str]) -> bool:
+    if not module:
+        return False
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _OBSERVATION_PREFIXES
+    )
+
+
+def _function_defs(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _owned_exprs(node: CFGNode) -> List[ast.AST]:
+    """The expressions *evaluated at* a CFG node — for compound
+    statements only the header (test / iterator / context managers),
+    never the nested body, which has CFG nodes of its own."""
+    stmt = node.stmt
+    if stmt is None or node.kind == "finally":
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(
+        stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [stmt]
+
+
+def _calls_with_lexical_facts(
+    root: ast.AST,
+) -> List[Tuple[ast.Call, FrozenSet[str]]]:
+    """Every call under ``root`` paired with the chains proven
+    non-``None`` *lexically* at that call: the short-circuit prefix of an
+    ``and``/``or`` chain, or the test of an enclosing ternary."""
+    found: List[Tuple[ast.Call, FrozenSet[str]]] = []
+
+    def visit(node: ast.AST, facts: FrozenSet[str]) -> None:
+        if isinstance(
+            node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # body runs later; facts do not transfer
+        if isinstance(node, ast.IfExp):
+            visit(node.test, facts)
+            visit(node.body, facts | guard_facts_from_test(node.test, True))
+            visit(node.orelse, facts | guard_facts_from_test(node.test, False))
+            return
+        if isinstance(node, ast.BoolOp):
+            acc = facts
+            for value in node.values:
+                visit(value, acc)
+                acc = acc | guard_facts_from_test(
+                    value, isinstance(node.op, ast.And)
+                )
+            return
+        if isinstance(node, ast.Call):
+            found.append((node, facts))
+        for child in ast.iter_child_nodes(node):
+            visit(child, facts)
+
+    visit(root, frozenset())
+    return found
+
+
+class NondeterminismTaint(ProjectRule):
+    """R007: RngFactory stream values stay inside the simulation layer."""
+
+    rule_id = "R007"
+    title = "rng stream value flows into protocol state"
+
+    def check_project(
+        self, project: Project, contexts: Dict[str, LintContext]
+    ) -> Iterator[Diagnostic]:
+        engine = effect_engine(project)
+        for hit in engine.rng_sink_hits():
+            ctx = contexts.get(hit.fn.module)
+            if ctx is None:
+                continue
+            via = f" through {hit.via}" if hit.via else ""
+            yield ctx.diagnostic(
+                self.rule_id,
+                hit.node,
+                f"value derived from an RngFactory stream reaches protocol "
+                f"state ({hit.target}){via}; randomness may only shape the "
+                "simulation/network layer — protocol state must be a "
+                "deterministic function of message order",
+            )
+
+
+class ObservationPurity(ProjectRule):
+    """R008: nothing reachable from an obs/metrics hook mutates
+    protocol state."""
+
+    rule_id = "R008"
+    title = "obs/metrics hook path mutates protocol state"
+
+    def check_project(
+        self, project: Project, contexts: Dict[str, LintContext]
+    ) -> Iterator[Diagnostic]:
+        engine = effect_engine(project)
+        engine.solve()
+        roots = self._hook_roots(project)
+        parent = project.reachable_from(sorted(roots))
+        for qualname in sorted(parent):
+            summary = engine.summaries.get(qualname)
+            if summary is None or not summary.mutates_protocol:
+                continue
+            fn = project.functions[qualname]
+            ctx = contexts.get(fn.module)
+            if ctx is None:
+                continue
+            chain = " -> ".join(
+                name.rsplit(".", 1)[-1]
+                for name in project.path_to(parent, qualname)
+            )
+            for site in summary.mutates_protocol:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    site.node,
+                    f"{site.description}; reachable from an obs/metrics hook "
+                    f"(call path: {chain}) — observation must not perturb "
+                    "protocol state, or runs stop being bit-identical with "
+                    "tracing/accounting enabled",
+                )
+
+    @staticmethod
+    def _hook_roots(project: Project) -> Set[str]:
+        """Observation-layer functions invoked from protocol code: the
+        resolved targets of handle call sites plus registered metric
+        collectors. Any protocol→observation call edge is a hook."""
+        roots: Set[str] = set()
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            if not fn.module.startswith("repro.") or _is_observation_module(
+                fn.module
+            ):
+                continue
+            env = project.local_env(fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == "add_collector":
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            probe = ast.Call(func=arg, args=[], keywords=[])
+                            for target in project.resolve_call(probe, fn, env):
+                                roots.add(target.qualname)
+                    continue
+                candidates = project.resolve_call(node, fn, env)
+                observation = [
+                    c for c in candidates if _is_observation_module(c.module)
+                ]
+                if observation:
+                    roots.update(c.qualname for c in observation)
+                    continue
+                if candidates or not isinstance(func, ast.Attribute):
+                    continue
+                chain = expr_chain(func.value)
+                if chain is not None and chain.split(".")[-1] in HOOK_HANDLES:
+                    # unresolved handle call: match by method name
+                    roots.update(
+                        f.qualname
+                        for f in project.functions_by_name.get(func.attr, [])
+                        if _is_observation_module(f.module)
+                    )
+        return roots
+
+
+_GUARD_SCOPE = frozenset(
+    {"simulation", "clocks", "causality", "topology", "baselines", "mom", "pubsub"}
+)
+
+
+class GuardDiscipline(Rule):
+    """R009: hook handle calls are dominated by ``is not None``."""
+
+    rule_id = "R009"
+    title = "hook call not dominated by an 'is not None' guard"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        package = _package_of(ctx.module)
+        if package is None or package not in _GUARD_SCOPE:
+            return
+        for func in _function_defs(tree):
+            graph = build_cfg(func)
+            facts = non_none_facts(graph)
+            for node in graph.nodes:
+                owned = _owned_exprs(node)
+                if not owned:
+                    continue
+                in_fact = facts.get(node.index)
+                if in_fact is None:
+                    continue  # unreachable
+                for expr in owned:
+                    for call, lexical in _calls_with_lexical_facts(expr):
+                        if not isinstance(call.func, ast.Attribute):
+                            continue
+                        chain = expr_chain(call.func.value)
+                        if chain is None:
+                            continue
+                        if chain.split(".")[-1] not in HOOK_HANDLES:
+                            continue
+                        if chain in in_fact or chain in lexical:
+                            continue
+                        yield ctx.diagnostic(
+                            self.rule_id,
+                            call,
+                            f"hook call through '{chain}' is not dominated "
+                            f"by a '{chain} is not None' guard; the "
+                            "no-observer configuration must skip hook "
+                            "dispatch entirely",
+                        )
+
+
+def _attr_call(expr: ast.AST) -> Optional[Tuple[str, str]]:
+    """``(receiver_chain, method)`` for ``a.b.m(...)`` calls."""
+    if not isinstance(expr, ast.Call) or not isinstance(expr.func, ast.Attribute):
+        return None
+    chain = expr_chain(expr.func.value)
+    if chain is None:
+        return None
+    return chain, expr.func.attr
+
+
+_TXN_CHAIN_TAIL = "_pending_commits"
+_TXN_CLOSERS = frozenset({"discard", "remove", "clear"})
+_HANDOFF_METHODS = frozenset({"submit", "schedule", "call_later", "defer"})
+_HOLDBACK_TAILS = ("_holdback", "holdback")
+_HOLDBACK_INSERTS = frozenset({"add", "insert", "append"})
+_HOLDBACK_REMOVALS = frozenset({"remove", "clear", "pop", "discard"})
+
+
+def _txn_scope(module: Optional[str]) -> bool:
+    return _package_of(module) in {"mom", "pubsub"}
+
+
+class TransactionPairing(Rule):
+    """R010: every opened commit transaction closes or hands off on
+    every CFG path."""
+
+    rule_id = "R010"
+    title = "commit transaction opened but not closed on some path"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not _txn_scope(ctx.module):
+            return
+        for func in _function_defs(tree):
+            graph = build_cfg(func)
+            begins: List[Tuple[int, ast.Call]] = []
+            closers: Set[int] = set()
+            for node in graph.nodes:
+                for expr in _owned_exprs(node):
+                    for sub in ast.walk(expr):
+                        described = _attr_call(sub)
+                        if described is None:
+                            continue
+                        chain, method = described
+                        tail = chain.split(".")[-1]
+                        if tail == _TXN_CHAIN_TAIL:
+                            if method == "add":
+                                begins.append((node.index, sub))  # type: ignore[arg-type]
+                            elif method in _TXN_CLOSERS:
+                                closers.add(node.index)
+                        elif method in _HANDOFF_METHODS:
+                            closers.add(node.index)
+            for index, call in begins:
+                if index in closers:
+                    continue
+                if graph.reaches_exit_without(index, closers):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        call,
+                        "transaction opened with ._pending_commits.add() can "
+                        "reach the function exit without .discard()/.clear() "
+                        "or a processor hand-off (.submit()/.schedule()) on "
+                        "some path — a crash there wedges the commit forever",
+                    )
+
+
+class PersistenceBypass(Rule):
+    """R011: store internals are written only via the persistence API."""
+
+    rule_id = "R011"
+    title = "persistent-state write bypasses the persistence API"
+
+    _INTERNALS = frozenset({"_data", "writes", "cells_written"})
+    _STORE_SEGMENTS = frozenset({"store", "_store"})
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.module == "repro.mom.persistence":
+            return
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                ):
+                    internal = self._internal_chain(func.value)
+                    if internal is not None:
+                        yield ctx.diagnostic(
+                            self.rule_id,
+                            node,
+                            f"mutating store internal '{internal}' via "
+                            f".{func.attr}(); persistent state changes only "
+                            "through save()/put_entry()/delete_entry() so "
+                            "recovery replays see every write",
+                        )
+                continue
+            for target in targets:
+                for leaf in _flatten(target):
+                    if isinstance(leaf, ast.Subscript):
+                        leaf = leaf.value
+                    if not isinstance(leaf, ast.Attribute):
+                        continue
+                    internal = self._internal_chain(leaf)
+                    if internal is not None:
+                        yield ctx.diagnostic(
+                            self.rule_id,
+                            node,
+                            f"write to store internal '{internal}' outside "
+                            "repro/mom/persistence.py; go through the "
+                            "persistence API (save()/put_entry()/"
+                            "delete_entry()) or recovery will miss the write",
+                        )
+
+    def _internal_chain(self, expr: ast.expr) -> Optional[str]:
+        """The full chain if ``expr`` is ``<...store...>.<internal>``."""
+        if not isinstance(expr, ast.Attribute) or expr.attr not in self._INTERNALS:
+            return None
+        receiver = expr_chain(expr.value)
+        if receiver is None:
+            return None
+        if self._STORE_SEGMENTS & set(receiver.split(".")):
+            return f"{receiver}.{expr.attr}"
+        return None
+
+
+def _flatten(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten(target.value)
+    else:
+        yield target
+
+
+class HoldbackLeak(Rule):
+    """R012: hold-back inserts must not leak through exception paths."""
+
+    rule_id = "R012"
+    title = "hold-back entry leaks on an exception path"
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not _txn_scope(ctx.module):
+            return
+        for func in _function_defs(tree):
+            graph = build_cfg(func)
+            inserts: List[Tuple[int, ast.Call]] = []
+            removals: Set[int] = set()
+            for node in graph.nodes:
+                for expr in _owned_exprs(node):
+                    for sub in ast.walk(expr):
+                        described = _attr_call(sub)
+                        if described is None:
+                            continue
+                        chain, method = described
+                        tail = chain.split(".")[-1]
+                        if not any(
+                            tail == t or tail.endswith(t) for t in _HOLDBACK_TAILS
+                        ):
+                            continue
+                        if method in _HOLDBACK_INSERTS:
+                            inserts.append((node.index, sub))  # type: ignore[arg-type]
+                        elif method in _HOLDBACK_REMOVALS:
+                            removals.add(node.index)
+            for index, call in inserts:
+                if graph.reaches_exit_without(
+                    index, removals, require_exc_edge=True
+                ):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        call,
+                        "hold-back entry inserted here can survive an "
+                        "exception path to the function exit without "
+                        ".remove()/.clear(); a swallowed error would leave a "
+                        "zombie entry blocking the domain's delivery queue",
+                    )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     ClockInternalMutation(),
     AmbientNondeterminism(),
@@ -580,6 +1059,20 @@ ALL_RULES: Tuple[Rule, ...] = (
     FloatTimestampEquality(),
     SwallowedProtocolError(),
     LayeredImports(),
+    NondeterminismTaint(),
+    ObservationPurity(),
+    GuardDiscipline(),
+    TransactionPairing(),
+    PersistenceBypass(),
+    HoldbackLeak(),
+)
+
+FILE_RULES: Tuple[Rule, ...] = tuple(
+    rule for rule in ALL_RULES if not isinstance(rule, ProjectRule)
+)
+
+PROJECT_RULES: Tuple[ProjectRule, ...] = tuple(
+    rule for rule in ALL_RULES if isinstance(rule, ProjectRule)
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -61,7 +61,7 @@ class SanitizerViolation(ReproError):
             (``REPRO_TRACE=1``) at the moment of the violation.
     """
 
-    def __init__(self, kind: str, message: str):
+    def __init__(self, kind: str, message: str) -> None:
         self.kind = kind
         self.artifact = _flight_record(kind)
         suffix = (
@@ -153,7 +153,7 @@ class ClockSanitizer(CausalClock):
 
     def __init__(
         self, inner: CausalClock, label: str, registry: _StampRegistry
-    ):
+    ) -> None:
         self.inner = inner
         self.label = label
         self.registry = registry
@@ -307,7 +307,7 @@ class OrderChecker:
 class BusSanitizer:
     """Instruments one :class:`~repro.mom.bus.MessageBus` in place."""
 
-    def __init__(self, bus: Any, force_order_check: bool = False):
+    def __init__(self, bus: Any, force_order_check: bool = False) -> None:
         self.bus = bus
         self.registry = _StampRegistry()
         self.clocks: List[ClockSanitizer] = []

@@ -90,7 +90,7 @@ class EventRing:
 
     __slots__ = ("capacity", "_ring", "_next_seq", "_cleared_at")
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ConfigurationError(
                 f"event ring capacity must be >= 1, got {capacity}"

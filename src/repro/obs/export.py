@@ -49,7 +49,7 @@ class TraceDump:
         events: List[TraceEvent],
         cpu: List[Tuple[int, float, float]],
         histograms: Dict[str, Dict[str, Any]],
-    ):
+    ) -> None:
         self.meta = meta
         self.events = events
         self.cpu = cpu

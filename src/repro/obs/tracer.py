@@ -53,7 +53,7 @@ class Tracer:
     not install any hook.
     """
 
-    def __init__(self, bus: "MessageBus", capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, bus: "MessageBus", capacity: int = DEFAULT_CAPACITY) -> None:
         self.bus = bus
         self._sim = bus.sim
         self.ring = EventRing(capacity)

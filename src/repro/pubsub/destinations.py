@@ -69,7 +69,7 @@ class TopicAgent(Agent):
     window in which fan-out order contradicts causal order.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__()
         self.subscribers: List[AgentId] = []
         self.published = 0
@@ -99,7 +99,7 @@ class QueueAgent(Agent):
     dispatched round robin as consumers appear.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__()
         self.consumers: List[AgentId] = []
         self.buffered: List[Delivery] = []

@@ -1,0 +1,24 @@
+"""R007 fixture: rng stream values flowing into protocol state."""
+
+from repro.simulation.rng import RngFactory
+
+
+class R007Domain:
+    def __init__(self, rng: RngFactory) -> None:
+        self._rng = rng
+        self.delivered_at = 0.0
+        self.noise = 0.0
+
+    def deliver(self, mid: str) -> None:
+        jitter = self._pick()
+        self.delivered_at = jitter  # taint returned by a callee
+
+    def _pick(self) -> float:
+        return self._rng.stream("domain").random()
+
+    def record(self, value: float) -> None:
+        self.noise = value
+
+    def sample(self) -> None:
+        # taint passed into a parameter that reaches protocol state
+        self.record(self._rng.stream("domain").random())

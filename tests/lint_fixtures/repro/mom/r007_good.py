@@ -1,0 +1,14 @@
+"""R007 fixture: stream draws that stay local never fire."""
+
+from repro.simulation.rng import RngFactory
+
+
+class R007Clean:
+    def __init__(self, rng: RngFactory) -> None:
+        self._rng = rng  # the factory itself is not a stream value
+        self.count = 0
+
+    def deliver(self, mid: str) -> float:
+        draw = self._rng.stream("domain").random()
+        self.count += 1  # untainted write is fine
+        return draw  # returning taint is fine; *storing* it is not

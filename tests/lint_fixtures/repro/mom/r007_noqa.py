@@ -1,0 +1,12 @@
+"""R007 fixture: an acknowledged sink, suppressed with noqa."""
+
+from repro.simulation.rng import RngFactory
+
+
+class R007Suppressed:
+    def __init__(self, rng: RngFactory) -> None:
+        self._rng = rng
+        self.jitter = 0.0
+
+    def deliver(self, mid: str) -> None:
+        self.jitter = self._rng.stream("domain").random()  # noqa: R007

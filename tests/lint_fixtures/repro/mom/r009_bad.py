@@ -1,0 +1,28 @@
+"""R009 fixture: hook calls that dodge the is-not-None guard."""
+
+from typing import Optional
+
+
+class R009Channel:
+    _tracer: Optional[object]
+
+    def __init__(self) -> None:
+        self._tracer = None
+
+    def unguarded(self, mid: str) -> None:
+        self._tracer.on_send(mid)  # no guard at all
+
+    def one_armed(self, mid: str, fast: bool) -> None:
+        if fast:
+            if self._tracer is not None:
+                self._tracer.on_send(mid)
+        else:
+            self._tracer.on_send(mid)  # this branch is unguarded
+
+    def stale_guard(self, mid: str) -> None:
+        if self._tracer is not None:
+            self._tracer = self._fresh()
+            self._tracer.on_send(mid)  # rebinding killed the fact
+
+    def _fresh(self) -> Optional[object]:
+        return None

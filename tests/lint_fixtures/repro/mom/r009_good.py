@@ -1,0 +1,37 @@
+"""R009 fixture: every accepted guard idiom for hook handles."""
+
+from typing import Optional
+
+
+class R009Guarded:
+    _tracer: Optional[object]
+
+    def __init__(self) -> None:
+        self._tracer = None
+        self.acct = None
+
+    def direct(self, mid: str) -> None:
+        if self._tracer is not None:
+            self._tracer.on_send(mid)
+
+    def early_return(self, mid: str) -> None:
+        if self._tracer is None:
+            return
+        self._tracer.on_send(mid)
+
+    def local_alias(self, mid: str) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_send(mid)
+
+    def ternary(self, server_id: str) -> None:
+        self.handle = (
+            self.acct.server(server_id) if self.acct is not None else None
+        )
+
+    def short_circuit(self, mid: str) -> bool:
+        return self._tracer is not None and self._tracer.on_send(mid)
+
+    def truthiness(self, mid: str) -> None:
+        if self._tracer:
+            self._tracer.on_send(mid)

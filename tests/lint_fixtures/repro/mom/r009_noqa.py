@@ -1,0 +1,13 @@
+"""R009 fixture: a deliberate unguarded hook call, suppressed."""
+
+from typing import Optional
+
+
+class R009Suppressed:
+    _tracer: Optional[object]
+
+    def __init__(self) -> None:
+        self._tracer = None
+
+    def always_traced(self, mid: str) -> None:
+        self._tracer.on_send(mid)  # noqa: R009

@@ -1,0 +1,24 @@
+"""R010 fixture: commit transactions that can leak open."""
+
+
+class R010Channel:
+    def __init__(self) -> None:
+        self._pending_commits = set()
+
+    def fall_through(self, mid: str) -> None:
+        self._pending_commits.add(mid)
+        if self._ready(mid):
+            self._pending_commits.discard(mid)
+        # the not-ready path exits with the transaction still open
+
+    def early_return(self, mid: str) -> None:
+        self._pending_commits.add(mid)
+        if not self._validate(mid):
+            return  # leaks the open transaction
+        self._pending_commits.discard(mid)
+
+    def _ready(self, mid: str) -> bool:
+        return True
+
+    def _validate(self, mid: str) -> bool:
+        return True

@@ -1,0 +1,34 @@
+"""R010 fixture: every path closes the transaction or hands it off."""
+
+
+class R010Paired:
+    def __init__(self, processor) -> None:
+        self._pending_commits = set()
+        self._processor = processor
+
+    def close_on_both_arms(self, mid: str) -> None:
+        self._pending_commits.add(mid)
+        if self._ready(mid):
+            self._pending_commits.discard(mid)
+        else:
+            self._pending_commits.clear()
+
+    def handoff(self, mid: str, cost: float) -> None:
+        self._pending_commits.add(mid)
+        self._processor.submit(cost, self._commit, mid)
+
+    def close_in_finally(self, mid: str) -> None:
+        self._pending_commits.add(mid)
+        try:
+            self._apply(mid)
+        finally:
+            self._pending_commits.discard(mid)
+
+    def _ready(self, mid: str) -> bool:
+        return True
+
+    def _apply(self, mid: str) -> None:
+        pass
+
+    def _commit(self, mid: str) -> None:
+        self._pending_commits.discard(mid)

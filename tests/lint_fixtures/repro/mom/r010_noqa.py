@@ -1,0 +1,9 @@
+"""R010 fixture: a transaction intentionally left open, suppressed."""
+
+
+class R010Suppressed:
+    def __init__(self) -> None:
+        self._pending_commits = set()
+
+    def open_forever(self, mid: str) -> None:
+        self._pending_commits.add(mid)  # noqa: R010

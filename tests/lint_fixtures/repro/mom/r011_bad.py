@@ -1,0 +1,11 @@
+"""R011 fixture: writes that bypass the persistence API."""
+
+
+class R011Recovery:
+    def __init__(self, server) -> None:
+        self._server = server
+
+    def poke(self, key: str, value: int, store) -> None:
+        self._server.store._data[key] = value  # direct cell write
+        store.writes += 1  # forged write counter
+        store._data.update({key: value})  # mutator on the data dict

@@ -1,0 +1,12 @@
+"""R011 fixture: the sanctioned persistence API, and look-alikes."""
+
+
+class R011Clean:
+    def __init__(self, server) -> None:
+        self._server = server
+        self._data = {}  # not a store: no store segment in the chain
+
+    def save(self, key: str, value: int, store) -> int:
+        self._server.store.put_entry("cell", key, value)  # the API
+        self._data[key] = value  # unrelated local dict
+        return store.writes  # reading counters is fine

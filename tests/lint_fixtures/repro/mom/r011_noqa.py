@@ -1,0 +1,6 @@
+"""R011 fixture: a test-only backdoor write, suppressed."""
+
+
+class R011Suppressed:
+    def corrupt(self, store, key: str) -> None:
+        store._data[key] = None  # noqa: R011

@@ -1,0 +1,17 @@
+"""R012 fixture: a hold-back entry that survives a swallowed error."""
+
+
+class R012Channel:
+    def __init__(self, holdback) -> None:
+        self._holdback = holdback
+
+    def enqueue(self, envelope, item) -> None:
+        self._holdback.add(envelope)
+        try:
+            self._process(envelope, item)
+        except ValueError:
+            return  # swallowed: the entry above is never removed
+        self._holdback.remove(envelope)
+
+    def _process(self, envelope, item) -> None:
+        raise ValueError(envelope)

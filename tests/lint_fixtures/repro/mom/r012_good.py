@@ -1,0 +1,31 @@
+"""R012 fixture: exception paths that clean up the hold-back entry."""
+
+
+class R012Paired:
+    def __init__(self, holdback) -> None:
+        self._holdback = holdback
+
+    def enqueue_handler_cleans(self, envelope, item) -> None:
+        self._holdback.add(envelope)
+        try:
+            self._process(envelope, item)
+        except ValueError:
+            self._holdback.remove(envelope)
+            return
+        self._holdback.remove(envelope)
+
+    def enqueue_finally_cleans(self, envelope, item) -> None:
+        self._holdback.add(envelope)
+        try:
+            self._process(envelope, item)
+        finally:
+            self._holdback.remove(envelope)
+
+    def no_enclosing_try(self, envelope) -> None:
+        # an uncaught exception crashes loudly — that is R005's domain,
+        # not a silent leak
+        self._holdback.add(envelope)
+        self._holdback.remove(envelope)
+
+    def _process(self, envelope, item) -> None:
+        raise ValueError(envelope)

@@ -1,0 +1,16 @@
+"""R012 fixture: a known-leaky insert, suppressed."""
+
+
+class R012Suppressed:
+    def __init__(self, holdback) -> None:
+        self._holdback = holdback
+
+    def enqueue(self, envelope, item) -> None:
+        self._holdback.add(envelope)  # noqa: R012
+        try:
+            self._process(envelope, item)
+        except ValueError:
+            return
+
+    def _process(self, envelope, item) -> None:
+        raise ValueError(envelope)

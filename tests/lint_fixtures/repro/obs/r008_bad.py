@@ -1,0 +1,14 @@
+"""R008 fixture: a tracer hook whose call path mutates protocol state."""
+
+
+class R008TracerBad:
+    def __init__(self) -> None:
+        self.events = 0
+
+    def on_send(self, channel: "R008Channel", mid: str) -> None:
+        self.events += 1  # observer-local state: fine
+        _bump(channel)  # ...but this helper touches the channel
+
+
+def _bump(channel: "R008Channel") -> None:
+    channel.sent += 1  # mutates protocol state from a hook path

@@ -1,0 +1,16 @@
+"""R008 fixture: a pure tracer hook — reads protocol state, writes own."""
+
+
+class R008TracerGood:
+    def __init__(self) -> None:
+        self.events = 0
+        self.last_seen = ""
+
+    def on_send(self, channel: "R008Channel", mid: str) -> None:
+        self.events += 1
+        self.last_seen = mid
+        _observe(channel)
+
+
+def _observe(channel: "R008Channel") -> int:
+    return channel.sent  # reading is always fine

@@ -1,0 +1,6 @@
+"""R008 fixture: an acknowledged hook-path mutation, suppressed."""
+
+
+class R008TracerNoqa:
+    def on_send(self, channel: "R008Channel", mid: str) -> None:
+        channel.sent += 1  # noqa: R008

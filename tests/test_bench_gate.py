@@ -100,6 +100,143 @@ class TestBaselineSchema:
         )
         assert len(errors) >= 3
 
+    def test_runtime_section_validates(self):
+        baseline = {
+            "format": bench_gate.FORMAT,
+            "targets": [
+                {"file": "B.json", "checks": [{"path": "x", "expect": 1}]}
+            ],
+            "runtime": [
+                {
+                    "name": "lint",
+                    "argv": ["{python}", "-c", "pass"],
+                    "max_seconds": 5.0,
+                    "warmup": True,
+                    "best_of": 2,
+                    "env": {"PYTHONPATH": "src"},
+                }
+            ],
+        }
+        assert bench_gate.validate_baseline(baseline) == []
+
+    def test_bad_runtime_entries_fail_closed(self):
+        bad_entries = [
+            {"argv": ["{python}"], "max_seconds": 1},  # no name
+            {"name": "a", "argv": [], "max_seconds": 1},  # empty argv
+            {"name": "b", "argv": ["x"], "max_seconds": 0},  # zero budget
+            {"name": "c", "argv": ["x"], "max_seconds": 1, "best_of": 0},
+            {"name": "d", "argv": ["x"], "max_seconds": 1, "env": {"k": 1}},
+        ]
+        baseline = {
+            "format": bench_gate.FORMAT,
+            "targets": [
+                {"file": "B.json", "checks": [{"path": "x", "expect": 1}]}
+            ],
+            "runtime": bad_entries,
+        }
+        errors = bench_gate.validate_baseline(baseline)
+        assert len(errors) >= len(bad_entries)
+        assert bench_gate.validate_baseline(
+            {
+                "format": bench_gate.FORMAT,
+                "targets": [
+                    {"file": "B.json", "checks": [{"path": "x", "expect": 1}]}
+                ],
+                "runtime": "not-a-list",
+            }
+        )
+
+
+class TestRuntimeBands:
+    def test_fast_command_passes_its_band(self):
+        ok, verdict = bench_gate.run_runtime_entry(
+            {
+                "name": "noop",
+                "argv": ["{python}", "-c", "pass"],
+                "max_seconds": 30.0,
+            },
+            REPO,
+        )
+        assert ok and "ok" in verdict and "noop" in verdict
+
+    def test_slow_command_fails_its_band(self):
+        ok, verdict = bench_gate.run_runtime_entry(
+            {
+                "name": "sleepy",
+                "argv": [
+                    "{python}",
+                    "-c",
+                    "import time; time.sleep(0.3)",
+                ],
+                "max_seconds": 0.05,
+            },
+            REPO,
+        )
+        assert not ok and "FAIL" in verdict and "sleepy" in verdict
+
+    def test_nonzero_exit_fails_regardless_of_speed(self):
+        ok, verdict = bench_gate.run_runtime_entry(
+            {
+                "name": "crasher",
+                "argv": [
+                    "{python}",
+                    "-c",
+                    "import sys; print('boom', file=sys.stderr); sys.exit(3)",
+                ],
+                "max_seconds": 30.0,
+            },
+            REPO,
+        )
+        assert not ok and "exit 3" in verdict and "boom" in verdict
+
+    def test_warmup_run_is_not_timed(self):
+        # The first run writes a marker into the per-entry temp cache;
+        # the timed run sees it and exits fast, so the entry passes even
+        # though the warmup itself would have blown the band.
+        script = (
+            "import os, sys, time\n"
+            "path = sys.argv[1]\n"
+            "if os.path.exists(path):\n"
+            "    sys.exit(0)\n"
+            "open(path, 'w').write('warm')\n"
+            "time.sleep(0.4)\n"
+        )
+        ok, verdict = bench_gate.run_runtime_entry(
+            {
+                "name": "cached",
+                "argv": ["{python}", "-c", script, "{cache}"],
+                "max_seconds": 0.35,
+                "warmup": True,
+            },
+            REPO,
+        )
+        assert ok, verdict
+
+    def test_run_gate_skips_runtime_when_disabled(self, tmp_path, capsys):
+        baseline = {
+            "format": bench_gate.FORMAT,
+            "targets": [
+                {"file": "B.json", "checks": [{"path": "x", "expect": 1}]}
+            ],
+            "runtime": [
+                {
+                    "name": "would-fail",
+                    "argv": ["{python}", "-c", "import sys; sys.exit(9)"],
+                    "max_seconds": 30.0,
+                }
+            ],
+        }
+        bpath = tmp_path / "baseline.json"
+        bpath.write_text(json.dumps(baseline))
+        (tmp_path / "B.json").write_text(json.dumps({"x": 1}))
+        assert (
+            bench_gate.run_gate(str(bpath), str(tmp_path), runtime=False) == 0
+        )
+        assert (
+            bench_gate.run_gate(str(bpath), str(tmp_path), runtime=True) == 1
+        )
+        assert "would-fail" in capsys.readouterr().out
+
 
 class TestRunGate:
     def _write(self, tmp_path, baseline, snapshot):
@@ -144,11 +281,30 @@ class TestCommittedSnapshots:
     `tools/bench_baseline.json`) when a change legitimately moves them."""
 
     def test_committed_snapshots_pass_the_gate(self, capsys):
+        # runtime=False: the live linter wall-clock bands run in the CI
+        # bench-gate job (and in TestRuntimeBands with synthetic
+        # commands); re-timing the linter here would double suite time.
         code = bench_gate.run_gate(
-            os.path.join(REPO, "tools", "bench_baseline.json"), REPO
+            os.path.join(REPO, "tools", "bench_baseline.json"),
+            REPO,
+            runtime=False,
         )
         out = capsys.readouterr().out
         assert code == 0, f"bench gate failed on committed snapshots:\n{out}"
+
+    def test_committed_baseline_declares_linter_bands(self):
+        with open(os.path.join(REPO, "tools", "bench_baseline.json")) as fh:
+            baseline = json.load(fh)
+        entries = {e["name"]: e for e in baseline.get("runtime", [])}
+        cold = entries["analysis-lint-cold"]
+        warm = entries["analysis-lint-warm"]
+        assert cold["max_seconds"] == pytest.approx(10.0)
+        assert warm["max_seconds"] == pytest.approx(2.0)
+        assert warm.get("warmup") is True
+        for entry in (cold, warm):
+            assert "repro.analysis" in entry["argv"]
+            assert "{cache}" in entry["argv"]
+            assert entry["env"]["PYTHONPATH"] == "src"
 
     def test_gate_covers_the_metrics_sections(self):
         with open(os.path.join(REPO, "tools", "bench_baseline.json")) as fh:

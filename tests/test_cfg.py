@@ -1,0 +1,416 @@
+"""Unit tests for the whole-program analysis engine: CFG construction
+(try/finally, loop back-edges, dominators, exception-path queries),
+the dataflow framework (reaching definitions, non-None must-facts),
+and the call graph (resolution, SCCs, effect summaries)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import ModuleInfo, Project
+from repro.analysis.cfg import ENTRY, EXC, EXIT, RAISE, build_cfg
+from repro.analysis.dataflow import (
+    expr_chain,
+    non_none_facts,
+    reaching_definitions,
+)
+from repro.analysis.effects import EffectEngine
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    return build_cfg(func)
+
+
+def node_for(graph, needle: str):
+    """The CFG node whose statement's source line contains ``needle``."""
+    for index, stmt in graph.statements():
+        if needle in ast.unparse(stmt).splitlines()[0]:
+            return index
+    raise AssertionError(f"no statement matching {needle!r}")
+
+
+class TestCfgShapes:
+    def test_straight_line(self):
+        graph = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        a, b = node_for(graph, "a = 1"), node_for(graph, "b = 2")
+        assert (b, "normal") in graph.succs[a]
+        assert (EXIT, "normal") in graph.succs[b]
+        assert graph.back_edges == set()
+
+    def test_branch_edges_are_labelled(self):
+        graph = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+        )
+        test = node_for(graph, "if x")
+        labels = {label for _, label in graph.succs[test]}
+        assert {"true", "false"} <= labels
+
+    def test_while_loop_has_a_back_edge(self):
+        graph = cfg_of("def f(n):\n    while n:\n        n -= 1\n")
+        header = node_for(graph, "while n")
+        body = node_for(graph, "n -= 1")
+        assert (body, header) in graph.back_edges
+        assert (EXIT, "false") in graph.succs[header]
+
+    def test_for_loop_back_edge_and_continue(self):
+        graph = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            continue\n"
+            "        use(x)\n"
+        )
+        header = node_for(graph, "for x in xs")
+        cont = node_for(graph, "continue")
+        assert (cont, header) in graph.back_edges
+
+    def test_break_exits_the_loop(self):
+        graph = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        break\n"
+            "    done()\n"
+        )
+        brk = node_for(graph, "break")
+        done = node_for(graph, "done()")
+        assert (done, "normal") in graph.succs[brk]
+
+    def test_calls_get_exception_edges(self):
+        graph = cfg_of("def f():\n    g()\n")
+        call = node_for(graph, "g()")
+        assert (RAISE, EXC) in graph.succs[call]
+
+    def test_except_handler_receives_exc_edge(self):
+        graph = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        h()\n"
+        )
+        call = node_for(graph, "g()")
+        handler_targets = {
+            target for target, label in graph.succs[call] if label == EXC
+        }
+        handler = node_for(graph, "except ValueError")
+        assert handler in handler_targets
+        assert (RAISE, EXC) in graph.succs[call]  # the type may not match
+
+    def test_finally_runs_on_normal_and_exception_paths(self):
+        graph = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        call = node_for(graph, "g()")
+        cleanup = node_for(graph, "cleanup()")
+        # the exception edge from g() lands on the finally block...
+        exc_targets = {t for t, label in graph.succs[call] if label == EXC}
+        finally_entry = next(
+            node.index for node in graph.nodes if node.kind == "finally"
+        )
+        assert finally_entry in exc_targets
+        # ...and the finally body continues to both EXIT and RAISE
+        assert (EXIT, "normal") in graph.succs[cleanup]
+        assert (RAISE, "normal") in graph.succs[cleanup]
+
+    def test_return_through_finally(self):
+        graph = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        ret = node_for(graph, "return 1")
+        cleanup = node_for(graph, "cleanup()")
+        finally_entry = next(
+            node.index for node in graph.nodes if node.kind == "finally"
+        )
+        assert (finally_entry, "normal") in graph.succs[ret]
+        assert (EXIT, "normal") in graph.succs[cleanup]
+
+    def test_dominators(self):
+        graph = cfg_of(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    if x:\n"
+            "        b = 2\n"
+            "    c = 3\n"
+        )
+        dom = graph.dominators()
+        a = node_for(graph, "a = 1")
+        b = node_for(graph, "b = 2")
+        c = node_for(graph, "c = 3")
+        assert a in dom[c] and a in dom[b]
+        assert b not in dom[c]
+        assert ENTRY in dom[c]
+
+    def test_reaches_exit_without_blockers(self):
+        graph = cfg_of(
+            "def f(x):\n"
+            "    begin()\n"
+            "    if x:\n"
+            "        end()\n"
+        )
+        begin = node_for(graph, "begin()")
+        end = node_for(graph, "end()")
+        assert graph.reaches_exit_without(begin, {end})
+        graph2 = cfg_of("def f():\n    begin()\n    end()\n")
+        begin2 = node_for(graph2, "begin()")
+        end2 = node_for(graph2, "end()")
+        assert not graph2.reaches_exit_without(begin2, {end2})
+
+    def test_reaches_exit_requires_exception_edge(self):
+        graph = cfg_of(
+            "def f():\n"
+            "    begin()\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+            "    done()\n"
+        )
+        begin = node_for(graph, "begin()")
+        # normal path exists either way; the exception path goes through
+        # the handler, so requiring an exc edge still succeeds...
+        assert graph.reaches_exit_without(begin, set(), require_exc_edge=True)
+        # ...but not when the handler is a blocker
+        handler = node_for(graph, "except ValueError")
+        blocked = {handler, node_for(graph, "pass")}
+        assert not graph.reaches_exit_without(
+            begin, blocked, require_exc_edge=True
+        )
+
+
+class TestDataflow:
+    def test_expr_chain(self):
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert expr_chain(expr) == "a.b.c"
+        call = ast.parse("a.b()", mode="eval").body
+        assert expr_chain(call) is None
+
+    def test_reaching_definitions_join_at_merge(self):
+        graph = cfg_of(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    if x:\n"
+            "        a = 2\n"
+            "    use(a)\n"
+        )
+        reaching = reaching_definitions(graph)
+        use = node_for(graph, "use(a)")
+        defs_of_a = {site for name, site in reaching[use] if name == "a"}
+        assert defs_of_a == {
+            node_for(graph, "a = 1"),
+            node_for(graph, "a = 2"),
+        }
+
+    def test_loop_back_edge_feeds_reaching_defs(self):
+        graph = cfg_of(
+            "def f(n):\n"
+            "    i = 0\n"
+            "    while n:\n"
+            "        i = i + 1\n"
+            "    use(i)\n"
+        )
+        reaching = reaching_definitions(graph)
+        header = node_for(graph, "while n")
+        defs_of_i = {site for name, site in reaching[header] if name == "i"}
+        assert defs_of_i == {
+            node_for(graph, "i = 0"),
+            node_for(graph, "i = i + 1"),
+        }
+
+    def test_non_none_facts_on_true_branch(self):
+        graph = cfg_of(
+            "def f(self):\n"
+            "    if self.t is not None:\n"
+            "        self.t.go()\n"
+            "    self.t.stop()\n"
+        )
+        facts = non_none_facts(graph)
+        assert "self.t" in facts[node_for(graph, "self.t.go()")]
+        assert "self.t" not in facts[node_for(graph, "self.t.stop()")]
+
+    def test_early_return_guard(self):
+        graph = cfg_of(
+            "def f(self):\n"
+            "    if self.t is None:\n"
+            "        return\n"
+            "    self.t.go()\n"
+        )
+        facts = non_none_facts(graph)
+        assert "self.t" in facts[node_for(graph, "self.t.go()")]
+
+    def test_rebinding_kills_the_fact(self):
+        graph = cfg_of(
+            "def f(self):\n"
+            "    if self.t is not None:\n"
+            "        self.t = fresh()\n"
+            "        self.t.go()\n"
+        )
+        facts = non_none_facts(graph)
+        assert "self.t" not in facts[node_for(graph, "self.t.go()")]
+
+    def test_merge_is_intersection(self):
+        graph = cfg_of(
+            "def f(self, fast):\n"
+            "    if fast:\n"
+            "        if self.t is None:\n"
+            "            return\n"
+            "    self.t.go()\n"
+        )
+        facts = non_none_facts(graph)
+        assert "self.t" not in facts[node_for(graph, "self.t.go()")]
+
+
+def project_of(**sources: str) -> Project:
+    modules = []
+    for dotted, source in sorted(sources.items()):
+        module = dotted.replace("_", ".")
+        modules.append(
+            ModuleInfo(
+                module=module,
+                path=module.replace(".", "/") + ".py",
+                tree=ast.parse(source),
+                source=source,
+            )
+        )
+    return Project(modules)
+
+
+class TestCallGraph:
+    def test_method_resolution_via_annotations(self):
+        project = project_of(
+            **{
+                "repro_mom_a": (
+                    "class Channel:\n"
+                    "    def send(self):\n"
+                    "        self.stamp()\n"
+                    "    def stamp(self):\n"
+                    "        pass\n"
+                )
+            }
+        )
+        edges = project.call_edges()
+        assert edges["repro.mom.a.Channel.send"] == ["repro.mom.a.Channel.stamp"]
+
+    def test_constructor_assignment_types_attributes(self):
+        project = project_of(
+            **{
+                "repro_mom_a": (
+                    "class Helper:\n"
+                    "    def work(self):\n"
+                    "        pass\n"
+                    "class Owner:\n"
+                    "    def __init__(self):\n"
+                    "        self.helper = Helper()\n"
+                    "    def run(self):\n"
+                    "        self.helper.work()\n"
+                )
+            }
+        )
+        edges = project.call_edges()
+        assert "repro.mom.a.Helper.work" in edges["repro.mom.a.Owner.run"]
+
+    def test_builtin_method_names_do_not_wire_bare_fallback(self):
+        project = project_of(
+            **{
+                "repro_mom_a": (
+                    "class Store:\n"
+                    "    def add(self, x):\n"
+                    "        pass\n"
+                    "def client(seen, x):\n"
+                    "    seen.add(x)\n"
+                )
+            }
+        )
+        edges = project.call_edges()
+        assert edges["repro.mom.a.client"] == []
+
+    def test_sccs_are_callee_first(self):
+        project = project_of(
+            **{
+                "repro_mom_a": (
+                    "def leaf():\n"
+                    "    pass\n"
+                    "def mid():\n"
+                    "    leaf()\n"
+                    "def top():\n"
+                    "    mid()\n"
+                )
+            }
+        )
+        order = [name for component in project.sccs() for name in component]
+        assert order.index("repro.mom.a.leaf") < order.index("repro.mom.a.mid")
+        assert order.index("repro.mom.a.mid") < order.index("repro.mom.a.top")
+
+    def test_mutual_recursion_is_one_component(self):
+        project = project_of(
+            **{
+                "repro_mom_a": (
+                    "def ping(n):\n"
+                    "    pong(n)\n"
+                    "def pong(n):\n"
+                    "    ping(n)\n"
+                )
+            }
+        )
+        components = [c for c in project.sccs() if len(c) == 2]
+        assert components == [["repro.mom.a.ping", "repro.mom.a.pong"]]
+
+
+class TestEffects:
+    def test_taint_through_recursion_reaches_fixpoint(self):
+        project = project_of(
+            **{
+                "repro_mom_a": (
+                    "class D:\n"
+                    "    def top(self):\n"
+                    "        self.state = self.relay(0)\n"
+                    "    def relay(self, n):\n"
+                    "        if n:\n"
+                    "            return self.relay(n - 1)\n"
+                    "        return self.rng.stream('x').random()\n"
+                )
+            }
+        )
+        engine = EffectEngine(project)
+        hits = engine.rng_sink_hits()
+        assert [h.fn.qualname for h in hits] == ["repro.mom.a.D.top"]
+
+    def test_param_to_state_summary(self):
+        project = project_of(
+            **{
+                "repro_mom_a": (
+                    "class D:\n"
+                    "    def store(self, value):\n"
+                    "        self.cell = value\n"
+                )
+            }
+        )
+        engine = EffectEngine(project)
+        summary = engine.summary("repro.mom.a.D.store")
+        assert summary.param_to_state == {0}
+
+    def test_non_protocol_module_is_not_a_sink(self):
+        project = project_of(
+            **{
+                "repro_bench_a": (
+                    "class D:\n"
+                    "    def top(self):\n"
+                    "        self.state = self.rng.stream('x').random()\n"
+                )
+            }
+        )
+        engine = EffectEngine(project)
+        assert engine.rng_sink_hits() == []

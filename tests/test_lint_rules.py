@@ -1,13 +1,16 @@
-"""Self-tests for the protocol linter (R001–R006).
+"""Self-tests for the protocol linter (R001–R012).
 
-Each rule gets a firing fixture and a non-firing fixture under
-``tests/lint_fixtures/repro/...``; the directory layout mirrors the real
-package so that location-scoped rules resolve module names exactly as
-they do on ``src/``.
+Each rule gets a firing fixture, a non-firing fixture and a noqa
+fixture under ``tests/lint_fixtures/repro/...``; the directory layout
+mirrors the real package so that location-scoped rules resolve module
+names exactly as they do on ``src/``. The whole-program rules
+(R007/R008) are exercised through :func:`lint_paths` over the fixture
+tree, which builds one project from every fixture file.
 """
 
 from __future__ import annotations
 
+import ast
 import json
 import subprocess
 import sys
@@ -16,8 +19,14 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import Diagnostic, lint_file, lint_paths, lint_source
-from repro.analysis.lint import module_name
-from repro.analysis.rules import ALL_RULES, LAYERS
+from repro.analysis.lint import (
+    _lint_project,
+    apply_baseline,
+    load_baseline,
+    module_name,
+    write_baseline,
+)
+from repro.analysis.rules import ALL_RULES, LAYERS, PROJECT_RULES
 
 FIXTURES = Path(__file__).parent / "lint_fixtures" / "repro"
 REPO_SRC = Path(__file__).parent.parent / "src"
@@ -25,6 +34,25 @@ REPO_SRC = Path(__file__).parent.parent / "src"
 
 def rules_fired(path: Path) -> list:
     return [d.rule for d in lint_file(path)]
+
+
+@pytest.fixture(scope="module")
+def fixture_project_findings():
+    """One whole-program lint of the fixture tree, shared per module."""
+    return lint_paths([FIXTURES])
+
+
+def fired_at(findings, name: str) -> list:
+    return [d.rule for d in findings if Path(d.path).name == name]
+
+
+def project_lint_sources(*named_sources, select=None):
+    """Run only the project rules over in-memory (module, source) pairs."""
+    parsed = [
+        (f"{module.replace('.', '/')}.py", module, source, ast.parse(source))
+        for module, source in named_sources
+    ]
+    return _lint_project(parsed, select)
 
 
 class TestModuleName:
@@ -114,6 +142,167 @@ class TestR006LayeredImports:
         assert LAYERS["mom"] < LAYERS["bench"] < LAYERS["analysis"]
 
 
+class TestR007NondeterminismTaint:
+    def test_fires_on_both_sinks(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r007_bad.py")
+        assert fired.count("R007") == 2
+
+    def test_local_draws_are_fine(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r007_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r007_noqa.py") == []
+
+    def test_stripping_noqa_reintroduces_the_finding(self):
+        source = (FIXTURES / "mom" / "r007_noqa.py").read_text()
+        stripped = source.replace("  # noqa: R007", "")
+        findings = project_lint_sources(("repro.mom.r007_noqa", stripped))
+        assert [d.rule for d in findings] == ["R007"]
+
+
+class TestR008ObservationPurity:
+    def test_fires_on_hook_path_mutation(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r008_bad.py")
+        assert fired.count("R008") == 1
+
+    def test_diagnostic_names_the_call_path(self, fixture_project_findings):
+        (finding,) = [
+            d for d in fixture_project_findings if d.rule == "R008"
+        ]
+        assert "on_send" in finding.message and "_bump" in finding.message
+
+    def test_pure_hooks_are_fine(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r008_good.py") == []
+
+    def test_host_call_sites_are_clean(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r008_state.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r008_noqa.py") == []
+
+    def test_stripping_noqa_reintroduces_the_finding(self):
+        host = (FIXTURES / "mom" / "r008_state.py").read_text()
+        source = (FIXTURES / "obs" / "r008_noqa.py").read_text()
+        stripped = source.replace("  # noqa: R008", "")
+        findings = project_lint_sources(
+            ("repro.mom.r008_state", host),
+            ("repro.obs.r008_noqa", stripped),
+        )
+        assert [d.rule for d in findings] == ["R008"]
+
+    def test_repo_hook_closure_is_mutation_free(self):
+        """R008 over src/ statically verifies every obs/metrics hook
+        path: non-trivial roots and closure, zero mutations reached."""
+        from repro.analysis.callgraph import ModuleInfo, Project
+        from repro.analysis.lint import iter_python_files
+        from repro.analysis.rules import ObservationPurity, effect_engine
+
+        modules = []
+        for path in iter_python_files([REPO_SRC]):
+            text = path.read_text(encoding="utf-8")
+            modules.append(
+                ModuleInfo(
+                    module=module_name(path) or str(path),
+                    path=str(path),
+                    tree=ast.parse(text),
+                    source=text,
+                )
+            )
+        project = Project(modules)
+        roots = ObservationPurity._hook_roots(project)
+        assert any("Tracer." in root for root in roots)
+        assert any(root.startswith("repro.metrics.") for root in roots)
+        closure = project.reachable_from(sorted(roots))
+        assert len(closure) > len(roots)
+        engine = effect_engine(project)
+        engine.solve()
+        mutating = [
+            q
+            for q in closure
+            if engine.summaries.get(q) and engine.summaries[q].mutates_protocol
+        ]
+        assert mutating == []
+
+
+class TestR009GuardDiscipline:
+    def test_fires_on_unguarded_calls(self):
+        fired = rules_fired(FIXTURES / "mom" / "r009_bad.py")
+        assert fired.count("R009") == 3
+
+    def test_every_guard_idiom_passes(self):
+        assert rules_fired(FIXTURES / "mom" / "r009_good.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules_fired(FIXTURES / "mom" / "r009_noqa.py") == []
+
+    def test_stripping_noqa_reintroduces_the_finding(self):
+        source = (FIXTURES / "mom" / "r009_noqa.py").read_text()
+        stripped = source.replace("  # noqa: R009", "")
+        findings = lint_source(stripped, module="repro.mom.r009_noqa")
+        assert [d.rule for d in findings] == ["R009"]
+
+
+class TestR010TransactionPairing:
+    def test_fires_on_leaky_paths(self):
+        fired = rules_fired(FIXTURES / "mom" / "r010_bad.py")
+        assert fired.count("R010") == 2
+
+    def test_paired_and_handed_off_pass(self):
+        assert rules_fired(FIXTURES / "mom" / "r010_good.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules_fired(FIXTURES / "mom" / "r010_noqa.py") == []
+
+    def test_stripping_noqa_reintroduces_the_finding(self):
+        source = (FIXTURES / "mom" / "r010_noqa.py").read_text()
+        stripped = source.replace("  # noqa: R010", "")
+        findings = lint_source(stripped, module="repro.mom.r010_noqa")
+        assert [d.rule for d in findings] == ["R010"]
+
+
+class TestR011PersistenceBypass:
+    def test_fires_on_backdoor_writes(self):
+        fired = rules_fired(FIXTURES / "mom" / "r011_bad.py")
+        assert fired.count("R011") == 3
+
+    def test_api_and_lookalikes_pass(self):
+        assert rules_fired(FIXTURES / "mom" / "r011_good.py") == []
+
+    def test_persistence_module_is_exempt(self):
+        findings = lint_source(
+            "self._server.store._data[k] = v\n",
+            module="repro.mom.persistence",
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        assert rules_fired(FIXTURES / "mom" / "r011_noqa.py") == []
+
+    def test_stripping_noqa_reintroduces_the_finding(self):
+        source = (FIXTURES / "mom" / "r011_noqa.py").read_text()
+        stripped = source.replace("  # noqa: R011", "")
+        findings = lint_source(stripped, module="repro.mom.r011_noqa")
+        assert [d.rule for d in findings] == ["R011"]
+
+
+class TestR012HoldbackLeak:
+    def test_fires_on_swallowed_exception(self):
+        fired = rules_fired(FIXTURES / "mom" / "r012_bad.py")
+        assert fired.count("R012") == 1
+
+    def test_cleanup_paths_pass(self):
+        assert rules_fired(FIXTURES / "mom" / "r012_good.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules_fired(FIXTURES / "mom" / "r012_noqa.py") == []
+
+    def test_stripping_noqa_reintroduces_the_finding(self):
+        source = (FIXTURES / "mom" / "r012_noqa.py").read_text()
+        stripped = source.replace("  # noqa: R012", "")
+        findings = lint_source(stripped, module="repro.mom.r012_noqa")
+        assert [d.rule for d in findings] == ["R012"]
+
+
 class TestSuppressions:
     def test_noqa_fixture_is_clean(self):
         assert rules_fired(FIXTURES / "mom" / "noqa_suppressed.py") == []
@@ -140,15 +329,85 @@ class TestFramework:
         assert d.format() == "a.py:3:5: R001 msg"
         assert d.to_dict()["line"] == 3
 
-    def test_every_rule_has_a_firing_fixture(self):
-        all_fired = set()
-        for path in sorted(FIXTURES.rglob("*.py")):
-            all_fired.update(rules_fired(path))
+    def test_rule_tiers_split_cleanly(self):
+        assert {rule.rule_id for rule in PROJECT_RULES} == {"R007", "R008"}
+        assert len(ALL_RULES) == 12
+
+    def test_every_rule_has_a_firing_fixture(self, fixture_project_findings):
+        all_fired = {d.rule for d in fixture_project_findings}
         assert {rule.rule_id for rule in ALL_RULES} <= all_fired
+
+    def test_bad_fixtures_fire_only_their_own_rule(
+        self, fixture_project_findings
+    ):
+        for diagnostic in fixture_project_findings:
+            name = Path(diagnostic.path).name
+            if name.startswith("r0") and "_" in name:
+                expected = name.split("_")[0].upper()
+                assert diagnostic.rule == expected, diagnostic.format()
+
+    def test_project_rules_are_deterministic(self):
+        first = [d.format() for d in lint_paths([FIXTURES])]
+        second = [d.format() for d in lint_paths([FIXTURES])]
+        assert first == second
 
     def test_repo_src_is_clean(self):
         findings = lint_paths([REPO_SRC])
         assert findings == [], "\n".join(d.format() for d in findings)
+
+
+class TestCache:
+    def test_warm_cache_reproduces_cold_results(self, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        cold = lint_paths([FIXTURES], cache=cache)
+        assert cache.exists()
+        warm = lint_paths([FIXTURES], cache=cache)
+        assert [d.format() for d in warm] == [d.format() for d in cold]
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        tree = tmp_path / "repro" / "mom"
+        tree.mkdir(parents=True)
+        target = tree / "cached.py"
+        target.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        assert lint_paths([tmp_path / "repro"], cache=cache) == []
+        target.write_text("clock._buf[0] = 1\n")
+        findings = lint_paths([tmp_path / "repro"], cache=cache)
+        assert [d.rule for d in findings] == ["R001"]
+
+    def test_select_bypasses_the_cache(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        lint_paths([FIXTURES / "mom" / "r001_bad.py"], select=["R001"], cache=cache)
+        assert not cache.exists()
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        findings = lint_paths([FIXTURES / "mom" / "r001_bad.py"], cache=cache)
+        assert [d.rule for d in findings] == ["R001"] * 4
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_known_findings(self, tmp_path):
+        findings = lint_file(FIXTURES / "mom" / "r001_bad.py")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        baseline = load_baseline(baseline_file)
+        assert apply_baseline(findings, baseline) == []
+
+    def test_new_findings_survive_the_baseline(self, tmp_path):
+        old = lint_file(FIXTURES / "mom" / "r001_bad.py")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, old)
+        baseline = load_baseline(baseline_file)
+        new = lint_file(FIXTURES / "simulation" / "r004_bad.py")
+        assert apply_baseline(old + new, baseline) == new
+
+    def test_bad_format_is_rejected(self, tmp_path):
+        bogus = tmp_path / "baseline.json"
+        bogus.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_baseline(bogus)
 
 
 class TestCli:
@@ -176,7 +435,62 @@ class TestCli:
         result = self.run_cli("lint", "--json", str(bad))
         assert result.returncode == 1
         payload = json.loads(result.stdout)
-        assert {entry["rule"] for entry in payload} == {"R004"}
+        assert {entry["rule"] for entry in payload["findings"]} == {"R004"}
+        assert payload["count"] == len(payload["findings"]) == 3
+        assert payload["clean"] is False
+
+    def test_json_exit_code_matches_payload(self):
+        """Regression: the --json payload and the exit code come from
+        the same finding list — a noqa'd-only file is clean in both."""
+        noqa = FIXTURES / "mom" / "noqa_suppressed.py"
+        plain = self.run_cli("lint", str(noqa))
+        as_json = self.run_cli("lint", "--json", str(noqa))
+        assert plain.returncode == as_json.returncode == 0
+        payload = json.loads(as_json.stdout)
+        assert payload["clean"] is True and payload["count"] == 0
+
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        plain = self.run_cli("lint", str(bad))
+        as_json = self.run_cli("lint", "--json", str(bad))
+        assert plain.returncode == as_json.returncode == 1
+        payload = json.loads(as_json.stdout)
+        assert payload["clean"] is False
+        assert payload["count"] == len(payload["findings"]) > 0
+
+    def test_rule_flag_selects_one_rule(self):
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        result = self.run_cli("lint", "--rule", "R005", str(bad))
+        assert result.returncode == 0
+        result = self.run_cli("lint", "--rule", "R001", str(bad))
+        assert result.returncode == 1
+
+    def test_unknown_rule_is_a_usage_error(self):
+        result = self.run_cli("lint", "--rule", "R999", "src/")
+        assert result.returncode == 2
+
+    def test_baseline_flags(self, tmp_path):
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        baseline = tmp_path / "baseline.json"
+        wrote = self.run_cli(
+            "lint", str(bad), "--write-baseline", str(baseline)
+        )
+        assert wrote.returncode == 0 and baseline.exists()
+        result = self.run_cli("lint", str(bad), "--baseline", str(baseline))
+        assert result.returncode == 0
+        as_json = self.run_cli(
+            "lint", "--json", str(bad), "--baseline", str(baseline)
+        )
+        payload = json.loads(as_json.stdout)
+        assert payload["clean"] is True
+        assert payload["baseline_suppressed"] == 4
+
+    def test_cache_flag_round_trip(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        cold = self.run_cli("lint", str(bad), "--cache", str(cache))
+        warm = self.run_cli("lint", str(bad), "--cache", str(cache))
+        assert cold.returncode == warm.returncode == 1
+        assert cold.stdout == warm.stdout
 
     def test_rules_subcommand(self):
         result = self.run_cli("rules")

@@ -27,12 +27,33 @@ Check kinds (exactly one per check, plus the mandatory ``path``):
 - a missing path fails the gate (the schema is part of the contract)
   unless the check carries ``"optional": true``.
 
+Besides snapshot checks, the baseline may carry a ``"runtime"`` list of
+wall-clock bands over live commands — used to keep the whole-program
+linter inside its cold/warm time budget::
+
+    "runtime": [
+     {"name": "analysis-lint-cold",
+      "argv": ["{python}", "-m", "repro.analysis", "lint", "src",
+               "--cache", "{cache}"],
+      "env": {"PYTHONPATH": "src"},
+      "max_seconds": 10.0}
+    ]
+
+Each entry spawns ``argv`` (placeholders: ``{python}`` → this
+interpreter, ``{cache}`` → a fresh per-entry temp file, ``{root}`` →
+the snapshot root) with ``env`` merged over the inherited environment,
+and fails if the command exits non-zero or the wall clock exceeds
+``max_seconds``. ``"warmup": true`` runs the command once untimed first
+(so a cache-backed entry measures the warm path); ``"best_of": N``
+takes the fastest of N timed runs to damp scheduler noise.
+
 Exit status 0 when every check passes, 1 otherwise — wire it into CI
 after the benchmarks export fresh snapshots, or run it bare against the
 committed ones:
 
     python tools/bench_gate.py
     python tools/bench_gate.py --baseline tools/bench_baseline.json --root .
+    python tools/bench_gate.py --no-runtime   # snapshot checks only
 
 Stdlib-only on purpose: the gate must run before/without PYTHONPATH.
 """
@@ -42,8 +63,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
-from typing import Any, List, Tuple
+import tempfile
+import time
+from typing import Any, Dict, List, Tuple
 
 FORMAT = "repro.bench-gate/v1"
 
@@ -115,6 +139,82 @@ def check_one(doc: Any, check: dict) -> Tuple[bool, str]:
     return False, f"FAIL  {path}: check has no expect/min/max"
 
 
+def run_runtime_entry(
+    entry: dict, root: str
+) -> Tuple[bool, str]:
+    """Time one live command against its wall-clock band."""
+    name = entry["name"]
+    limit = float(entry["max_seconds"])
+    rounds = int(entry.get("best_of", 1))
+    env = dict(os.environ)
+    env.update(entry.get("env", {}))
+    with tempfile.TemporaryDirectory(prefix="bench-gate-") as tmp:
+        subst: Dict[str, str] = {
+            "python": sys.executable,
+            "cache": os.path.join(tmp, "cache.json"),
+            "root": root,
+        }
+        argv = [arg.format(**subst) for arg in entry["argv"]]
+        runs = rounds + (1 if entry.get("warmup") else 0)
+        best = None
+        for index in range(runs):
+            started = time.perf_counter()
+            proc = subprocess.run(
+                argv, cwd=root, env=env, capture_output=True, text=True
+            )
+            elapsed = time.perf_counter() - started
+            if proc.returncode != 0:
+                tail = (proc.stderr or proc.stdout or "").strip()
+                tail = tail.splitlines()[-1] if tail else ""
+                return False, (
+                    f"FAIL  runtime {name}: exit {proc.returncode} ({tail})"
+                )
+            if index == 0 and entry.get("warmup"):
+                continue
+            best = elapsed if best is None else min(best, elapsed)
+    assert best is not None
+    if best > limit:
+        return False, (
+            f"FAIL  runtime {name} = {best:.2f}s > max {limit:g}s"
+        )
+    return True, f"ok    runtime {name} = {best:.2f}s (<= {limit:g}s)"
+
+
+def _validate_runtime(baseline: dict) -> List[str]:
+    errors = []
+    runtime = baseline.get("runtime", [])
+    if not isinstance(runtime, list):
+        return ["'runtime' must be a list"]
+    for ri, entry in enumerate(runtime):
+        where = f"runtime[{ri}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(entry.get("name"), str):
+            errors.append(f"{where}: missing 'name'")
+        argv = entry.get("argv")
+        if (
+            not isinstance(argv, list)
+            or not argv
+            or not all(isinstance(arg, str) for arg in argv)
+        ):
+            errors.append(f"{where}: 'argv' must be a non-empty string list")
+        limit = entry.get("max_seconds")
+        if not isinstance(limit, (int, float)) or isinstance(limit, bool) \
+                or limit <= 0:
+            errors.append(f"{where}: 'max_seconds' must be a positive number")
+        env = entry.get("env", {})
+        if not isinstance(env, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in env.items()
+        ):
+            errors.append(f"{where}: 'env' must map strings to strings")
+        best_of = entry.get("best_of", 1)
+        if not isinstance(best_of, int) or isinstance(best_of, bool) \
+                or best_of < 1:
+            errors.append(f"{where}: 'best_of' must be a positive integer")
+    return errors
+
+
 def validate_baseline(baseline: dict) -> List[str]:
     """Schema errors in the baseline itself (a broken gate must not pass)."""
     errors = []
@@ -122,6 +222,7 @@ def validate_baseline(baseline: dict) -> List[str]:
         errors.append(
             f"baseline format {baseline.get('format')!r} != {FORMAT!r}"
         )
+    errors.extend(_validate_runtime(baseline))
     targets = baseline.get("targets")
     if not isinstance(targets, list) or not targets:
         errors.append("baseline has no targets")
@@ -146,7 +247,12 @@ def validate_baseline(baseline: dict) -> List[str]:
     return errors
 
 
-def run_gate(baseline_path: str, root: str, verbose: bool = False) -> int:
+def run_gate(
+    baseline_path: str,
+    root: str,
+    verbose: bool = False,
+    runtime: bool = True,
+) -> int:
     with open(baseline_path) as stream:
         baseline = json.load(stream)
     schema_errors = validate_baseline(baseline)
@@ -172,6 +278,15 @@ def run_gate(baseline_path: str, root: str, verbose: bool = False) -> int:
                 print(f"{target['file']}: {verdict}")
             elif verbose:
                 print(f"{target['file']}: {verdict}")
+    if runtime:
+        for entry in baseline.get("runtime", []):
+            ok, verdict = run_runtime_entry(entry, root)
+            total += 1
+            if not ok:
+                failures += 1
+                print(verdict)
+            elif verbose:
+                print(verdict)
     if failures:
         print(f"bench gate: {failures}/{total} checks FAILED")
         return 1
@@ -196,8 +311,18 @@ def main(argv=None) -> int:
         help="directory containing the BENCH_*.json snapshots",
     )
     parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument(
+        "--no-runtime",
+        action="store_true",
+        help="skip the live wall-clock runtime bands",
+    )
     args = parser.parse_args(argv)
-    return run_gate(args.baseline, args.root, verbose=args.verbose)
+    return run_gate(
+        args.baseline,
+        args.root,
+        verbose=args.verbose,
+        runtime=not args.no_runtime,
+    )
 
 
 if __name__ == "__main__":
