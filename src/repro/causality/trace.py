@@ -45,7 +45,8 @@ class Trace:
     analysis only ever consults local orders and the message graph.
     """
 
-    def __init__(self):
+    def __init__(self, strict: bool = True):
+        self._strict = strict
         self._events: Dict[Hashable, List[Event]] = {}
         self._local_index: Dict[Tuple[Hashable, Hashable], int] = {}
         self._sent: Dict[Hashable, Message] = {}
@@ -123,20 +124,27 @@ class Trace:
 
         The matching send must already have been recorded — the MOM records
         sends when the channel transmits, which (in any single run) is
-        observed before the receive.
+        observed before the receive. A trace built with ``strict=False``
+        (one shard's slice of a distributed run) skips that requirement:
+        the send of a cross-shard message lives in *another* shard's trace,
+        and the merged trace re-validates via :meth:`from_histories`.
         """
         if message.mid not in self._sent:
-            raise TraceError(
-                f"message {message.mid!r} received but never sent in this trace"
-            )
+            if self._strict:
+                raise TraceError(
+                    f"message {message.mid!r} received but never sent in "
+                    "this trace"
+                )
+            self._messages.setdefault(message.mid, message)
+        else:
+            known = self._sent[message.mid]
+            if known != message:
+                raise TraceError(
+                    f"message {message.mid!r} received with different "
+                    f"endpoints than sent ({known!r} vs {message!r})"
+                )
         if message.mid in self._received:
             raise TraceError(f"message {message.mid!r} received twice")
-        known = self._sent[message.mid]
-        if known != message:
-            raise TraceError(
-                f"message {message.mid!r} received with different endpoints "
-                f"than sent ({known!r} vs {message!r})"
-            )
         event = Event(EventKind.RECEIVE, message.dst, message)
         self._append(message.dst, event)
         self._received.add(message.mid)

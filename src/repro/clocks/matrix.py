@@ -90,7 +90,9 @@ class MatrixStamp(Stamp):
     the sender's change log at stamp time for the receiver's window merge.
     """
 
-    __slots__ = ("_sender", "_dest", "_size", "_buf", "_log", "_log_len")
+    __slots__ = (
+        "_sender", "_dest", "_size", "_buf", "_log", "_log_len", "_log_epoch"
+    )
 
     def __init__(
         self,
@@ -100,6 +102,7 @@ class MatrixStamp(Stamp):
         buf: array,
         log: Optional[list] = None,
         log_len: int = 0,
+        log_epoch: int = -1,
     ) -> None:
         self._sender = sender
         self._dest = dest
@@ -107,6 +110,7 @@ class MatrixStamp(Stamp):
         self._buf = buf
         self._log = log
         self._log_len = log_len
+        self._log_epoch = log_epoch
 
     @property
     def sender(self) -> int:
@@ -144,6 +148,7 @@ class MatrixClock(CausalClock):
         "_buf",
         "_shared",
         "_log",
+        "_log_epoch",
         "_merged",
         "_dirty",
         "_journal",
@@ -163,10 +168,13 @@ class MatrixClock(CausalClock):
         self._buf = array("q", bytes(8 * size * size))
         self._shared = False
         # Append-only (cell_index, new_value) mutation log; replaced (new
-        # list object) on trim or restore, which receivers detect by
-        # identity and answer with a full merge.
+        # list, epoch bumped) on trim or restore, which receivers detect
+        # by epoch mismatch and answer with a full merge. The epoch (not
+        # object identity) travels with each stamp, so the detection works
+        # across process boundaries where stamps arrive pickled.
         self._log: list = []
-        # Per-sender merge positions: sender -> (log object, merged length).
+        self._log_epoch = 0
+        # Per-sender merge positions: sender -> (log epoch, merged length).
         self._merged: dict = {}
         self._dirty = 0
         self._journal: set = set()
@@ -204,6 +212,7 @@ class MatrixClock(CausalClock):
     def _trim_log(self) -> None:
         if len(self._log) > max(_LOG_MIN, 4 * self._size * self._size):
             self._log = []
+            self._log_epoch += 1
 
     def prepare_send(self, dest: int) -> MatrixStamp:
         """Record a send to ``dest`` and return the full-matrix stamp."""
@@ -220,7 +229,8 @@ class MatrixClock(CausalClock):
         self._dirty += 1
         self._shared = True
         return MatrixStamp(
-            self._owner, dest, self._size, buf, self._log, len(self._log)
+            self._owner, dest, self._size, buf, self._log, len(self._log),
+            self._log_epoch,
         )
 
     def can_deliver(self, stamp: Stamp) -> bool:
@@ -263,7 +273,7 @@ class MatrixClock(CausalClock):
         if (
             last is not None
             and stamp._log is not None
-            and last[0] is stamp._log
+            and last[0] == stamp._log_epoch
             and last[1] <= stamp._log_len
         ):
             # Window merge: only cells the sender changed between its
@@ -298,7 +308,7 @@ class MatrixClock(CausalClock):
                     dirty += 1
         self._dirty += dirty
         if stamp._log is not None:
-            self._merged[sender] = (stamp._log, stamp._log_len)
+            self._merged[sender] = (stamp._log_epoch, stamp._log_len)
 
     def dirty_cells(self) -> int:
         return self._dirty
@@ -351,6 +361,7 @@ class MatrixClock(CausalClock):
             self._buf = array("q", flat)
         self._shared = False
         self._log = []
+        self._log_epoch += 1
         self._merged.clear()
         self._dirty = 0
         self._journal.clear()

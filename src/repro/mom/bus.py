@@ -16,7 +16,6 @@ traces the causality checkers consume:
 
 from __future__ import annotations
 
-import itertools
 import os
 from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional
 
@@ -40,6 +39,7 @@ from repro.simulation.kernel import Simulator
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.network import Network
 from repro.simulation.rng import RngFactory
+from repro.simulation.shard import ShardContext, ShardNetwork
 from repro.topology.graph import validate_topology
 from repro.topology.routing import build_routing_tables
 
@@ -51,10 +51,11 @@ if TYPE_CHECKING:
 class MessageBus:
     """The whole MOM: servers, network, clocks, traces, metrics."""
 
-    def __init__(self, config: BusConfig):
+    def __init__(self, config: BusConfig, shard: Optional[ShardContext] = None):
         if config.validate:
             validate_topology(config.topology)
         self.config = config
+        self.shard = shard
         self.sim = Simulator()
         self.rng = RngFactory(config.seed)
         self.metrics = MetricsRegistry()
@@ -68,24 +69,46 @@ class MessageBus:
             self.accounting = Registry()
             self.acct = BusAccounting(self.accounting)
             install_collector(self.accounting, self)
-        self.network = Network(
-            sim=self.sim,
-            latency=config.latency_model(),
-            loss_rate=config.loss_rate,
-            rng=self.rng.stream("network"),
-        )
+        if shard is None:
+            self.network = Network(
+                sim=self.sim,
+                latency=config.latency_model(),
+                loss_rate=config.loss_rate,
+                rng=self.rng.stream("network"),
+            )
+        else:
+            # Sharded worker: packets whose destination is homed to another
+            # worker divert to the outbox instead of scheduling locally.
+            # Each shard derives the network stream under its own key, so no
+            # two workers ever share an RNG stream (see docs/parallel.md;
+            # eligible configs never draw from it anyway).
+            self.network = ShardNetwork(
+                sim=self.sim,
+                latency=config.latency_model(),
+                loss_rate=config.loss_rate,
+                rng=self.rng.stream(f"network/shard{shard.shard_id}"),
+                local=shard.local_servers,
+            )
         tables = build_routing_tables(config.topology, registry=self.accounting)
+        self.routing_index = tables[config.topology.servers[0]].index
         self.servers: Dict[int, AgentServer] = {}
         for server_id in config.topology.servers:
+            if shard is not None and server_id not in shard.local_servers:
+                continue
             self.servers[server_id] = AgentServer(
                 bus=self,
                 server_id=server_id,
                 domains=config.topology.domains_of(server_id),
                 routing=tables[server_id],
             )
-        self._nids = itertools.count(1)
-        self.app_trace: Optional[Trace] = Trace() if config.record_app_trace else None
-        self.hop_trace: Optional[Trace] = Trace() if config.record_hop_trace else None
+        self._nids: Dict[int, int] = {}
+        strict_trace = shard is None
+        self.app_trace: Optional[Trace] = (
+            Trace(strict=strict_trace) if config.record_app_trace else None
+        )
+        self.hop_trace: Optional[Trace] = (
+            Trace(strict=strict_trace) if config.record_hop_trace else None
+        )
         self._started = False
         # observability hook (repro.obs); None = tracing off, and the
         # only cost anywhere on the message path is this attribute check
@@ -128,8 +151,68 @@ class MessageBus:
         return self.sim.run_until_idle(max_events=max_events)
 
     # ------------------------------------------------------------------
+    # Scripted events (scenarios, failure injection)
+    # ------------------------------------------------------------------
+
+    def schedule_send(
+        self, at: float, sender: AgentId, target: AgentId, payload: Any
+    ) -> None:
+        """Script a send at absolute time ``at``, keyed to the sender's
+        server so the event order is shard-layout-independent."""
+        self.sim.schedule_setup(
+            at, sender.server, self.dispatch, sender, target, payload
+        )
+
+    def schedule_crash(
+        self, at: float, server_id: int, down_for: float
+    ) -> None:
+        """Script a fail-stop crash of ``server_id`` at ``at``, recovering
+        ``down_for`` ms later."""
+        if server_id not in self.config.topology.servers:
+            raise ConfigurationError(f"unknown server {server_id}")
+        self.sim.schedule_setup(at, server_id, self._crash_server, server_id)
+        self.sim.schedule_setup(
+            at + down_for, server_id, self._recover_server, server_id
+        )
+
+    def schedule_partition(
+        self, at: float, first: int, second: int, duration: float
+    ) -> None:
+        """Script a network partition between two servers.
+
+        Scheduled as one event per endpoint (idempotent on a shared
+        network): in a sharded run each worker applies the copy owned by
+        its local endpoint, so both sides see the cut at the same instant.
+        """
+        for owner in (first, second):
+            self.sim.schedule_setup(
+                at, owner, self.network.partition, first, second
+            )
+            self.sim.schedule_setup(
+                at + duration, owner, self.network.heal, first, second
+            )
+
+    def _crash_server(self, server_id: int) -> None:
+        server = self.server(server_id)
+        if not server.is_crashed:
+            server.crash()
+
+    def _recover_server(self, server_id: int) -> None:
+        server = self.server(server_id)
+        if server.is_crashed:
+            server.recover()
+
+    # ------------------------------------------------------------------
     # Dispatch (engine upcall)
     # ------------------------------------------------------------------
+
+    def _next_nid(self, server: int) -> int:
+        """Notification ids are ``sender-server << 40 | per-server count``:
+        unique bus-wide, and assigned identically no matter which kernel
+        hosts the sender (a bus-global counter would be shard-dependent)."""
+        count = self._nids.get(server, 0) + 1
+        self._nids[server] = count
+        return (server << 40) | count
 
     def dispatch(self, sender: AgentId, target: AgentId, payload: Any) -> None:
         """Route one agent-level send, local bus or channel.
@@ -138,9 +221,8 @@ class MessageBus:
         straight to the destination engine's QueueIN ("Local Bus" in
         Figure 1); remote ones enter the channel.
         """
-        target_server = self.server(target.server)
         notification = Notification(
-            nid=next(self._nids),
+            nid=self._next_nid(sender.server),
             sender=sender,
             target=target,
             payload=payload,
@@ -152,7 +234,7 @@ class MessageBus:
             self.acct.notifications.inc()
         self.record_app_send(notification)
         if target.server == sender.server:
-            target_server.engine.enqueue(notification)
+            self.server(target.server).engine.enqueue(notification)
         else:
             self.server(sender.server).channel.post(notification)
         self.metrics.counter("bus.notifications").add()

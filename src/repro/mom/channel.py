@@ -241,8 +241,9 @@ class Channel:
         # sender-side transmit queueing must not count against the receiver.
         base = self._server.config.channel_ack_timeout_ms
         timeout = min(base * (2 ** (attempt - 1)), base * 8)
-        self._server.sim.schedule(
-            timeout, self._check_ack, envelope.hop_seq, attempt, epoch
+        self._server.sim.schedule_local(
+            self._server.server_id,
+            timeout, self._check_ack, envelope.hop_seq, attempt, epoch,
         )
 
     def _check_ack(self, hop_seq: int, attempt: int, epoch: int) -> None:

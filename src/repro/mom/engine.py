@@ -169,8 +169,9 @@ class Engine:
         self, sender: AgentId, delay: float, target: AgentId, payload: Any
     ) -> None:
         epoch = self._server.epoch
-        self._server.sim.schedule(
-            delay, self._fire_timer, sender, target, payload, epoch
+        self._server.sim.schedule_local(
+            self._server.server_id,
+            delay, self._fire_timer, sender, target, payload, epoch,
         )
 
     def _fire_timer(

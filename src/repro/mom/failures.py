@@ -2,24 +2,31 @@
 
 The AAA platform is fault-tolerant — "a solution to transient nodes or
 network failures" (§3) — so the reproduction must demonstrate that causal
-delivery survives them. The injector schedules fail-stop crashes with
-later recovery and temporary network partitions on the shared simulator;
-the causality checkers then run on the resulting traces exactly as in the
-failure-free experiments.
+delivery survives them. The injector delegates to the bus-level
+``schedule_crash`` / ``schedule_partition`` primitives (which both the
+sequential :class:`~repro.mom.bus.MessageBus` and the sharded
+:class:`~repro.mom.parallel.ShardedBus` implement), so a failure script
+runs identically in either execution mode; the causality checkers then
+run on the resulting traces exactly as in the failure-free experiments.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Tuple, Union
 
 from repro.errors import ConfigurationError
-from repro.mom.bus import MessageBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mom.bus import MessageBus
+    from repro.mom.parallel import ShardedBus
+
+    AnyBus = Union[MessageBus, ShardedBus]
 
 
 class FailureInjector:
     """Schedules failures against a bus before (or while) it runs."""
 
-    def __init__(self, bus: MessageBus):
+    def __init__(self, bus: "AnyBus"):
         self._bus = bus
         self.planned: List[Tuple[float, str]] = []
 
@@ -29,9 +36,7 @@ class FailureInjector:
         outage must be shorter than the transport's give-up horizon."""
         if down_for <= 0:
             raise ConfigurationError(f"down_for must be > 0, got {down_for}")
-        server = self._bus.server(server_id)
-        self._bus.sim.schedule_at(time, self._crash, server_id)
-        self._bus.sim.schedule_at(time + down_for, self._recover, server_id)
+        self._bus.schedule_crash(time, server_id, down_for)
         self.planned.append((time, f"crash S{server_id} for {down_for}ms"))
 
     def partition_at(
@@ -40,25 +45,10 @@ class FailureInjector:
         """Silently drop traffic between two servers for ``duration`` ms."""
         if duration <= 0:
             raise ConfigurationError(f"duration must be > 0, got {duration}")
-        self._bus.sim.schedule_at(
-            time, self._bus.network.partition, first, second
-        )
-        self._bus.sim.schedule_at(
-            time + duration, self._bus.network.heal, first, second
-        )
+        self._bus.schedule_partition(time, first, second, duration)
         self.planned.append(
             (time, f"partition S{first}|S{second} for {duration}ms")
         )
-
-    def _crash(self, server_id: int) -> None:
-        server = self._bus.server(server_id)
-        if not server.is_crashed:
-            server.crash()
-
-    def _recover(self, server_id: int) -> None:
-        server = self._bus.server(server_id)
-        if server.is_crashed:
-            server.recover()
 
     def __repr__(self) -> str:
         return f"FailureInjector(planned={len(self.planned)})"

@@ -43,9 +43,9 @@ from typing import Any, Dict, IO, List, Optional, Union
 from repro.mom.workloads import BroadcastDriver, PingPongDriver
 from repro.errors import ConfigurationError
 from repro.mom.agent import Agent, EchoAgent, FunctionAgent
-from repro.mom.bus import MessageBus
 from repro.mom.config import BusConfig
 from repro.mom.failures import FailureInjector
+from repro.mom.parallel import AnyBus, make_bus
 from repro.simulation.network import (
     ConstantLatency,
     ExponentialLatency,
@@ -78,7 +78,7 @@ class _CollectorAgent(Agent):
 class ScenarioResult:
     """Everything a scenario run produces."""
 
-    bus: MessageBus
+    bus: AnyBus
     agents: Dict[str, Agent]
     agent_ids: Dict[str, Any]
     causal_ok: bool
@@ -169,8 +169,10 @@ def run_scenario(
         latency=_build_latency(scenario.get("latency")),
         loss_rate=scenario.get("loss_rate", 0.0),
         validate=scenario.get("validate", True),
+        parallel=scenario.get("parallel", "off"),
+        workers=scenario.get("workers", 0),
     )
-    mom = MessageBus(config)
+    mom = make_bus(config)
 
     agents: Dict[str, Agent] = {}
     agent_ids: Dict[str, Any] = {}
@@ -205,12 +207,8 @@ def run_scenario(
     for send in scenario.get("sends", []):
         sender = agent_ids[send["from"]]
         target = agent_ids[send["to"]]
-        mom.sim.schedule_at(
-            float(send.get("at", 0.0)),
-            mom.dispatch,
-            sender,
-            target,
-            send.get("payload"),
+        mom.schedule_send(
+            float(send.get("at", 0.0)), sender, target, send.get("payload")
         )
 
     injector = FailureInjector(mom)

@@ -54,7 +54,7 @@ class AgentServer:
             bus.acct.server(server_id) if bus.acct is not None else None
         )
         self.store = PersistentStore(server_id)
-        self.processor = Processor(self.sim)
+        self.processor = Processor(self.sim, owner=server_id)
         self.channel = Channel(self)
         self.engine = Engine(self)
         self.transport = ReliableTransport(

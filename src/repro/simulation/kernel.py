@@ -1,8 +1,29 @@
 """The discrete-event kernel: a clock and a priority queue of callbacks.
 
-Classic design: events are ``(time, sequence)``-ordered; the sequence number
-makes simultaneous events fire in scheduling order, which — together with
-seeded RNGs — makes every run bit-for-bit reproducible.
+Events are ordered by a *partition-independent* key, so the same workload
+produces the same execution order whether one kernel runs the whole
+topology or several shard kernels each run a slice of it (see
+``repro/simulation/shard.py`` and docs/parallel.md):
+
+``(time, band, a, b, c)`` with three bands at equal time —
+
+- **band 0 — setup**: scripted/bootstrap events, keyed by
+  ``(owner, per-owner sequence)``. The legacy :meth:`Simulator.schedule` /
+  :meth:`Simulator.schedule_at` entry points land here under the anonymous
+  owner ``-1`` (fine for single-kernel callers: the per-owner counter then
+  reproduces plain scheduling order).
+- **band 1 — server-local**: CPU completions, protocol timers — keyed by
+  ``(server, per-server sequence)``. Everything in this band touches the
+  state of exactly one server, so the per-server counter advances
+  identically no matter which kernel hosts the server.
+- **band 2 — network arrival**: keyed by ``(dst, src, per-link sequence)``.
+  The link sequence is assigned at *send* time by the network, so an
+  arrival injected from a remote shard carries the same key the sequential
+  kernel would have used.
+
+Together with seeded, stream-keyed RNGs this makes every run bit-for-bit
+reproducible — and makes the sharded execution provably order-identical to
+the sequential one.
 
 :class:`Processor` models one server's single-threaded CPU (one JVM in the
 paper's setup): submitted work executes back to back, so a burst of sends —
@@ -13,43 +34,56 @@ as it did on the real machines.
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+#: Event bands: all setup events at time t fire before all server-local
+#: events at t, which fire before all network arrivals at t.
+BAND_SETUP = 0
+BAND_LOCAL = 1
+BAND_ARRIVAL = 2
+
+EventKey = Tuple[float, int, int, int, int]
 
 
 class EventHandle:
     """A scheduled callback; keep it to :meth:`cancel` the event."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("key", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
-        self.time = time
-        self.seq = seq
+    def __init__(self, key: EventKey, fn: Callable, args: tuple):
+        self.key = key
         self.fn = fn
         self.args = args
         self.cancelled = False
+
+    @property
+    def time(self) -> float:
+        return self.key[0]
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
         self.cancelled = True
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return self.key < other.key
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
-        return f"EventHandle(t={self.time:.3f}, seq={self.seq}, {state})"
+        return f"EventHandle(t={self.key[0]:.3f}, key={self.key[1:]}, {state})"
 
 
 class Simulator:
-    """The event loop. All simulated components share one instance."""
+    """The event loop. All simulated components of one shard share one
+    instance (the sequential path is simply the one-shard special case)."""
 
     def __init__(self):
         self._now = 0.0
         self._queue: List[EventHandle] = []
-        self._seq = itertools.count()
+        self._setup_seq: Dict[int, int] = {}
+        self._local_seq: Dict[int, int] = {}
         self._running = False
         self._processed = 0
 
@@ -63,21 +97,78 @@ class Simulator:
         """Events executed since construction (diagnostics)."""
         return self._processed
 
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _push(self, key: EventKey, fn: Callable, args: tuple) -> EventHandle:
+        if key[0] < self._now:
+            raise SimulationError(
+                f"cannot schedule at {key[0]} before now={self._now}"
+            )
+        handle = EventHandle(key, fn, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
     def schedule(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
-        """Run ``fn(*args)`` ``delay`` ms from now (``delay >= 0``)."""
+        """Run ``fn(*args)`` ``delay`` ms from now (``delay >= 0``).
+
+        Band-0 under the anonymous owner; shard-safe code paths use the
+        owner-explicit entry points below instead.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
         return self.schedule_at(self._now + delay, fn, *args)
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> EventHandle:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at {time} before now={self._now}"
-            )
-        handle = EventHandle(time, next(self._seq), fn, args)
-        heapq.heappush(self._queue, handle)
-        return handle
+        return self.schedule_setup(time, -1, fn, *args)
+
+    def schedule_setup(
+        self, time: float, owner: int, fn: Callable, *args: Any
+    ) -> EventHandle:
+        """Band-0 event attributed to ``owner`` (a server id, or -1)."""
+        seq = self._setup_seq.get(owner, 0)
+        self._setup_seq[owner] = seq + 1
+        return self._push((time, BAND_SETUP, owner, seq, 0), fn, args)
+
+    def schedule_local(
+        self, owner: int, delay: float, fn: Callable, *args: Any
+    ) -> EventHandle:
+        """Band-1 event on ``owner``'s timeline, ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_local_at(owner, self._now + delay, fn, *args)
+
+    def schedule_local_at(
+        self, owner: int, time: float, fn: Callable, *args: Any
+    ) -> EventHandle:
+        """Band-1 event on ``owner``'s timeline at absolute time ``time``."""
+        seq = self._local_seq.get(owner, 0)
+        self._local_seq[owner] = seq + 1
+        return self._push((time, BAND_LOCAL, owner, seq, 0), fn, args)
+
+    def schedule_arrival(
+        self,
+        time: float,
+        dst: int,
+        src: int,
+        link_seq: int,
+        fn: Callable,
+        *args: Any,
+    ) -> EventHandle:
+        """Band-2 network arrival at ``dst`` from ``src``.
+
+        ``link_seq`` is the sender-assigned per-``(src, dst)`` sequence; the
+        resulting key is computable on any shard, which is what lets a
+        remote shard inject the arrival with the exact key the sequential
+        kernel would have produced.
+        """
+        return self._push((time, BAND_ARRIVAL, dst, src, link_seq), fn, args)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
@@ -113,6 +204,39 @@ class Simulator:
             self._running = False
         return fired
 
+    def run_window(
+        self, bound: float, max_events: Optional[int] = None
+    ) -> int:
+        """Process every event with time *strictly below* ``bound``.
+
+        The conservative-sync primitive: a shard granted the window
+        ``[now, bound)`` may fire everything before ``bound`` without risk
+        of a remote arrival landing inside the window (docs/parallel.md).
+        Unlike :meth:`run`, the clock is left at the last fired event so
+        later-injected arrivals at ``t >= bound`` still schedule cleanly.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() re-entered")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._queue[0]
+                if head.time >= bound:
+                    break
+                heapq.heappop(self._queue)
+                if head.cancelled:
+                    continue
+                self._now = head.time
+                head.fn(*head.args)
+                fired += 1
+                self._processed += 1
+        finally:
+            self._running = False
+        return fired
+
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Drain the queue completely; guard against runaway event storms."""
         fired = self.run(max_events=max_events)
@@ -121,6 +245,15 @@ class Simulator:
                 f"simulation did not quiesce within {max_events} events"
             )
         return fired
+
+    def next_event_time(self) -> float:
+        """Earliest pending (non-cancelled) event time; ``inf`` when idle.
+
+        The shard coordinator's LBTS input."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else math.inf
 
     @property
     def pending(self) -> int:
@@ -137,15 +270,20 @@ class Processor:
     Work submitted while the processor is busy queues behind the current
     occupancy; the completion callback fires when the work *finishes*. Busy
     time is accumulated for utilization reporting.
+
+    ``owner`` is the server id whose timeline (band-1 key space) the
+    completions are attributed to; the default anonymous owner keeps
+    single-kernel callers (tests, baselines) working unchanged.
     """
 
     __slots__ = (
-        "_sim", "_busy_until", "_busy_total", "_halted",
+        "_sim", "_owner", "_busy_until", "_busy_total", "_halted",
         "_tracer", "_tracer_owner",
     )
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, owner: int = -1):
         self._sim = sim
+        self._owner = owner
         self._busy_until = 0.0
         self._busy_total = 0.0
         self._halted = False
@@ -190,7 +328,9 @@ class Processor:
         self._busy_total += duration
         if self._tracer is not None:
             self._tracer.cpu(self._tracer_owner, start, duration)
-        return self._sim.schedule_at(self._busy_until, fn, *args)
+        return self._sim.schedule_local_at(
+            self._owner, self._busy_until, fn, *args
+        )
 
     def __repr__(self) -> str:
         return (

@@ -122,21 +122,24 @@ class Samples:
 
     @property
     def mean(self) -> float:
+        """Mean over the *sorted* values: a canonical summation order, so
+        the statistic depends only on the observation multiset — per-shard
+        sample sets merged in any order reproduce the sequential value bit
+        for bit (docs/parallel.md)."""
         if not self._values:
             return math.nan
-        return _pairwise_sum(self._values, 0, len(self._values)) / len(
-            self._values
-        )
+        ordered = sorted(self._values)
+        return _pairwise_sum(ordered, 0, len(ordered)) / len(ordered)
 
     @property
     def std(self) -> float:
-        """Sample standard deviation (ddof=1), matching
-        ``np.std(values, ddof=1)`` which this replaced."""
+        """Sample standard deviation (ddof=1) in canonical (sorted)
+        summation order, like :attr:`mean`."""
         n = len(self._values)
         if n < 2:
             return 0.0
         mean = self.mean
-        squares = [(v - mean) * (v - mean) for v in self._values]
+        squares = [(v - mean) * (v - mean) for v in sorted(self._values)]
         return math.sqrt(_pairwise_sum(squares, 0, n) / (n - 1))
 
     @property
@@ -194,16 +197,41 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, float]:
         """Flatten to ``{name: value}`` (counters) and
-        ``{name.mean/.p50/.p99: value}`` (samples)."""
+        ``{name.mean/.p50/.p99: value}`` (samples).
+
+        Keys are emitted in sorted order — first-touch order would depend
+        on which shard touched a metric first in a parallel run."""
         flat: Dict[str, float] = {}
-        for name, counter in self._counters.items():
-            flat[name] = counter.value
-        for name, samples in self._samples.items():
+        for name in sorted(self._counters):
+            flat[name] = self._counters[name].value
+        for name in sorted(self._samples):
+            samples = self._samples[name]
             flat[f"{name}.count"] = samples.count
             flat[f"{name}.mean"] = samples.mean
             flat[f"{name}.p50"] = samples.percentile(50)
             flat[f"{name}.p99"] = samples.percentile(99)
         return flat
+
+    def dump_state(self) -> Dict[str, Dict[str, object]]:
+        """Picklable contents, for shipping a shard's registry to the
+        coordinating process."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "samples": {n: list(s.values) for n, s in self._samples.items()},
+        }
+
+    def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold one shard's :meth:`dump_state` into this registry.
+
+        Counters add; sample sets concatenate (all summary statistics are
+        canonical in the observation multiset, so merge order is
+        irrelevant)."""
+        for name, value in state["counters"].items():
+            self.counter(name).add(int(value))
+        for name, values in state["samples"].items():
+            samples = self.samples(name)
+            for value in values:  # type: ignore[union-attr]
+                samples.record(value)
 
     def __repr__(self) -> str:
         return (

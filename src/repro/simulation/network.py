@@ -6,6 +6,20 @@ numbered endpoints after a sampled delay, possibly dropping some. Loss and
 partitions exist to exercise the reliable transport and the channel's
 transactional recovery; the performance experiments run loss-free, like
 the paper's switched-Ethernet testbed.
+
+For the sharded kernel (docs/parallel.md) the network is *the* partition
+boundary: every cross-server interaction rides a packet, so homing servers
+to shards and teleporting packets between shard kernels is sufficient to
+distribute the whole simulation. Two pieces of metadata support that:
+
+- every latency model advertises ``min_ms`` (the conservative-sync
+  lookahead) and ``deterministic`` (whether sampling consumes the RNG —
+  only deterministic models are eligible for parallel runs, because the
+  per-shard RNG clones would otherwise be drawn in partition-dependent
+  order);
+- each transmitted packet is assigned a per-``(src, dst)`` link sequence
+  at send time, which keys the arrival event identically on every shard
+  layout (band 2 in ``repro.simulation.kernel``).
 """
 
 from __future__ import annotations
@@ -19,7 +33,15 @@ from repro.simulation.kernel import Simulator
 
 
 class LatencyModel(abc.ABC):
-    """Samples one-way propagation delays, in milliseconds."""
+    """Samples one-way propagation delays, in milliseconds.
+
+    Attributes:
+        min_ms: a lower bound on every sample — the shard lookahead.
+        deterministic: True iff :meth:`sample` never touches the RNG.
+    """
+
+    min_ms: float = 0.0
+    deterministic: bool = False
 
     @abc.abstractmethod
     def sample(self, rng: random.Random) -> float:
@@ -29,10 +51,13 @@ class LatencyModel(abc.ABC):
 class ConstantLatency(LatencyModel):
     """Fixed delay — the default; keeps experiments noise-free."""
 
+    deterministic = True
+
     def __init__(self, ms: float):
         if ms < 0:
             raise SimulationError(f"latency must be >= 0, got {ms}")
         self.ms = ms
+        self.min_ms = ms
 
     def sample(self, rng: random.Random) -> float:
         return self.ms
@@ -49,6 +74,7 @@ class UniformLatency(LatencyModel):
             raise SimulationError(f"invalid latency range [{low}, {high}]")
         self.low = low
         self.high = high
+        self.min_ms = low
 
     def sample(self, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
@@ -68,6 +94,7 @@ class ExponentialLatency(LatencyModel):
             )
         self.mean = mean
         self.floor = floor
+        self.min_ms = floor
 
     def sample(self, rng: random.Random) -> float:
         return self.floor + rng.expovariate(1.0 / self.mean)
@@ -95,9 +122,14 @@ class Network:
         self._rng = rng or random.Random(0)
         self._endpoints: Dict[int, Callable[[int, Any], None]] = {}
         self._partitions: Set[FrozenSet[int]] = set()
+        self._link_seq: Dict[Tuple[int, int], int] = {}
         self.packets_sent = 0
         self.packets_dropped = 0
         self.cells_transmitted = 0
+
+    @property
+    def latency(self) -> LatencyModel:
+        return self._latency
 
     def attach(self, endpoint: int, on_packet: Callable[[int, Any], None]) -> None:
         """Register ``endpoint``'s delivery callback."""
@@ -139,7 +171,19 @@ class Network:
             self.packets_dropped += 1
             return
         delay = self._latency.sample(self._rng)
-        self._sim.schedule(delay, self._arrive, src, dst, packet)
+        link = (src, dst)
+        seq = self._link_seq.get(link, 0)
+        self._link_seq[link] = seq + 1
+        self._dispatch(self._sim.now + delay, src, dst, seq, packet)
+
+    def _dispatch(
+        self, time: float, src: int, dst: int, link_seq: int, packet: Any
+    ) -> None:
+        """Schedule the arrival. The shard network overrides this to divert
+        packets whose destination lives on another worker."""
+        self._sim.schedule_arrival(
+            time, dst, src, link_seq, self._arrive, src, dst, packet
+        )
 
     def _arrive(self, src: int, dst: int, packet: Any) -> None:
         handler = self._endpoints.get(dst)

@@ -1,0 +1,92 @@
+"""Shard-side primitives for the parallel kernel (docs/parallel.md).
+
+A *shard* is one worker process running an ordinary :class:`Simulator`
+over a subset of the servers. This module holds the pieces that live
+*inside* a worker and stay MOM-agnostic (the layering rule R006 forbids
+``repro.simulation`` from importing ``repro.mom``):
+
+- :class:`ShardContext` — the worker's identity and server set, handed to
+  the bus constructor;
+- :class:`ShardNetwork` — a :class:`~repro.simulation.network.Network`
+  whose packets to non-local destinations divert into an outbox instead
+  of scheduling locally, plus the inverse ``inject`` used to schedule
+  arrivals granted by the coordinator.
+
+Because arrival events are keyed ``(time, band=2, dst, src, link_seq)``
+with the link sequence assigned at *send* time (see
+``repro.simulation.kernel``), an injected arrival carries exactly the key
+the sequential kernel would have used — the foundation of the
+bit-identical guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Tuple
+
+from repro.simulation.kernel import Simulator
+from repro.simulation.network import LatencyModel, Network
+
+#: One cross-shard packet in transit:
+#: ``(arrival_time, dst, src, link_seq, packet)``.
+OutboxEntry = Tuple[float, int, int, int, Any]
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """A worker's identity: which shard it is and which servers it homes."""
+
+    shard_id: int
+    local_servers: FrozenSet[int]
+
+    def __post_init__(self):
+        if not self.local_servers:
+            raise ValueError(f"shard {self.shard_id} homes no servers")
+
+
+class ShardNetwork(Network):
+    """A network that teleports cross-shard packets through an outbox.
+
+    Send-side bookkeeping (``packets_sent``, ``cells_transmitted``, loss
+    and partition drops, the per-link sequence) happens in the base class
+    exactly as in a sequential run; only the final arrival scheduling is
+    split by destination locality.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        local: FrozenSet[int] = frozenset(),
+    ):
+        super().__init__(sim, latency=latency, loss_rate=loss_rate, rng=rng)
+        self._local = frozenset(local)
+        self.outbox: List[OutboxEntry] = []
+
+    @property
+    def local_servers(self) -> FrozenSet[int]:
+        return self._local
+
+    def _dispatch(
+        self, time: float, src: int, dst: int, link_seq: int, packet: Any
+    ) -> None:
+        if dst in self._local:
+            super()._dispatch(time, src, dst, link_seq, packet)
+        else:
+            self.outbox.append((time, dst, src, link_seq, packet))
+
+    def inject(
+        self, time: float, dst: int, src: int, link_seq: int, packet: Any
+    ) -> None:
+        """Schedule an arrival granted by the coordinator (sent on another
+        shard) under its canonical band-2 key."""
+        self._sim.schedule_arrival(
+            time, dst, src, link_seq, self._arrive, src, dst, packet
+        )
+
+    def drain_outbox(self) -> List[OutboxEntry]:
+        entries, self.outbox = self.outbox, []
+        return entries

@@ -1,0 +1,230 @@
+"""Conservative synchronization for the sharded kernel (docs/parallel.md).
+
+The coordinator runs a windowed LBTS (lower bound on time stamp) barrier —
+the classical null-message idea batched into rounds:
+
+1. every worker reports its earliest pending event time;
+2. ``LBTS = min`` over those reports and over all in-transit cross-shard
+   arrivals;
+3. every event fired in ``[LBTS, LBTS + L)`` — ``L`` being the lookahead,
+   the minimum network latency — can only generate cross-shard arrivals at
+   ``>= LBTS + L``, so the window ``[LBTS, LBTS + L)`` is safe to run on
+   every shard concurrently without any arrival landing inside it;
+4. outboxes are collected, routed to their destination shards, and the
+   next round begins. Termination: ``LBTS == inf`` (all queues empty,
+   nothing in transit).
+
+Messages on the worker pipes are plain tuples:
+
+- parent → worker: ``("grant", bound, arrivals, max_events)``,
+  ``("collect", tag)``, ``("finish",)``;
+- worker → parent: ``("report", next_time, outbox, now, fired)``,
+  ``("state", payload)``, ``("error", exc, traceback_text)``.
+
+This module is MOM-agnostic (layering rule R006): the worker loop drives
+a :class:`~repro.simulation.kernel.Simulator` and a
+:class:`~repro.simulation.shard.ShardNetwork`; everything bus-specific
+reaches it through the opaque ``collect`` callable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.simulation.kernel import Simulator
+from repro.simulation.shard import OutboxEntry, ShardNetwork
+
+
+def serve(conn, sim: Simulator, network: ShardNetwork,
+          collect: Callable[[Any], Any]) -> None:
+    """The worker side: answer grant/collect requests until finished.
+
+    Sends one unsolicited initial report so the coordinator can compute
+    the first LBTS. Any exception (protocol errors included) is shipped to
+    the parent, which re-raises it — a sharded run fails exactly where a
+    sequential one would.
+    """
+    try:
+        conn.send(("report", sim.next_event_time(), [], sim.now, 0))
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "grant":
+                _, bound, arrivals, max_events = message
+                for time, dst, src, link_seq, packet in arrivals:
+                    network.inject(time, dst, src, link_seq, packet)
+                fired = sim.run_window(bound, max_events=max_events)
+                conn.send((
+                    "report",
+                    sim.next_event_time(),
+                    network.drain_outbox(),
+                    sim.now,
+                    fired,
+                ))
+            elif command == "collect":
+                conn.send(("state", collect(message[1])))
+            elif command == "finish":
+                return
+            else:
+                raise SimulationError(f"unknown shard command {command!r}")
+    except BaseException as exc:  # ship the failure to the coordinator
+        import traceback
+
+        try:
+            conn.send(("error", exc, traceback.format_exc()))
+        except (OSError, ValueError, TypeError, AttributeError):
+            # exc unpicklable or pipe gone: ship the text, or give up and
+            # let the parent see EOF (it raises SimulationError on that)
+            try:
+                conn.send(("error", None, traceback.format_exc()))
+            except OSError:
+                return
+        raise
+
+
+class ShardCoordinator:
+    """The parent side: grants safe windows and routes in-transit packets.
+
+    Args:
+        conns: one duplex connection per worker, worker ``i`` homing the
+            servers mapped to shard ``i`` by ``shard_of``.
+        lookahead: the window width ``L`` — must be positive (it equals
+            the minimum network latency, checked by the eligibility gate).
+        shard_of: destination server id → worker index.
+    """
+
+    def __init__(
+        self,
+        conns: Sequence[Any],
+        lookahead: float,
+        shard_of: Callable[[int], int],
+    ):
+        if lookahead <= 0:
+            raise SimulationError(
+                f"conservative sync needs lookahead > 0, got {lookahead}"
+            )
+        self._conns = list(conns)
+        self._lookahead = lookahead
+        self._shard_of = shard_of
+        self._pending: List[List[OutboxEntry]] = [[] for _ in self._conns]
+        self._next_times: List[float] = []
+        self._now = 0.0
+        self._fired_total = 0
+        for conn in self._conns:
+            self._next_times.append(self._recv_report(conn)[0])
+
+    @property
+    def now(self) -> float:
+        """Global simulated time: the latest event fired on any shard."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._fired_total
+
+    def _recv_report(self, conn):
+        message = conn.recv()
+        if message[0] == "error":
+            exc, text = message[1], message[2]
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(f"shard worker failed:\n{text}")
+        if message[0] != "report":
+            raise SimulationError(f"unexpected shard reply {message[0]!r}")
+        return message[1:]
+
+    def _lbts(self) -> float:
+        lbts = min(self._next_times)
+        for entries in self._pending:
+            for entry in entries:
+                if entry[0] < lbts:
+                    lbts = entry[0]
+        return lbts
+
+    def advance(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run windows until quiescence, ``until``, or the event budget.
+
+        Mirrors :meth:`Simulator.run`: ``until`` is inclusive (the window
+        cap is the next float above it), and the return value counts the
+        events fired across all shards during this call.
+        """
+        cap = math.nextafter(until, math.inf) if until is not None else None
+        fired_this_call = 0
+        while True:
+            lbts = self._lbts()
+            if math.isinf(lbts):
+                break
+            if cap is not None and lbts >= cap:
+                break
+            if max_events is not None and fired_this_call >= max_events:
+                break
+            bound = lbts + self._lookahead
+            if cap is not None and bound > cap:
+                bound = cap
+            budget = (
+                None if max_events is None else max_events - fired_this_call
+            )
+            granted, self._pending = (
+                self._pending, [[] for _ in self._conns]
+            )
+            for conn, arrivals in zip(self._conns, granted):
+                conn.send(("grant", bound, arrivals, budget))
+            for index, conn in enumerate(self._conns):
+                next_time, outbox, now, fired = self._recv_report(conn)
+                self._next_times[index] = next_time
+                if now > self._now:
+                    self._now = now
+                fired_this_call += fired
+                for entry in outbox:
+                    self._pending[self._shard_of(entry[1])].append(entry)
+        if until is not None and self._lbts() >= cap and until > self._now:
+            # mirror Simulator.run(): the clock lands exactly on `until`
+            # when no event beyond it stopped us early
+            self._now = until
+        self._fired_total += fired_this_call
+        return fired_this_call
+
+    @property
+    def idle(self) -> bool:
+        """True when every shard queue is empty and nothing is in transit."""
+        return math.isinf(self._lbts())
+
+    def collect(self, tag: Any = None) -> List[Any]:
+        """Gather one opaque state payload from every worker, in shard
+        order (used by the bus to merge metrics/traces/agent state)."""
+        for conn in self._conns:
+            conn.send(("collect", tag))
+        states = []
+        for conn in self._conns:
+            message = conn.recv()
+            if message[0] == "error":
+                exc, text = message[1], message[2]
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise SimulationError(f"shard worker failed:\n{text}")
+            if message[0] != "state":
+                raise SimulationError(
+                    f"unexpected shard reply {message[0]!r}"
+                )
+            states.append(message[1])
+        return states
+
+    def finish(self) -> None:
+        """Tell every worker to exit its serve loop (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(("finish",))
+            except (OSError, ValueError):
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCoordinator(shards={len(self._conns)}, "
+            f"now={self._now:.3f}, lookahead={self._lookahead})"
+        )

@@ -139,7 +139,9 @@ class ReliableTransport:
             cells=entry.cells,
         )
         timeout = self._retransmit_ms * (2 ** (entry.attempts - 1))
-        entry.timer = self._sim.schedule(timeout, self._maybe_retransmit, entry)
+        entry.timer = self._sim.schedule_local(
+            self._endpoint, timeout, self._maybe_retransmit, entry
+        )
 
     def _maybe_retransmit(self, entry: _Outstanding) -> None:
         if self._stopped or (entry.dst, entry.seq) not in self._outstanding:

@@ -1,0 +1,123 @@
+"""Domain partition → shard map for the parallel kernel (docs/parallel.md).
+
+The paper's own decomposition is reused to decompose the *simulator*:
+domains are the natural unit of locality (most traffic is intra-domain),
+so whole domains are assigned to workers and every server is homed to the
+worker owning its first domain. The assignment is a pure function of
+``(topology, workers)``, so every process — parent and all workers —
+computes the identical plan without communicating.
+
+Note that correctness never depends on the plan: the network layer is the
+only cross-server medium, so *any* server partition yields bit-identical
+results (see ``repro.simulation.kernel``). The plan only shapes load
+balance and cross-shard traffic volume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.domains import Topology
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete server → shard assignment.
+
+    Attributes:
+        shards: per shard, the frozen set of servers it homes; the sets
+            partition ``0..n-1`` and are all non-empty.
+        domain_shards: domain id → shard index of the shard the domain's
+            homed servers went to (router-servers of the domain may still
+            be homed elsewhere).
+    """
+
+    shards: Tuple[FrozenSet[int], ...]
+    domain_shards: Dict[str, int]
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, server: int) -> int:
+        for index, members in enumerate(self.shards):
+            if server in members:
+                return index
+        raise TopologyError(f"server {server} is in no shard")
+
+    def describe(self) -> str:
+        lines = [f"ShardPlan: {self.worker_count} worker(s)"]
+        for index, members in enumerate(self.shards):
+            lines.append(f"  shard {index}: servers {sorted(members)}")
+        return "\n".join(lines)
+
+
+def home_domain(topology: Topology, server: int) -> str:
+    """The domain a server is *homed* to: first by domain id among its
+    memberships — router-servers belong to several domains but live on
+    exactly one shard."""
+    return min(d.domain_id for d in topology.domains_of(server))
+
+
+def build_shard_plan(topology: Topology, workers: int) -> ShardPlan:
+    """Assign whole domains to ``workers`` shards, contiguously in domain
+    id order, balancing homed-server counts.
+
+    Contiguity keeps domains that share routers (adjacent ids in the
+    standard builders) on the same worker where possible, reducing
+    cross-shard packets. Workers beyond the domain count are dropped; a
+    single-domain topology always yields a one-shard plan.
+    """
+    if workers < 1:
+        raise TopologyError(f"need at least 1 worker, got {workers}")
+    domain_ids = sorted(topology.domain_ids)
+    homes: Dict[str, List[int]] = {d: [] for d in domain_ids}
+    for server in topology.servers:
+        homes[home_domain(topology, server)].append(server)
+    workers = min(workers, len(domain_ids))
+    groups: List[List[int]] = [[] for _ in range(workers)]
+    domain_shards: Dict[str, int] = {}
+    remaining_servers = topology.server_count
+    cursor = 0
+    for index in range(workers):
+        remaining_groups = workers - index
+        target = math.ceil(remaining_servers / remaining_groups)
+        is_last = index == workers - 1
+        while cursor < len(domain_ids):
+            # leave at least one domain for each later group
+            if not is_last and (
+                len(domain_ids) - cursor <= remaining_groups - 1
+            ):
+                break
+            homed = homes[domain_ids[cursor]]
+            if groups[index] and len(groups[index]) + len(homed) > target:
+                break
+            groups[index].extend(homed)
+            domain_shards[domain_ids[cursor]] = index
+            remaining_servers -= len(homed)
+            cursor += 1
+    # Domains whose members are all homed elsewhere can leave a group with
+    # zero servers; such groups cannot host a worker — drop and remap.
+    remap: Dict[int, int] = {}
+    shards: List[FrozenSet[int]] = []
+    for index, members in enumerate(groups):
+        if members:
+            remap[index] = len(shards)
+            shards.append(frozenset(members))
+    if not shards:
+        raise TopologyError("shard plan produced no non-empty shard")
+    last = len(shards) - 1
+    domain_shards = {
+        d: remap.get(i, last) for d, i in domain_shards.items()
+    }
+    return ShardPlan(shards=tuple(shards), domain_shards=domain_shards)
+
+
+def lookahead_ms(min_latency_ms: float) -> float:
+    """The conservative-sync window width: the minimum inter-server hop
+    latency. Exposed as a function so the eligibility gate and the docs
+    agree on the single source of truth."""
+    return min_latency_ms

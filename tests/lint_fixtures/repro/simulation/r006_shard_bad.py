@@ -1,0 +1,14 @@
+"""R006 fixture: a shard-kernel module importing upward (2 hits).
+
+The sharded-parallel kernel (``repro.simulation.shard``/``sync``) must
+stay MOM-agnostic: the simulation layer may never import the layers it
+hosts, or the conservative sync would grow protocol knowledge the
+sequential kernel does not have.
+"""
+
+import repro.mom.parallel  # hit: simulation -> mom
+from repro.topology.shardplan import build_shard_plan  # hit: simulation -> topology
+
+
+def use():
+    return repro.mom.parallel, build_shard_plan

@@ -1,0 +1,339 @@
+"""Differential oracle: sharded-parallel runs are bit-identical to sequential.
+
+The parallel kernel's whole contract (docs/parallel.md) is that sharding
+is *invisible*: for every seed scenario the sequential and sharded
+executions must produce
+
+- byte-identical ``bus.cost_snapshot()`` JSON,
+- identical per-agent delivery orders (the app trace, event for event),
+- identical experiment metrics and simulated clocks,
+
+with the causality sanitizer attached inside every shard worker (it is
+installed by monkeypatching ``MessageBus.__init__``, which forked workers
+inherit), so any window-boundary reordering the conservative sync might
+smuggle in is caught twice: once by the byte comparison, once as a
+``SanitizerViolation`` shipped back from the worker.
+
+The scenario zoo deliberately spans the risky behaviors: multi-domain
+relay chains, open-loop churn, crash/failover, partitions, broadcast
+fan-out, and the cross-domain ordering patterns of the ordering-zoo
+bench.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.mom.agent import Agent, EchoAgent
+from repro.mom.config import BusConfig
+from repro.mom.parallel import ShardedBus, make_bus
+from repro.mom.workloads import (
+    BroadcastDriver,
+    OpenLoopDriver,
+    PingPongDriver,
+    SinkAgent,
+)
+from repro.topology import builders
+
+
+class Recorder(Agent):
+    """Logs every delivery as (sender, payload, now) — the raw order."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def react(self, ctx, sender, payload):
+        self.seen.append((repr(sender), payload, ctx.now))
+
+
+@pytest.fixture(autouse=True)
+def config_controls_parallel(monkeypatch):
+    """These tests pin the execution mode via the config field; a
+    suite-level ``REPRO_PARALLEL`` override (the CI parallel job) would
+    otherwise turn the sequential oracle itself sharded."""
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+
+
+@pytest.fixture(autouse=True)
+def sanitized():
+    """Attach the causality sanitizer to every bus — including the ones
+    the forked shard workers build (they inherit the patched class)."""
+    sanitizer.install()
+    yield
+    sanitizer.uninstall()
+
+
+def _config(parallel, *, seed=0, clock="matrix", topology=None, workers=4):
+    return BusConfig(
+        topology=topology if topology is not None else builders.bus(12, 4),
+        clock_algorithm=clock,
+        seed=seed,
+        parallel=parallel,
+        workers=workers,
+        record_hop_trace=True,
+    )
+
+
+def _trace_dump(trace):
+    return {
+        str(process): [
+            (event.kind.name, repr(event.message))
+            for event in trace.events_of(process)
+        ]
+        for process in trace.processes
+    }
+
+
+def _observe(bus, agents):
+    """Everything the differential comparison pins, JSON-canonical."""
+    return {
+        "now": bus.sim.now,
+        "cost": json.dumps(bus.cost_snapshot(), sort_keys=True),
+        "metrics": bus.metrics.snapshot(),
+        "stats": bus.stats_table(),
+        "app_trace": _trace_dump(bus.app_trace),
+        "hop_trace": _trace_dump(bus.hop_trace),
+        "causal": bus.check_app_causality().respects_causality,
+        "wire_cells": bus.network.cells_transmitted,
+        "persisted": bus.total_persisted_cells(),
+        "deliveries": {
+            name: list(getattr(agent, attr))
+            for name, (agent, attr) in agents.items()
+        },
+    }
+
+
+def _differential(build, **config_kwargs):
+    """Run ``build`` sequentially and sharded; the observations must match
+    byte for byte. Returns the parallel observation for extra checks."""
+    seq_bus, seq_agents = build(_config("off", **config_kwargs))
+    seq_bus.start()
+    seq_bus.run_until_idle()
+    seq = _observe(seq_bus, seq_agents)
+
+    par_bus, par_agents = build(_config("auto", **config_kwargs))
+    assert isinstance(par_bus, ShardedBus), "scenario must be shard-eligible"
+    par_bus.start()
+    par_bus.run_until_idle()
+    par = _observe(par_bus, par_agents)
+
+    assert par["cost"] == seq["cost"], "cost_snapshot() bytes diverged"
+    assert par == seq
+    assert par["causal"]
+    return par
+
+
+# ----------------------------------------------------------------------
+# The scenario zoo
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("clock", ["matrix", "updates"])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_multi_domain_pingpong(clock, seed):
+    """Cross-domain ping-pong over the 3-domain bus organization."""
+
+    def build(config):
+        bus = make_bus(config)
+        echo_id = bus.deploy(EchoAgent(), 9)
+        driver = PingPongDriver(12)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        return bus, {"rtts": (driver, "rtts")}
+
+    _differential(build, clock=clock, seed=seed)
+
+
+def test_churn_open_loop():
+    """Open-loop churn: three paced streams crossing domain borders at
+    once, so every LBTS window carries in-transit traffic both ways."""
+
+    def build(config):
+        bus = make_bus(config)
+        agents = {}
+        for i, (src, dst) in enumerate([(0, 9), (9, 0), (4, 11)]):
+            sink = SinkAgent()
+            sink_id = bus.deploy(sink, dst)
+            driver = OpenLoopDriver(period_ms=7.0, count=15)
+            driver.bind(sink_id)
+            bus.deploy(driver, src)
+            agents[f"sojourn{i}"] = (sink, "sojourn_ms")
+        return bus, agents
+
+    _differential(build)
+
+
+@pytest.mark.parametrize("victim", [5, 9])
+def test_crash_failover(victim):
+    """A mid-run crash + recovery on a router (5) and a leaf (9): the
+    retransmission/failover machinery must replay identically."""
+
+    def build(config):
+        bus = make_bus(config)
+        echo_id = bus.deploy(EchoAgent(), 9)
+        driver = PingPongDriver(10)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        bus.schedule_crash(40.0, victim, 300.0)
+        return bus, {"rtts": (driver, "rtts")}
+
+    _differential(build)
+
+
+def test_partition_heal():
+    """A scripted partition between two routers, healing mid-run."""
+
+    def build(config):
+        bus = make_bus(config)
+        echo_id = bus.deploy(EchoAgent(), 11)
+        driver = PingPongDriver(10)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        bus.schedule_partition(30.0, 3, 4, 200.0)
+        return bus, {"rtts": (driver, "rtts")}
+
+    _differential(build)
+
+
+def test_broadcast_fan_in():
+    """Broadcast to an echo on every server: maximal cross-shard fan-out
+    and fan-in through the routers each round."""
+
+    def build(config):
+        bus = make_bus(config)
+        targets = [
+            bus.deploy(EchoAgent(), server)
+            for server in config.topology.servers
+            if server != 0
+        ]
+        driver = BroadcastDriver(3)
+        driver.bind(targets)
+        bus.deploy(driver, 0)
+        return bus, {"rounds": (driver, "round_times")}
+
+    _differential(build)
+
+
+@pytest.mark.parametrize("clock", ["matrix", "updates"])
+def test_ordering_zoo_scripted(clock):
+    """The ordering zoo: concurrent scripted sends from three domains into
+    one sink, interleaved with relayed traffic — the delivery order at the
+    sink is exactly the causal order the sequential kernel computes."""
+
+    def build(config):
+        bus = make_bus(config)
+        sink = Recorder()
+        sink_id = bus.deploy(sink, 6)
+        senders = [bus.deploy(EchoAgent(), server) for server in (0, 4, 11)]
+        for step in range(8):
+            for i, sender in enumerate(senders):
+                bus.schedule_send(
+                    1.0 + 3.0 * step + 0.5 * i, sender, sink_id,
+                    ("zoo", i, step),
+                )
+        return bus, {"seen": (sink, "seen")}
+
+    _differential(build, clock=clock, topology=builders.daisy(16, 4))
+
+
+def test_tree_topology_deep_routes():
+    """Tree organization: deliveries relayed through several domains, so
+    cross-shard packets themselves cross shards again downstream."""
+
+    def build(config):
+        bus = make_bus(config)
+        leaf = max(config.topology.servers)
+        echo_id = bus.deploy(EchoAgent(), leaf)
+        driver = PingPongDriver(8)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        return bus, {"rtts": (driver, "rtts")}
+
+    _differential(build, topology=builders.tree(14, fanout=2, domain_size=4))
+
+
+def test_obs_trace_rings_merge_across_shards():
+    """With the observability tracer installed (REPRO_TRACE=1 semantics),
+    every worker's bus auto-attaches a tracer through the forked class
+    patch; the parent merges the per-shard event rings into one
+    time-ordered stream carrying exactly the sequential run's events."""
+    from collections import Counter
+
+    from repro.obs import install as obs_install
+    from repro.obs import uninstall as obs_uninstall
+
+    def run(parallel):
+        bus = make_bus(_config(parallel))
+        echo_id = bus.deploy(EchoAgent(), 9)
+        driver = PingPongDriver(5)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        bus.start()
+        bus.run_until_idle()
+        return bus
+
+    obs_install()
+    try:
+        seq_bus = run("off")
+        par_bus = run("auto")
+    finally:
+        obs_uninstall()
+    assert isinstance(par_bus, ShardedBus)
+
+    def key(event):
+        # ring seq numbers are per-worker; compare everything else
+        return (event.t, event.kind, event.server, event.domain,
+                event.src, event.dst, event.hop_seq, repr(event.value))
+
+    seq_events = seq_bus._obs_tracer.ring.events()
+    par_events = par_bus.trace_events()
+    assert Counter(map(key, seq_events)) == Counter(map(key, par_events))
+    assert [e.t for e in par_events] == sorted(e.t for e in par_events)
+
+
+def test_windowed_runs_match_single_run():
+    """Stepping the sharded clock in run(until) windows syncs the merged
+    state mid-flight and still lands on the sequential endpoint.
+
+    A sharded sync pulls the snapshot collectors inside every worker, so
+    it *is* an observation — the high-water marks of pulled gauges record
+    it, exactly as a mid-run ``cost_snapshot()`` does sequentially. The
+    oracle therefore drives both buses through the same observation
+    schedule (run to t, snapshot, repeat) and pins the final bytes."""
+
+    def build(config):
+        bus = make_bus(config)
+        echo_id = bus.deploy(EchoAgent(), 9)
+        driver = PingPongDriver(10)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        return bus, driver
+
+    checkpoints = (50.0, 300.0, 800.0)
+
+    seq_bus, seq_driver = build(_config("off"))
+    seq_bus.start()
+    seq_snaps = []
+    for until in checkpoints:
+        seq_bus.run(until=until)
+        seq_snaps.append(json.dumps(seq_bus.cost_snapshot(), sort_keys=True))
+    seq_bus.run_until_idle()
+
+    par_bus, par_driver = build(_config("auto"))
+    assert isinstance(par_bus, ShardedBus)
+    par_bus.start()
+    par_snaps = []
+    for until in checkpoints:
+        par_bus.run(until=until)
+        assert par_bus.sim.now == until
+        par_snaps.append(json.dumps(par_bus.cost_snapshot(), sort_keys=True))
+    par_bus.run_until_idle()
+
+    assert par_snaps == seq_snaps
+    assert par_bus.sim.now == seq_bus.sim.now
+    assert par_driver.rtts == seq_driver.rtts
+    assert json.dumps(par_bus.cost_snapshot(), sort_keys=True) == json.dumps(
+        seq_bus.cost_snapshot(), sort_keys=True
+    )

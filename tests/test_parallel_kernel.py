@@ -1,0 +1,272 @@
+"""Unit tests for the sharded-parallel kernel's building blocks.
+
+The differential suite (test_parallel_differential.py) pins the
+end-to-end bit-identity contract; these tests cover the mechanisms under
+it: the topology shard plan, the mode/eligibility gates of
+:func:`repro.mom.parallel.make_bus`, the scripting guard rails of
+:class:`ShardedBus`, per-shard RNG stream isolation (the runtime face of
+lint rule R007), and the R006 layering that keeps
+``repro.simulation.shard``/``sync`` MOM-agnostic.
+"""
+
+import multiprocessing
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.errors import ConfigurationError
+from repro.mom.agent import EchoAgent
+from repro.mom.bus import MessageBus
+from repro.mom.config import BusConfig
+from repro.mom.parallel import (
+    ShardedBus,
+    make_bus,
+    resolve_mode,
+    shard_eligibility,
+)
+from repro.mom.workloads import PingPongDriver
+from repro.simulation.network import UniformLatency
+from repro.simulation.shard import ShardContext
+from repro.topology import builders
+from repro.topology.shardplan import (
+    build_shard_plan,
+    home_domain,
+    lookahead_ms,
+)
+
+SRC = Path(__file__).parent.parent / "src"
+
+
+@pytest.fixture(autouse=True)
+def config_controls_parallel(monkeypatch):
+    """Mode here is driven by the config field (or an explicit setenv in
+    the test); a suite-level ``REPRO_PARALLEL`` override must not leak in."""
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+
+
+def _config(**kwargs):
+    kwargs.setdefault("topology", builders.bus(12, 4))
+    return BusConfig(**kwargs)
+
+
+class TestShardPlan:
+    def test_servers_live_on_their_home_domain_shard(self):
+        # routers belong to two domains and can only be homed to one
+        # shard (their lowest domain id); every other server rides along
+        topology = builders.bus(12, 4)
+        plan = build_shard_plan(topology, 3)
+        for server in topology.servers:
+            home = home_domain(topology, server)
+            assert plan.shard_of(server) == plan.domain_shards[home]
+
+    def test_every_server_mapped_exactly_once(self):
+        topology = builders.tree(30, fanout=3, domain_size=5)
+        plan = build_shard_plan(topology, 4)
+        seen = [s for shard in plan.shards for s in shard]
+        assert sorted(seen) == sorted(set(seen))
+        assert {plan.shard_of(s) for s in topology.servers} == set(
+            range(plan.worker_count)
+        )
+
+    def test_single_domain_yields_one_shard(self):
+        plan = build_shard_plan(builders.single_domain(8), 4)
+        assert plan.worker_count == 1
+
+    def test_workers_capped_by_domains(self):
+        topology = builders.bus(12, 4)
+        plan = build_shard_plan(topology, 64)
+        assert plan.worker_count <= len(topology.domain_ids)
+
+    def test_lookahead_is_min_latency(self):
+        assert lookahead_ms(2.5) == 2.5
+
+
+class TestModeResolution:
+    def test_env_off_values(self, monkeypatch):
+        for value in ("0", "off", "no", "false", ""):
+            monkeypatch.setenv("REPRO_PARALLEL", value)
+            assert resolve_mode(_config(parallel="auto"))[0] == "off"
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "auto")
+        mode, workers = resolve_mode(_config())
+        assert mode == "auto" and workers >= 1
+
+    def test_env_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert resolve_mode(_config()) == ("auto", 3)
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        assert resolve_mode(_config()) == ("off", 0)
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "fast")
+        with pytest.raises(ConfigurationError):
+            resolve_mode(_config())
+
+    def test_config_field_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert resolve_mode(_config(parallel="off")) == ("off", 0)
+        mode, workers = resolve_mode(_config(parallel="auto", workers=2))
+        assert (mode, workers) == ("auto", 2)
+
+    def test_config_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            _config(parallel="yes")
+        with pytest.raises(ConfigurationError):
+            _config(workers=-1)
+
+
+class TestEligibility:
+    def test_eligible_multi_domain(self):
+        plan, reason = shard_eligibility(_config(), 3)
+        assert plan is not None and plan.worker_count == 3
+
+    def test_random_latency_falls_back(self):
+        config = _config(latency=UniformLatency(0.5, 2.0))
+        plan, reason = shard_eligibility(config, 3)
+        assert plan is None and "random" in reason
+
+    def test_loss_falls_back(self):
+        plan, reason = shard_eligibility(_config(loss_rate=0.1), 3)
+        assert plan is None and "loss" in reason
+
+    def test_single_domain_falls_back(self):
+        config = _config(topology=builders.single_domain(8))
+        plan, _ = shard_eligibility(config, 4)
+        assert plan is None
+
+    def test_make_bus_fallbacks_are_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert type(make_bus(_config())) is MessageBus
+        sequential = make_bus(
+            _config(parallel="auto", workers=2, loss_rate=0.2)
+        )
+        assert type(sequential) is MessageBus
+        sharded = make_bus(_config(parallel="auto", workers=2))
+        assert isinstance(sharded, ShardedBus)
+
+
+class TestShardedBusGuards:
+    def _sharded(self):
+        bus = make_bus(_config(parallel="auto", workers=2))
+        assert isinstance(bus, ShardedBus)
+        return bus
+
+    def test_run_before_start_rejected(self):
+        bus = self._sharded()
+        with pytest.raises(ConfigurationError):
+            bus.run_until_idle()
+
+    def test_deploy_after_start_rejected(self):
+        bus = self._sharded()
+        echo_id = bus.deploy(EchoAgent(), 9)
+        driver = PingPongDriver(1)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        bus.start()
+        try:
+            with pytest.raises(ConfigurationError):
+                bus.deploy(EchoAgent(), 3)
+            with pytest.raises(ConfigurationError):
+                bus.schedule_send(1.0, echo_id, echo_id, "late")
+        finally:
+            bus.run_until_idle()
+
+    def test_agent_ids_match_sequential_assignment(self):
+        bus = self._sharded()
+        first = bus.deploy(EchoAgent(), 9)
+        second = bus.deploy(EchoAgent(), 9)
+        other = bus.deploy(EchoAgent(), 0)
+        assert (first.server, first.local) == (9, 0)
+        assert (second.server, second.local) == (9, 1)
+        assert (other.server, other.local) == (0, 0)
+        bus.close()
+
+    def test_unknown_server_rejected(self):
+        bus = self._sharded()
+        with pytest.raises(ConfigurationError):
+            bus.deploy(EchoAgent(), 99)
+        with pytest.raises(ConfigurationError):
+            bus.schedule_crash(1.0, 99, 10.0)
+
+    def test_run_after_quiescence_only_moves_the_clock(self):
+        bus = self._sharded()
+        echo_id = bus.deploy(EchoAgent(), 9)
+        driver = PingPongDriver(2)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        bus.start()
+        bus.run_until_idle()
+        end = bus.sim.now
+        assert bus.run(until=end + 500.0) == 0
+        assert bus.sim.now == end + 500.0
+
+
+class TestRngIsolation:
+    """Runtime face of lint rule R007: no two shard workers may ever
+    share an RNG stream, or cross-shard packet order would couple their
+    draws and break replayability."""
+
+    def test_shard_buses_derive_disjoint_network_streams(self):
+        config = _config()
+        plan = build_shard_plan(config.topology, 3)
+        stream_names = []
+        for shard_id, members in enumerate(plan.shards):
+            bus = MessageBus(
+                config, shard=ShardContext(shard_id, frozenset(members))
+            )
+            names = set(bus.rng._streams)
+            assert names == {f"network/shard{shard_id}"}
+            stream_names.append(names)
+        for i, left in enumerate(stream_names):
+            for right in stream_names[i + 1:]:
+                assert left.isdisjoint(right)
+
+    def test_deterministic_runs_never_draw(self):
+        """Eligible (deterministic, lossless) runs consume zero random
+        numbers, so shard draws cannot diverge from sequential at all."""
+        bus = make_bus(_config(parallel="off"))
+        echo_id = bus.deploy(EchoAgent(), 9)
+        driver = PingPongDriver(3)
+        driver.bind(echo_id)
+        bus.deploy(driver, 0)
+        bus.start()
+        bus.run_until_idle()
+        state_before = bus.rng.stream("network").random()
+        fresh = bus.rng.__class__(bus.config.seed).stream("network").random()
+        assert state_before == fresh, "network stream was consumed mid-run"
+
+
+class TestLayering:
+    def test_shard_kernel_modules_lint_clean(self):
+        paths = [
+            SRC / "repro" / "simulation" / "shard.py",
+            SRC / "repro" / "simulation" / "sync.py",
+            SRC / "repro" / "topology" / "shardplan.py",
+            SRC / "repro" / "mom" / "parallel.py",
+        ]
+        assert lint_paths(paths) == []
+
+    def test_upward_import_from_shard_module_fires_r006(self):
+        fixture = (
+            Path(__file__).parent
+            / "lint_fixtures" / "repro" / "simulation" / "r006_shard_bad.py"
+        )
+        from repro.analysis import lint_file
+
+        fired = [d.rule for d in lint_file(fixture)]
+        assert fired.count("R006") == 2
+
+
+class TestForkRequirement:
+    def test_fork_is_available_here(self):
+        # the eligibility gate's platform check is live on this CI image
+        assert "fork" in multiprocessing.get_all_start_methods()
+
+    def test_auto_on_one_cpu_machine_is_safe(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        bus = make_bus(_config(parallel="auto"))
+        assert type(bus) is MessageBus
