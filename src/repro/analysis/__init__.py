@@ -2,10 +2,13 @@
 
 Two complementary halves:
 
-- :mod:`repro.analysis.lint` — an AST linter (rules R001–R006) that makes
-  the invariants behind the PR-1 hot path — copy-on-write clock buffers,
-  seeded determinism, ordered iteration, layered imports — violations you
-  cannot merge. Run it with ``python -m repro.analysis lint src/``.
+- :mod:`repro.analysis.lint` — an AST linter (rules R001–R017) that makes
+  the invariants behind the middleware — copy-on-write clock buffers,
+  seeded determinism, ordered iteration, layered imports, whole-program
+  taint and effect discipline (R007–R012) and the fork/pipe concurrency
+  rules built on the happens-before model in
+  :mod:`repro.analysis.concurrency` (R013–R017) — violations you cannot
+  merge. Run it with ``python -m repro.analysis lint src/``.
 - :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer
   (``REPRO_SANITIZE=1``) that wraps live clocks and the bus to catch
   stamp-mutation-after-share, matrix-cell monotonicity violations,

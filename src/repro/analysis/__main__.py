@@ -2,23 +2,50 @@
 
 Exit codes: 0 = clean, 1 = findings, 2 = usage error. The ``--json``
 payload and the exit code are computed from the same post-suppression,
-post-baseline finding list, so they can never disagree.
+post-baseline finding list, so they can never disagree; ``--sarif``
+writes that same list as a SARIF 2.1.0 file for code-scanning upload.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Set
 
 from repro.analysis.lint import (
     apply_baseline,
     lint_paths,
     load_baseline,
+    to_sarif,
     write_baseline,
 )
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+
+def _git_changed_files() -> Set[Path]:
+    """Changed ``*.py`` files: unstaged + staged ``git diff --name-only``,
+    resolved against the repository root. Raises on any git failure."""
+    top = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.strip()
+    names: Set[str] = set()
+    for extra in ([], ["--cached"]):
+        out = subprocess.run(
+            ["git", "diff", "--name-only", *extra],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        names.update(line.strip() for line in out.splitlines() if line.strip())
+    return {
+        Path(top) / name for name in names if name.endswith(".py")
+    }
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -32,8 +59,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if unknown:
             print(f"error: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
+    changed_only = None
+    if args.changed:
+        try:
+            changed_only = _git_changed_files()
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"error: --changed needs a git checkout: {exc}", file=sys.stderr)
+            return 2
     try:
-        findings = lint_paths(args.paths, select=select, cache=args.cache)
+        findings = lint_paths(
+            args.paths,
+            select=select,
+            cache=args.cache,
+            changed_only=changed_only,
+        )
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -54,6 +93,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         kept = apply_baseline(findings, baseline)
         suppressed = len(findings) - len(kept)
         findings = kept
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(to_sarif(findings), indent=2), encoding="utf-8"
+        )
     if args.json:
         payload = {
             "findings": [d.to_dict() for d in findings],
@@ -89,6 +132,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", action="store_true", help="emit diagnostics as JSON"
     )
     lint_parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write the findings as SARIF 2.1.0 (code scanning)",
+    )
+    lint_parser.add_argument(
         "--select",
         default=None,
         help="comma-separated rule ids to run (default: all)",
@@ -104,7 +153,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache",
         default=None,
         metavar="FILE",
-        help="content-hash result cache (ignored when rules are selected)",
+        help="content-hash result cache (rule selections get their own "
+        "cache bucket)",
+    )
+    lint_parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="scope file rules to git-changed files (project rules still "
+        "run whole-program)",
     )
     lint_parser.add_argument(
         "--baseline",

@@ -320,6 +320,24 @@ class Project:
             return candidates[0]
         return None
 
+    def subclasses_of(self, base_name: str) -> List[ClassInfo]:
+        """Every project class transitively deriving from ``base_name``
+        (by declared base-class *name*), in qualname order."""
+        children: Dict[str, List[ClassInfo]] = {}
+        for qualname in sorted(self.classes_by_qualname):
+            cls = self.classes_by_qualname[qualname]
+            for base in cls.bases:
+                children.setdefault(base, []).append(cls)
+        found: Dict[str, ClassInfo] = {}
+        queue = [base_name]
+        while queue:
+            name = queue.pop(0)
+            for cls in children.get(name, []):
+                if cls.qualname not in found:
+                    found[cls.qualname] = cls
+                    queue.append(cls.name)
+        return [found[q] for q in sorted(found)]
+
     def lookup_method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
         seen: Set[str] = set()
         stack = [cls]
@@ -445,6 +463,21 @@ class Project:
                 key=lambda f: f.qualname,
             )
         if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+                and fn.cls is not None
+            ):
+                # super().m(...): resolve through the declared bases, never
+                # the bare-name fallback (which would link every __init__).
+                for base in fn.cls.bases:
+                    parent = self.class_named(base)
+                    if parent is not None:
+                        method = self.lookup_method(parent, func.attr)
+                        if method is not None:
+                            return [method]
+                return []
             receiver = self.infer_expr(func.value, env, fn)
             if receiver is not None and receiver[0] == "cls":
                 cls = self.class_named(str(receiver[1]))

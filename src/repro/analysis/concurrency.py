@@ -1,0 +1,523 @@
+"""The fork/pipe happens-before model behind rules R013–R017.
+
+PR 6 made the simulation kernel multi-process: :class:`ShardedBus` forks
+one worker per shard (``ctx.Process(target=_worker_main, ...)``) and all
+cross-process traffic rides duplex pipes as pickled tuples. That topology
+induces a happens-before order much simpler than general shared-memory
+threading, and this module models it statically:
+
+- **fork is a one-way snapshot.** At ``Process(target=f)`` the child
+  inherits a copy of the parent's memory. Everything the parent wrote
+  *before* the fork happens-before everything the worker does — but no
+  edge ever points back: a worker's write to inherited state (module
+  globals, parent-owned objects) is invisible to the parent and to every
+  sibling. Such writes are *lost updates* (rule R013).
+- **``Pipe.send``/``recv`` are the only cross-process flows.** A send
+  happens-before the matching receive, and only the pickled payload
+  crosses — so every type transitively reachable from a shipped object
+  must be picklable (rule R014), and anything the parent must observe
+  has to travel through a pipe, never through inherited memory.
+
+The :class:`ForkModel` derives, from a
+:class:`~repro.analysis.callgraph.Project`:
+
+- the *worker entry points*: functions referenced as the ``target=`` of a
+  ``Process(...)`` construction (``repro.mom.parallel._worker_main`` on
+  the real tree);
+- the *worker-reachable closure* over the call graph — the code that may
+  execute on the child side of the fork (the shard/sync handlers,
+  :func:`repro.simulation.sync.serve`, the whole per-worker bus);
+- the *pipe send sites* (``….send(payload)`` through a ``conn``-named
+  handle) and the classes statically inferable as crossing the pipe,
+  closed over their field types;
+- worker-side writes to module-level state, and the parent-side readers
+  that would observe a stale snapshot.
+
+Everything is deterministic (sorted iteration orders) and stdlib-only,
+like the rest of the analysis package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import ClassInfo, FunctionInfo, Project
+
+#: Container-mutator method names (a write even without rebinding).
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Constructors whose instances cannot cross a pickled pipe.
+UNPICKLABLE_CTORS: Dict[str, str] = {
+    "Lock": "a thread lock",
+    "RLock": "a reentrant lock",
+    "Condition": "a condition variable",
+    "Event": "a thread event",
+    "Semaphore": "a semaphore",
+    "BoundedSemaphore": "a semaphore",
+    "Barrier": "a barrier",
+    "Queue": "a queue handle",
+    "SimpleQueue": "a queue handle",
+    "Pipe": "a pipe handle",
+    "Connection": "a pipe connection",
+    "socket": "a socket",
+    "Thread": "a thread handle",
+    "Process": "a process handle",
+    "open": "an open file handle",
+}
+
+#: Root classes whose instances are pickled inside protocol packets.
+SHIPPED_ROOT_BASES = ("Stamp",)
+
+
+def _call_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _flatten(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten(target.value)
+    else:
+        yield target
+
+
+def _assign_targets(node: ast.AST) -> List[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def is_pipe_handle(chain: Optional[str]) -> bool:
+    """Heuristic: the last segment of the receiver chain names a pipe
+    connection (``conn``, ``child_conn``, ``parent_conn``, ``_conns``)."""
+    if not chain:
+        return False
+    return "conn" in chain.split(".")[-1]
+
+
+def module_level_names(tree: ast.Module) -> FrozenSet[str]:
+    """Names bound by top-level assignments of a module — the mutable
+    state a fork snapshots."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        for target in _assign_targets(stmt):
+            for leaf in _flatten(target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+    return frozenset(names)
+
+
+def local_bindings(fn_node: ast.AST) -> FrozenSet[str]:
+    """Names bound locally inside a function (parameters, assignments,
+    loop/with/except targets, comprehension variables) — *excluding*
+    names declared ``global``/``nonlocal``."""
+    escaping: Set[str] = set()
+    bound: Set[str] = set()
+    args = fn_node.args  # type: ignore[attr-defined]
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            escaping.update(node.names)
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            targets: List[ast.expr] = [node.target]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            targets = [
+                item.optional_vars for item in node.items if item.optional_vars
+            ]
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                bound.add(node.name)
+            continue
+        elif isinstance(node, ast.comprehension):
+            targets = [node.target]
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = _assign_targets(node)
+        else:
+            continue
+        for target in targets:
+            for leaf in _flatten(target):
+                if isinstance(leaf, ast.Name):
+                    bound.add(leaf.id)
+    return frozenset(bound - escaping)
+
+
+@dataclass
+class PipeSend:
+    """One ``conn.send(...)`` site — a happens-before edge source."""
+
+    fn: FunctionInfo
+    node: ast.Call
+    handle: str
+
+
+@dataclass
+class ModuleStateWrite:
+    """A worker-side write to module-level (fork-snapshotted) state."""
+
+    fn: FunctionInfo
+    node: ast.AST
+    name: str
+    how: str  # "rebinding" | "item write" | ".<method>() mutation"
+
+
+class ForkModel:
+    """The fork/pipe happens-before model of one :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.worker_entries: List[str] = self._find_worker_entries()
+        #: qualname -> call-graph parent, for every function that may run
+        #: on the child side of a fork ("" for the entries themselves).
+        self.worker_reachable: Dict[str, str] = project.reachable_from(
+            self.worker_entries
+        )
+
+    # -- fork topology --------------------------------------------------
+
+    def _find_worker_entries(self) -> List[str]:
+        """Functions referenced as ``target=`` of a ``Process(...)``
+        construction, anywhere in the project."""
+        entries: Set[str] = set()
+        for qualname in sorted(self.project.functions):
+            fn = self.project.functions[qualname]
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _call_name(node.func) != "Process":
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg != "target":
+                        continue
+                    name = _call_name(keyword.value)
+                    if name is None:
+                        continue
+                    local = self.project.functions.get(f"{fn.module}.{name}")
+                    if local is not None:
+                        entries.add(local.qualname)
+                    else:
+                        entries.update(
+                            f.qualname
+                            for f in self.project.functions_by_name.get(name, [])
+                        )
+        return sorted(entries)
+
+    def is_worker(self, qualname: str) -> bool:
+        """May this function execute on the child side of the fork?"""
+        return qualname in self.worker_reachable
+
+    def worker_path(self, qualname: str) -> List[str]:
+        """Call chain from a worker entry down to ``qualname``."""
+        return self.project.path_to(self.worker_reachable, qualname)
+
+    # -- pipe flows -----------------------------------------------------
+
+    def pipe_sends(self) -> List[PipeSend]:
+        """Every ``….send(payload)`` through a pipe-handle chain, on
+        either side of the fork (both directions cross the pickle)."""
+        from repro.analysis.dataflow import expr_chain
+
+        sends: List[PipeSend] = []
+        for qualname in sorted(self.project.functions):
+            fn = self.project.functions[qualname]
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "send"
+                ):
+                    chain = expr_chain(node.func.value)
+                    if is_pipe_handle(chain):
+                        sends.append(PipeSend(fn, node, chain or ""))
+        return sends
+
+    def shipped_classes(self) -> List[ClassInfo]:
+        """Project classes statically inferable as crossing a pipe:
+        inferred types of send-site payload expressions, plus the
+        protocol-message roots (``Stamp`` subclasses ride pickled inside
+        packets) — closed transitively over field types."""
+        seeds: Set[str] = set()
+        for send in self.pipe_sends():
+            env = self.project.local_env(send.fn)
+            for arg in send.node.args:
+                self._seed_classes(arg, send.fn, env, seeds)
+        for base in SHIPPED_ROOT_BASES:
+            for cls in self.project.subclasses_of(base):
+                seeds.add(cls.qualname)
+        closed: Set[str] = set()
+        queue = sorted(seeds)
+        while queue:
+            qualname = queue.pop(0)
+            if qualname in closed:
+                continue
+            closed.add(qualname)
+            cls = self.project.classes_by_qualname.get(qualname)
+            if cls is None:
+                continue
+            for attr in sorted(cls.attr_types):
+                inferred = cls.attr_types[attr]
+                if inferred is not None and inferred[0] == "cls":
+                    inner = self.project.class_named(str(inferred[1]))
+                    if inner is not None and inner.qualname not in closed:
+                        queue.append(inner.qualname)
+        return [
+            self.project.classes_by_qualname[name]
+            for name in sorted(closed)
+            if name in self.project.classes_by_qualname
+        ]
+
+    def _seed_classes(
+        self,
+        expr: ast.expr,
+        fn: FunctionInfo,
+        env: Dict[str, object],
+        seeds: Set[str],
+    ) -> None:
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self._seed_classes(element, fn, env, seeds)
+            return
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is not None:
+                    self._seed_classes(value, fn, env, seeds)
+            return
+        inferred = self.project.infer_expr(expr, env, fn)  # type: ignore[arg-type]
+        if inferred is not None and inferred[0] == "cls":
+            cls = self.project.class_named(str(inferred[1]))
+            if cls is not None:
+                seeds.add(cls.qualname)
+
+    # -- picklability ---------------------------------------------------
+
+    def unpicklable_fields(
+        self, cls: ClassInfo
+    ) -> List[Tuple[ast.AST, str, str]]:
+        """``(site, field, why)`` for every field assignment storing a
+        statically unpicklable value in ``cls``."""
+        found: List[Tuple[ast.AST, str, str]] = []
+        for name in sorted(cls.methods):
+            fn = cls.methods[name]
+            for node in ast.walk(fn.node):
+                value = getattr(node, "value", None)
+                if value is None:
+                    continue
+                for target in _assign_targets(node):
+                    for leaf in _flatten(target):
+                        if (
+                            isinstance(leaf, ast.Attribute)
+                            and isinstance(leaf.value, ast.Name)
+                            and leaf.value.id == "self"
+                        ):
+                            why = self.unpicklable_reason(value, cls)
+                            if why is not None:
+                                found.append((node, leaf.attr, why))
+        return found
+
+    def unpicklable_reason(
+        self, expr: ast.expr, cls: Optional[ClassInfo] = None
+    ) -> Optional[str]:
+        """Why ``expr`` cannot cross a pickled pipe, or ``None``."""
+        if isinstance(expr, ast.Lambda):
+            return "a lambda"
+        if isinstance(expr, ast.GeneratorExp):
+            return "a generator expression"
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr.func)
+            if name in UNPICKLABLE_CTORS:
+                return UNPICKLABLE_CTORS[name]
+            return None
+        if (
+            cls is not None
+            and isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.project.lookup_method(cls, expr.attr) is not None
+        ):
+            return f"the bound method self.{expr.attr}"
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                why = self.unpicklable_reason(element, cls)
+                if why is not None:
+                    return why
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is not None:
+                    why = self.unpicklable_reason(value, cls)
+                    if why is not None:
+                        return why
+        return None
+
+    # -- fork-boundary lost updates -------------------------------------
+
+    def worker_module_writes(self) -> List[ModuleStateWrite]:
+        """Writes, in worker-reachable code, to module-level state of the
+        writer's own module — each one a candidate lost update."""
+        writes: List[ModuleStateWrite] = []
+        for qualname in sorted(self.worker_reachable):
+            fn = self.project.functions.get(qualname)
+            if fn is None:
+                continue
+            info = self.project.modules.get(fn.module)
+            if info is None:
+                continue
+            mod_names = module_level_names(info.tree)
+            if not mod_names:
+                continue
+            locals_ = local_bindings(fn.node)
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    for target in _assign_targets(node):
+                        for leaf in _flatten(target):
+                            if (
+                                isinstance(leaf, ast.Name)
+                                and leaf.id in mod_names
+                                and leaf.id not in locals_
+                            ):
+                                writes.append(
+                                    ModuleStateWrite(
+                                        fn, node, leaf.id, "rebinding"
+                                    )
+                                )
+                            elif (
+                                isinstance(leaf, ast.Subscript)
+                                and isinstance(leaf.value, ast.Name)
+                                and leaf.value.id in mod_names
+                                and leaf.value.id not in locals_
+                            ):
+                                writes.append(
+                                    ModuleStateWrite(
+                                        fn, node, leaf.value.id, "item write"
+                                    )
+                                )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in mod_names
+                    and node.func.value.id not in locals_
+                ):
+                    writes.append(
+                        ModuleStateWrite(
+                            fn,
+                            node,
+                            node.func.value.id,
+                            f".{node.func.attr}() mutation",
+                        )
+                    )
+        return writes
+
+    def parent_readers(self, module: str, name: str) -> List[FunctionInfo]:
+        """Functions of ``module`` outside the worker closure that read
+        the module-level ``name`` — the observers of the stale fork
+        snapshot."""
+        readers: List[FunctionInfo] = []
+        for qualname in sorted(self.project.functions):
+            fn = self.project.functions[qualname]
+            if fn.module != module or qualname in self.worker_reachable:
+                continue
+            if name in local_bindings(fn.node):
+                continue  # shadowed: the local, not the module state
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Name)
+                    and node.id == name
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    readers.append(fn)
+                    break
+        return readers
+
+    # -- shard-scoped lexical guards (R017) -----------------------------
+
+    def sequential_guarded_calls(self, fn: FunctionInfo) -> Set[int]:
+        """``id()`` of every call lexically inside an ``if <shard-ish>
+        is None:`` body — the sequential-only branch, where a constant
+        stream name cannot collide across workers."""
+        guarded: Set[int] = set()
+
+        def visit(node: ast.AST, inside: bool) -> None:
+            if isinstance(node, ast.If):
+                branch = inside or _is_shardless_test(node.test)
+                visit(node.test, inside)
+                for stmt in node.body:
+                    visit(stmt, branch)
+                for stmt in node.orelse:
+                    visit(stmt, inside)
+                return
+            if isinstance(node, ast.Call) and inside:
+                guarded.add(id(node))
+            for child in ast.iter_child_nodes(node):
+                visit(child, inside)
+
+        visit(fn.node, False)
+        return guarded
+
+    def __repr__(self) -> str:
+        return (
+            f"ForkModel(entries={len(self.worker_entries)}, "
+            f"worker_reachable={len(self.worker_reachable)})"
+        )
+
+
+def _is_shardless_test(test: ast.expr) -> bool:
+    """``<chain containing a shard segment> is None``."""
+    from repro.analysis.dataflow import expr_chain
+
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        chain = expr_chain(test.left)
+        if chain is not None:
+            return any("shard" in segment for segment in chain.split("."))
+    return False
+
+
+def fork_model(project: Project) -> ForkModel:
+    """One memoized :class:`ForkModel` per project (mirrors
+    :func:`repro.analysis.rules.effect_engine`)."""
+    model = getattr(project, "_fork_model", None)
+    if model is None:
+        model = ForkModel(project)
+        project._fork_model = model  # type: ignore[attr-defined]
+    return model

@@ -11,17 +11,19 @@ them all.
 
 Two rule tiers share one driver:
 
-- *file rules* (R001–R006, R009–R012) see a single parsed tree at a time
-  and run from :func:`lint_source`;
-- *project rules* (R007, R008) need the whole-program
+- *file rules* (R001–R006, R009–R012, R015, R016) see a single parsed
+  tree at a time and run from :func:`lint_source`;
+- *project rules* (R007, R008, R013, R014, R017) need the whole-program
   :class:`~repro.analysis.callgraph.Project` — call graph, effect
-  summaries — and run once per :func:`lint_paths` invocation.
+  summaries, the fork/pipe happens-before model — and run once per
+  :func:`lint_paths` invocation.
 
 Results are cached by file content hash (:class:`LintCache`): per-file
 findings are keyed on each file's SHA-256, the project-level findings on
 the combined hash of every file, and the whole cache is invalidated when
 any ``repro.analysis`` source changes. A warm run re-hashes but never
-re-parses.
+re-parses. Each rule selection (``--rule``) gets its own cache bucket,
+so selected and full runs coexist in one cache file.
 
 Suppressions use the conventional ``# noqa`` comment syntax::
 
@@ -59,7 +61,7 @@ _NOQA_RE = re.compile(
     re.IGNORECASE,
 )
 
-CACHE_FORMAT = "repro.analysis-cache/v1"
+CACHE_FORMAT = "repro.analysis-cache/v2"
 BASELINE_FORMAT = "repro.analysis-baseline/v1"
 
 
@@ -246,13 +248,28 @@ def analysis_signature() -> str:
     return digest.hexdigest()
 
 
+def selection_key(select: Optional[Iterable[str]]) -> str:
+    """Canonical cache-bucket key for a rule selection (``"*"`` = all)."""
+    if select is None:
+        return "*"
+    codes = sorted({code.upper() for code in select})
+    return ",".join(codes) if codes else "*"
+
+
 class LintCache:
     """JSON cache: per-file findings keyed by content hash, project
-    findings keyed by the combined hash of every file."""
+    findings keyed by the combined hash of every file.
 
-    def __init__(self, path: Path) -> None:
+    Since v2 results are bucketed per rule *selection*: a ``--rule R001``
+    run and a full run read and write different buckets of the same
+    cache file, so partial results never poison full ones, yet repeated
+    selected runs still go warm."""
+
+    def __init__(self, path: Path, selection: str = "*") -> None:
         self.path = path
+        self.selection = selection
         self.signature = analysis_signature()
+        self._runs: Dict[str, Dict[str, object]] = {}
         self._files: Dict[str, Dict[str, object]] = {}
         self._project: Dict[str, object] = {}
         self._dirty = False
@@ -264,13 +281,17 @@ class LintCache:
             isinstance(raw, dict)
             and raw.get("format") == CACHE_FORMAT
             and raw.get("signature") == self.signature
+            and isinstance(raw.get("runs"), dict)
         ):
-            files = raw.get("files")
-            project = raw.get("project")
-            if isinstance(files, dict):
-                self._files = files
-            if isinstance(project, dict):
-                self._project = project
+            self._runs = raw["runs"]
+            bucket = self._runs.get(selection)
+            if isinstance(bucket, dict):
+                files = bucket.get("files")
+                project = bucket.get("project")
+                if isinstance(files, dict):
+                    self._files = files
+                if isinstance(project, dict):
+                    self._project = project
 
     def file_findings(self, path: str, sha: str) -> Optional[List[Diagnostic]]:
         entry = self._files.get(path)
@@ -302,11 +323,14 @@ class LintCache:
     def save(self) -> None:
         if not self._dirty:
             return
+        self._runs[self.selection] = {
+            "files": self._files,
+            "project": self._project,
+        }
         payload = {
             "format": CACHE_FORMAT,
             "signature": self.signature,
-            "files": self._files,
-            "project": self._project,
+            "runs": self._runs,
         }
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -315,6 +339,67 @@ class LintCache:
             )
         except OSError:
             pass  # a read-only checkout just runs cold
+
+
+# ----------------------------------------------------------------------
+# SARIF export
+# ----------------------------------------------------------------------
+
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: Sequence[Diagnostic]) -> Dict[str, object]:
+    """SARIF 2.1.0 payload (GitHub code-scanning compatible) for a
+    finding list. The full rule catalogue is embedded so annotations
+    carry titles even for rules with no findings this run."""
+    from repro.analysis.rules import ALL_RULES
+
+    rules_meta: List[Dict[str, object]] = [
+        {
+            "id": rule.rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+        }
+        for rule in ALL_RULES
+    ]
+    known = {rule.rule_id for rule in ALL_RULES}
+    for extra in sorted({d.rule for d in findings} - known):
+        rules_meta.append(
+            {"id": extra, "shortDescription": {"text": "parse failure"}}
+        )
+    results = [
+        {
+            "ruleId": d.rule,
+            "level": "error",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(d.path).as_posix(),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": d.line, "startColumn": d.col},
+                    }
+                }
+            ],
+        }
+        for d in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": "repro.analysis", "rules": rules_meta}},
+                "results": results,
+            }
+        ],
+    }
 
 
 # ----------------------------------------------------------------------
@@ -400,31 +485,44 @@ def lint_paths(
     paths: Sequence[Union[str, Path]],
     select: Optional[Iterable[str]] = None,
     cache: Optional[Union[str, Path]] = None,
+    changed_only: Optional[Iterable[Union[str, Path]]] = None,
 ) -> List[Diagnostic]:
     """Lint every ``*.py`` file under ``paths``: file rules per file,
     then the project rules over the whole set. With ``cache``, per-file
-    and project results are reused when content hashes match (``select``
-    bypasses the cache — partial runs must not poison full ones)."""
+    and project results are reused when content hashes match; a rule
+    selection reads and writes its own cache bucket
+    (:func:`selection_key`), so partial runs never poison full ones.
+    ``changed_only`` (an iterable of file paths) scopes the *file* rules
+    to those files — every file is still read and parsed so the project
+    rules keep their whole-program view, but per-file diagnostics of
+    unchanged files are neither computed nor reported (the ``--changed``
+    pre-commit mode)."""
     store = (
-        LintCache(Path(cache)) if cache is not None and select is None else None
+        LintCache(Path(cache), selection_key(select))
+        if cache is not None
+        else None
+    )
+    scope = (
+        None
+        if changed_only is None
+        else {Path(raw).resolve() for raw in changed_only}
     )
     sources: List[Tuple[str, Optional[str], str]] = []  # path, module, source
     file_findings: List[Diagnostic] = []
-    fresh: Dict[str, bool] = {}
     for path in iter_python_files(paths):
         text = path.read_text(encoding="utf-8")
         key = str(path)
         sources.append((key, module_name(path), text))
+        if scope is not None and path.resolve() not in scope:
+            continue  # parsed for the project pass only
         cached = (
             store.file_findings(key, _sha(text)) if store is not None else None
         )
         if cached is not None:
             file_findings.extend(cached)
-            fresh[key] = False
         else:
             found = lint_source(text, path=key, module="", select=select)
             file_findings.extend(found)
-            fresh[key] = True
             if store is not None:
                 store.store_file(key, _sha(text), found)
 

@@ -1,0 +1,17 @@
+"""R015 fixture: change-log rebound without bumping the epoch."""
+
+
+class R015Clock:
+    def __init__(self, size):
+        self._log = []
+        self._log_epoch = 0
+        self._size = size
+
+    def compact(self, limit):
+        if len(self._log) > limit:
+            self._log = []  # no epoch write anywhere
+
+    def snapshot_restore(self, entries):
+        self._log = list(entries)  # epoch bumped only on one branch
+        if entries:
+            self._log_epoch += 1

@@ -1,0 +1,20 @@
+"""R015 good twin: every rebinding of the log writes the epoch."""
+
+
+class R015GoodClock:
+    def __init__(self, size):
+        self._log = []
+        self._log_epoch = 0
+        self._size = size
+
+    def compact(self, limit):
+        if len(self._log) > limit:
+            self._log = []
+            self._log_epoch += 1
+
+    def record(self, entry):
+        log = self._log
+        log.append(entry)  # in-place append: identity preserved, exempt
+
+    def swap(self, entries):
+        self._log, self._log_epoch = list(entries), self._log_epoch + 1

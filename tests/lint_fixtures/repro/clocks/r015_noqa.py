@@ -1,0 +1,10 @@
+"""R015 noqa twin: the unbumped rebind is explicitly waived."""
+
+
+class R015WaivedClock:
+    def __init__(self):
+        self._log = []
+        self._log_epoch = 0
+
+    def reset(self):
+        self._log = []  # noqa: R015

@@ -1,0 +1,29 @@
+"""R013 fixture: worker writes module state the parent later reads."""
+
+from multiprocessing import Pipe, Process
+
+_SHARD_RESULTS: dict = {}
+_EVENT_COUNT = 0
+
+
+def _r013_worker(conn, shard_id):
+    global _EVENT_COUNT
+    _EVENT_COUNT = _EVENT_COUNT + 1  # lost at the fork boundary
+    _SHARD_RESULTS[shard_id] = "done"  # the parent never sees this
+    conn.send(("report", shard_id))
+
+
+def launch(shard_ids):
+    procs = []
+    conns = []
+    for shard_id in shard_ids:
+        parent_conn, child_conn = Pipe()
+        proc = Process(target=_r013_worker, args=(child_conn, shard_id))
+        proc.start()
+        procs.append(proc)
+        conns.append(parent_conn)
+    return procs, conns
+
+
+def summary():
+    return len(_SHARD_RESULTS), _EVENT_COUNT

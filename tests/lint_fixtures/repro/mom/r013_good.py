@@ -1,0 +1,26 @@
+"""R013 good twin: results cross the fork boundary through the pipe."""
+
+from multiprocessing import Pipe, Process
+
+_SHARD_RESULTS: dict = {}
+
+
+def _r013_good_worker(conn, shard_id):
+    conn.send(("report", shard_id, "done"))
+
+
+def launch_good(shard_ids):
+    conns = []
+    for shard_id in shard_ids:
+        parent_conn, child_conn = Pipe()
+        proc = Process(target=_r013_good_worker, args=(child_conn, shard_id))
+        proc.start()
+        conns.append(parent_conn)
+    return conns
+
+
+def merge(conns):
+    for conn in conns:
+        tag, shard_id, status = conn.recv()
+        _SHARD_RESULTS[shard_id] = status
+    return _SHARD_RESULTS

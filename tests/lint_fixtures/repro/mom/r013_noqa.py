@@ -1,0 +1,24 @@
+"""R013 noqa twin: the lost-update write is explicitly waived."""
+
+from multiprocessing import Pipe, Process
+
+_WAIVED_RESULTS: dict = {}
+
+
+def _r013_waived_worker(conn, shard_id):
+    _WAIVED_RESULTS[shard_id] = "done"  # noqa: R013
+    conn.send(("report", shard_id))
+
+
+def launch_waived(shard_ids):
+    conns = []
+    for shard_id in shard_ids:
+        parent_conn, child_conn = Pipe()
+        proc = Process(target=_r013_waived_worker, args=(child_conn, shard_id))
+        proc.start()
+        conns.append(parent_conn)
+    return conns
+
+
+def waived_summary():
+    return dict(_WAIVED_RESULTS)

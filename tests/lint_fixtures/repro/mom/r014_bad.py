@@ -1,0 +1,14 @@
+"""R014 fixture: unpicklable fields in a type shipped over the pipe."""
+
+import threading
+
+
+class R014Report:
+    def __init__(self, rows):
+        self.rows = list(rows)
+        self.reduce = lambda a, b: a + b  # lambda cannot be pickled
+        self.guard = threading.Lock()  # neither can a lock
+
+
+def ship(conn, rows):
+    conn.send(("state", R014Report(rows)))

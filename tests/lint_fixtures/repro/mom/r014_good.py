@@ -1,0 +1,18 @@
+"""R014 good twin: shipped types carry only plain data."""
+
+
+class R014GoodReport:
+    def __init__(self, rows):
+        self.rows = list(rows)
+        self.total = len(self.rows)
+
+
+class R014LocalScratch:
+    """Never crosses a pipe, so a callable field is fine."""
+
+    def __init__(self):
+        self.reduce = lambda a, b: a + b
+
+
+def ship_good(conn, rows):
+    conn.send(("state", R014GoodReport(rows)))

@@ -1,0 +1,14 @@
+"""R017 fixture: constant stream names drawn inside shard workers."""
+
+from multiprocessing import Process
+
+
+def _r017_worker(conn, factory, shard_id):
+    jitter = factory.stream("network")  # same stream in every worker
+    conn.send(("seeded", shard_id, jitter.random()))
+
+
+def spawn_r017(conns, factory):
+    for shard_id, conn in enumerate(conns):
+        proc = Process(target=_r017_worker, args=(conn, factory, shard_id))
+        proc.start()

@@ -1,0 +1,17 @@
+"""R017 good twin: shard-scoped stream names (or sequential-only)."""
+
+from multiprocessing import Process
+
+
+def _r017_good_worker(conn, factory, shard):
+    if shard is None:
+        stream = factory.stream("network")  # sequential-only branch
+    else:
+        stream = factory.stream(f"network/shard{shard}")
+    conn.send(("seeded", stream.random()))
+
+
+def spawn_r017_good(conns, factory, shards):
+    for conn, shard in zip(conns, shards):
+        proc = Process(target=_r017_good_worker, args=(conn, factory, shard))
+        proc.start()

@@ -1,0 +1,14 @@
+"""R017 noqa twin: the shared stream name is explicitly waived."""
+
+from multiprocessing import Process
+
+
+def _r017_waived_worker(conn, factory):
+    stream = factory.stream("network")  # noqa: R017
+    conn.send(("seeded", stream.random()))
+
+
+def spawn_r017_waived(conns, factory):
+    for conn in conns:
+        proc = Process(target=_r017_waived_worker, args=(conn, factory))
+        proc.start()

@@ -1,0 +1,16 @@
+"""R016 fixture: an LBTS grant escapes before the arrival flush."""
+
+
+class R016Coordinator:
+    def __init__(self, conns):
+        self._conns = list(conns)
+        self._pending = [[] for _ in self._conns]
+
+    def advance(self, bound, budget):
+        if budget <= 0:
+            for conn in self._conns:
+                conn.send(("grant", bound, [], budget))  # not flushed
+            return
+        granted, self._pending = self._pending, [[] for _ in self._conns]
+        for conn, arrivals in zip(self._conns, granted):
+            conn.send(("grant", bound, arrivals, budget))

@@ -1,0 +1,20 @@
+"""R016 good twin: the flush dominates every grant send."""
+
+
+class R016GoodCoordinator:
+    def __init__(self, conns):
+        self._conns = list(conns)
+        self._pending = [[] for _ in self._conns]
+
+    def advance(self, bound, budget):
+        granted, self._pending = self._pending, [[] for _ in self._conns]
+        for conn, arrivals in zip(self._conns, granted):
+            conn.send(("grant", bound, arrivals, budget))
+        for index, conn in enumerate(self._conns):
+            entry = conn.recv()
+            if entry is not None:
+                self._pending[0].append(entry)
+
+    def finish(self):
+        for conn in self._conns:
+            conn.send(("finish",))

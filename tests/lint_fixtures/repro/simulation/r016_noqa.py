@@ -1,0 +1,14 @@
+"""R016 noqa twin: the early grant is explicitly waived."""
+
+
+class R016WaivedCoordinator:
+    def __init__(self, conns):
+        self._conns = list(conns)
+        self._pending = [[] for _ in self._conns]
+
+    def advance(self, bound, budget):
+        for conn in self._conns:
+            conn.send(("grant", bound, [], budget))  # noqa: R016
+        granted, self._pending = self._pending, [[] for _ in self._conns]
+        for conn, arrivals in zip(self._conns, granted):
+            conn.send(("grant", bound, arrivals, budget))

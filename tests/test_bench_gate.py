@@ -298,8 +298,8 @@ class TestCommittedSnapshots:
         entries = {e["name"]: e for e in baseline.get("runtime", [])}
         cold = entries["analysis-lint-cold"]
         warm = entries["analysis-lint-warm"]
-        assert cold["max_seconds"] == pytest.approx(10.0)
-        assert warm["max_seconds"] == pytest.approx(2.0)
+        assert cold["max_seconds"] == pytest.approx(12.0)
+        assert warm["max_seconds"] == pytest.approx(2.5)
         assert warm.get("warmup") is True
         for entry in (cold, warm):
             assert "repro.analysis" in entry["argv"]

@@ -1,17 +1,20 @@
-"""Self-tests for the protocol linter (R001–R012).
+"""Self-tests for the protocol linter (R001–R017).
 
 Each rule gets a firing fixture, a non-firing fixture and a noqa
 fixture under ``tests/lint_fixtures/repro/...``; the directory layout
 mirrors the real package so that location-scoped rules resolve module
 names exactly as they do on ``src/``. The whole-program rules
-(R007/R008) are exercised through :func:`lint_paths` over the fixture
-tree, which builds one project from every fixture file.
+(R007/R008/R013/R014/R017) are exercised through :func:`lint_paths`
+over the fixture tree, which builds one project from every fixture
+file; the noqa escape hatch is covered by one parametric strip-noqa
+test that re-lints each ``r*_noqa.py`` fixture with its waiver removed.
 """
 
 from __future__ import annotations
 
 import ast
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -20,7 +23,6 @@ import pytest
 
 from repro.analysis import Diagnostic, lint_file, lint_paths, lint_source
 from repro.analysis.lint import (
-    _lint_project,
     apply_baseline,
     load_baseline,
     module_name,
@@ -30,6 +32,7 @@ from repro.analysis.rules import ALL_RULES, LAYERS, PROJECT_RULES
 
 FIXTURES = Path(__file__).parent / "lint_fixtures" / "repro"
 REPO_SRC = Path(__file__).parent.parent / "src"
+NOQA_FIXTURES = sorted(FIXTURES.rglob("r*_noqa.py"))
 
 
 def rules_fired(path: Path) -> list:
@@ -44,15 +47,6 @@ def fixture_project_findings():
 
 def fired_at(findings, name: str) -> list:
     return [d.rule for d in findings if Path(d.path).name == name]
-
-
-def project_lint_sources(*named_sources, select=None):
-    """Run only the project rules over in-memory (module, source) pairs."""
-    parsed = [
-        (f"{module.replace('.', '/')}.py", module, source, ast.parse(source))
-        for module, source in named_sources
-    ]
-    return _lint_project(parsed, select)
 
 
 class TestModuleName:
@@ -153,12 +147,6 @@ class TestR007NondeterminismTaint:
     def test_noqa_suppresses(self, fixture_project_findings):
         assert fired_at(fixture_project_findings, "r007_noqa.py") == []
 
-    def test_stripping_noqa_reintroduces_the_finding(self):
-        source = (FIXTURES / "mom" / "r007_noqa.py").read_text()
-        stripped = source.replace("  # noqa: R007", "")
-        findings = project_lint_sources(("repro.mom.r007_noqa", stripped))
-        assert [d.rule for d in findings] == ["R007"]
-
 
 class TestR008ObservationPurity:
     def test_fires_on_hook_path_mutation(self, fixture_project_findings):
@@ -179,16 +167,6 @@ class TestR008ObservationPurity:
 
     def test_noqa_suppresses(self, fixture_project_findings):
         assert fired_at(fixture_project_findings, "r008_noqa.py") == []
-
-    def test_stripping_noqa_reintroduces_the_finding(self):
-        host = (FIXTURES / "mom" / "r008_state.py").read_text()
-        source = (FIXTURES / "obs" / "r008_noqa.py").read_text()
-        stripped = source.replace("  # noqa: R008", "")
-        findings = project_lint_sources(
-            ("repro.mom.r008_state", host),
-            ("repro.obs.r008_noqa", stripped),
-        )
-        assert [d.rule for d in findings] == ["R008"]
 
     def test_repo_hook_closure_is_mutation_free(self):
         """R008 over src/ statically verifies every obs/metrics hook
@@ -235,12 +213,6 @@ class TestR009GuardDiscipline:
     def test_noqa_suppresses(self):
         assert rules_fired(FIXTURES / "mom" / "r009_noqa.py") == []
 
-    def test_stripping_noqa_reintroduces_the_finding(self):
-        source = (FIXTURES / "mom" / "r009_noqa.py").read_text()
-        stripped = source.replace("  # noqa: R009", "")
-        findings = lint_source(stripped, module="repro.mom.r009_noqa")
-        assert [d.rule for d in findings] == ["R009"]
-
 
 class TestR010TransactionPairing:
     def test_fires_on_leaky_paths(self):
@@ -252,12 +224,6 @@ class TestR010TransactionPairing:
 
     def test_noqa_suppresses(self):
         assert rules_fired(FIXTURES / "mom" / "r010_noqa.py") == []
-
-    def test_stripping_noqa_reintroduces_the_finding(self):
-        source = (FIXTURES / "mom" / "r010_noqa.py").read_text()
-        stripped = source.replace("  # noqa: R010", "")
-        findings = lint_source(stripped, module="repro.mom.r010_noqa")
-        assert [d.rule for d in findings] == ["R010"]
 
 
 class TestR011PersistenceBypass:
@@ -278,12 +244,6 @@ class TestR011PersistenceBypass:
     def test_noqa_suppresses(self):
         assert rules_fired(FIXTURES / "mom" / "r011_noqa.py") == []
 
-    def test_stripping_noqa_reintroduces_the_finding(self):
-        source = (FIXTURES / "mom" / "r011_noqa.py").read_text()
-        stripped = source.replace("  # noqa: R011", "")
-        findings = lint_source(stripped, module="repro.mom.r011_noqa")
-        assert [d.rule for d in findings] == ["R011"]
-
 
 class TestR012HoldbackLeak:
     def test_fires_on_swallowed_exception(self):
@@ -296,11 +256,123 @@ class TestR012HoldbackLeak:
     def test_noqa_suppresses(self):
         assert rules_fired(FIXTURES / "mom" / "r012_noqa.py") == []
 
-    def test_stripping_noqa_reintroduces_the_finding(self):
-        source = (FIXTURES / "mom" / "r012_noqa.py").read_text()
-        stripped = source.replace("  # noqa: R012", "")
-        findings = lint_source(stripped, module="repro.mom.r012_noqa")
-        assert [d.rule for d in findings] == ["R012"]
+
+class TestR013ForkBoundaryLostUpdate:
+    def test_fires_on_worker_module_writes(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r013_bad.py")
+        assert fired.count("R013") == 2
+
+    def test_diagnostic_names_the_worker_entry(self, fixture_project_findings):
+        messages = [
+            d.message
+            for d in fixture_project_findings
+            if d.rule == "R013" and Path(d.path).name == "r013_bad.py"
+        ]
+        assert all("_r013_worker" in message for message in messages)
+
+    def test_pipe_shipped_results_are_fine(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r013_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r013_noqa.py") == []
+
+
+class TestR014PipePickleSafety:
+    def test_fires_on_unpicklable_fields(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r014_bad.py")
+        assert fired.count("R014") == 2
+
+    def test_diagnostic_names_the_reason(self, fixture_project_findings):
+        messages = " ".join(
+            d.message
+            for d in fixture_project_findings
+            if d.rule == "R014"
+        )
+        assert "lambda" in messages and "thread lock" in messages
+
+    def test_plain_data_and_local_scratch_pass(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r014_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r014_noqa.py") == []
+
+
+class TestR015EpochDiscipline:
+    def test_fires_on_unbumped_log_rebinds(self):
+        fired = rules_fired(FIXTURES / "clocks" / "r015_bad.py")
+        assert fired.count("R015") == 2
+
+    def test_bumped_aliased_and_same_stmt_pass(self):
+        assert rules_fired(FIXTURES / "clocks" / "r015_good.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules_fired(FIXTURES / "clocks" / "r015_noqa.py") == []
+
+    def test_out_of_scope_package(self):
+        findings = lint_source(
+            "def f(self):\n    self._log = []\n",
+            module="repro.mom.x",
+            select=["R015"],
+        )
+        assert findings == []
+
+
+class TestR016CoordinatorFlushDiscipline:
+    def test_fires_on_unflushed_grant_path(self):
+        fired = rules_fired(FIXTURES / "simulation" / "r016_bad.py")
+        assert fired.count("R016") == 1
+
+    def test_flush_dominating_grants_passes(self):
+        assert rules_fired(FIXTURES / "simulation" / "r016_good.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules_fired(FIXTURES / "simulation" / "r016_noqa.py") == []
+
+
+class TestR017ShardScopedStreams:
+    def test_fires_on_shared_stream_name(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r017_bad.py")
+        assert fired.count("R017") == 1
+
+    def test_scoped_name_and_sequential_guard_pass(
+        self, fixture_project_findings
+    ):
+        assert fired_at(fixture_project_findings, "r017_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r017_noqa.py") == []
+
+
+class TestNoqaStripping:
+    """Every ``r*_noqa.py`` fixture must fire again once its waiver is
+    stripped — proving the noqa comment is the only thing keeping the
+    rule quiet, for file and project rules alike."""
+
+    @pytest.mark.parametrize(
+        "fixture", NOQA_FIXTURES, ids=[p.stem for p in NOQA_FIXTURES]
+    )
+    def test_stripping_noqa_reintroduces_the_finding(self, fixture, tmp_path):
+        import shutil
+
+        rule = fixture.stem.split("_")[0].upper()
+        copy_root = tmp_path / "repro"
+        shutil.copytree(FIXTURES, copy_root)
+        target = copy_root / fixture.relative_to(FIXTURES)
+        target.write_text(
+            fixture.read_text().replace(f"  # noqa: {rule}", "")
+        )
+        findings = lint_paths([copy_root])
+        fired_here = [
+            d.rule for d in findings if Path(d.path) == target
+        ]
+        assert rule in fired_here
+
+    def test_fixture_inventory_is_complete(self):
+        stripped_rules = {p.stem.split("_")[0].upper() for p in NOQA_FIXTURES}
+        noqa_capable = {
+            rule.rule_id for rule in ALL_RULES if rule.rule_id >= "R007"
+        }
+        assert stripped_rules == noqa_capable
 
 
 class TestSuppressions:
@@ -330,8 +402,14 @@ class TestFramework:
         assert d.to_dict()["line"] == 3
 
     def test_rule_tiers_split_cleanly(self):
-        assert {rule.rule_id for rule in PROJECT_RULES} == {"R007", "R008"}
-        assert len(ALL_RULES) == 12
+        assert {rule.rule_id for rule in PROJECT_RULES} == {
+            "R007",
+            "R008",
+            "R013",
+            "R014",
+            "R017",
+        }
+        assert len(ALL_RULES) == 17
 
     def test_every_rule_has_a_firing_fixture(self, fixture_project_findings):
         all_fired = {d.rule for d in fixture_project_findings}
@@ -375,16 +453,60 @@ class TestCache:
         findings = lint_paths([tmp_path / "repro"], cache=cache)
         assert [d.rule for d in findings] == ["R001"]
 
-    def test_select_bypasses_the_cache(self, tmp_path):
+    def test_selections_get_their_own_bucket(self, tmp_path):
         cache = tmp_path / "cache.json"
-        lint_paths([FIXTURES / "mom" / "r001_bad.py"], select=["R001"], cache=cache)
-        assert not cache.exists()
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        only = lint_paths([bad], select=["R001"], cache=cache)
+        assert cache.exists()
+        payload = json.loads(cache.read_text())
+        assert "R001" in payload["runs"]
+        warm = lint_paths([bad], select=["R001"], cache=cache)
+        assert [d.format() for d in warm] == [d.format() for d in only]
+
+    def test_selected_bucket_cannot_poison_a_full_run(self, tmp_path):
+        """Regression: a --select run used to either skip the cache or
+        (worse) share entries with the full run. Buckets are keyed by
+        selection, so a full lint after a narrow one still fires every
+        rule."""
+        cache = tmp_path / "cache.json"
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        assert lint_paths([bad], select=["R005"], cache=cache) == []
+        full = lint_paths([bad], cache=cache)
+        assert [d.rule for d in full] == ["R001"] * 4
 
     def test_corrupt_cache_is_ignored(self, tmp_path):
         cache = tmp_path / "cache.json"
         cache.write_text("{not json")
         findings = lint_paths([FIXTURES / "mom" / "r001_bad.py"], cache=cache)
         assert [d.rule for d in findings] == ["R001"] * 4
+
+
+class TestChangedScope:
+    def test_changed_only_scopes_file_rules(self, tmp_path):
+        tree = tmp_path / "repro" / "mom"
+        tree.mkdir(parents=True)
+        touched = tree / "touched.py"
+        touched.write_text("clock._buf[0] = 1\n")
+        (tree / "untouched.py").write_text("clock._buf[0] = 2\n")
+        findings = lint_paths(
+            [tmp_path / "repro"], changed_only={touched.resolve()}
+        )
+        assert [(d.rule, Path(d.path).name) for d in findings] == [
+            ("R001", "touched.py")
+        ]
+
+    def test_project_rules_stay_whole_program(self):
+        """An out-of-scope file still feeds the project pass: its
+        worker entry points and taint sources must keep firing even
+        when only one unrelated file is 'changed'."""
+        changed = (FIXTURES / "mom" / "r001_bad.py").resolve()
+        findings = lint_paths([FIXTURES], changed_only={changed})
+        project_ids = {rule.rule_id for rule in PROJECT_RULES}
+        fired = {d.rule for d in findings}
+        assert {"R007", "R013", "R014", "R017"} <= fired
+        for diagnostic in findings:
+            in_scope = Path(diagnostic.path).resolve() == changed
+            assert diagnostic.rule in project_ids or in_scope
 
 
 class TestBaseline:
@@ -491,6 +613,50 @@ class TestCli:
         warm = self.run_cli("lint", str(bad), "--cache", str(cache))
         assert cold.returncode == warm.returncode == 1
         assert cold.stdout == warm.stdout
+
+    def test_sarif_output(self, tmp_path):
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        sarif = tmp_path / "out.sarif"
+        result = self.run_cli("lint", str(bad), "--sarif", str(sarif))
+        assert result.returncode == 1
+        payload = json.loads(sarif.read_text())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        catalogue = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {rule.rule_id for rule in ALL_RULES} <= catalogue
+        assert {r["ruleId"] for r in run["results"]} == {"R001"}
+        assert len(run["results"]) == 4
+
+    def test_sarif_respects_the_baseline(self, tmp_path):
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        baseline = tmp_path / "baseline.json"
+        self.run_cli("lint", str(bad), "--write-baseline", str(baseline))
+        sarif = tmp_path / "out.sarif"
+        result = self.run_cli(
+            "lint", str(bad), "--baseline", str(baseline), "--sarif", str(sarif)
+        )
+        assert result.returncode == 0
+        payload = json.loads(sarif.read_text())
+        assert payload["runs"][0]["results"] == []
+
+    def test_changed_flag_on_clean_checkout(self):
+        result = self.run_cli("lint", "src/", "--changed")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_changed_outside_git_is_a_usage_error(self, tmp_path):
+        (tmp_path / "x.py").write_text("x = 1\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "lint", "x.py", "--changed"],
+            capture_output=True,
+            text=True,
+            cwd=str(tmp_path),
+            env=env,
+        )
+        assert result.returncode == 2
+        assert "--changed" in result.stderr
 
     def test_rules_subcommand(self):
         result = self.run_cli("rules")
