@@ -671,10 +671,26 @@ def effect_engine(project: Project) -> EffectEngine:
 
 
 #: Attribute-chain tails that carry an optional observation handle.
-HOOK_HANDLES = frozenset({"_tracer", "tracer", "_sacct", "sacct", "acct", "_acct"})
+HOOK_HANDLES = frozenset(
+    {
+        "_tracer",
+        "tracer",
+        "_sacct",
+        "sacct",
+        "acct",
+        "_acct",
+        "_telemetry",
+        "telemetry",
+    }
+)
 
 #: Modules that *are* the observation layer (hook targets for R008).
-_OBSERVATION_PREFIXES = ("repro.obs", "repro.metrics", "repro.mom.accounting")
+_OBSERVATION_PREFIXES = (
+    "repro.obs",
+    "repro.metrics",
+    "repro.mom.accounting",
+    "repro.simulation.telemetry",
+)
 
 
 def _is_observation_module(module: Optional[str]) -> bool:

@@ -319,6 +319,10 @@ class Channel:
             self._ctr_duplicates.add()
             self._ack(envelope)
             return
+        if self._tracer is not None:
+            # the wire leg ends here; the critical-path profiler splits
+            # transit from receive processing on this edge
+            self._tracer.channel_arrive(self._server.server_id, envelope)
         if item.clock.can_deliver(envelope.stamp):
             self._start_commit(envelope, item)
         else:

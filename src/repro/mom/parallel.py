@@ -53,6 +53,12 @@ from repro.mom.identifiers import AgentId
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.shard import ShardContext
 from repro.simulation.sync import ShardCoordinator, serve
+from repro.simulation.telemetry import (
+    CoordinatorTelemetry,
+    WorkerTelemetry,
+)
+from repro.simulation.telemetry import enabled as telemetry_enabled
+from repro.simulation.telemetry import merged as merge_telemetry
 from repro.topology.graph import validate_topology
 from repro.topology.shardplan import ShardPlan, build_shard_plan, lookahead_ms
 
@@ -177,7 +183,59 @@ def _worker_main(
         else:  # pragma: no cover - parent and worker share this module
             raise ConfigurationError(f"unknown script entry {kind!r}")
     bus.start()
-    serve(conn, bus.sim, bus.network, lambda tag: _collect_state(bus))
+    worker_telemetry = (
+        WorkerTelemetry(shard_id) if telemetry_enabled() else None
+    )
+    serve(
+        conn,
+        bus.sim,
+        bus.network,
+        lambda tag: _collect_state(bus),
+        telemetry=worker_telemetry,
+        flight=lambda exc: _flight_payload(bus, exc),
+    )
+
+
+def _flight_payload(
+    bus: MessageBus, exc: BaseException
+) -> Optional[Dict[str, Any]]:
+    """The worker's crash flight record, shipped over the pipe.
+
+    mom cannot import the obs layer (R006), so everything goes through
+    the duck-typed tracer handle: ``dump()`` writes the full artifact
+    directory from inside the worker when it can; the raw ring rows ride
+    the pipe regardless, so the coordinator can still write an
+    ``events.jsonl`` even when the worker-side dump failed. Returns
+    ``None`` when tracing is off or autodumps are disabled."""
+    if os.environ.get("REPRO_OBS_AUTODUMP", "1") == "0":
+        return None
+    tracer = getattr(bus, "_obs_tracer", None)
+    record: Optional[Dict[str, Any]] = None
+    if tracer is not None:
+        path: Optional[str] = None
+        try:
+            path = tracer.dump("shard-worker-crash")
+        except Exception:
+            path = None  # unwritable tempdir: the rows still ship
+        rows: List[Dict[str, Any]] = [
+            {
+                "record": "meta",
+                "now": bus.sim.now,
+                "capacity": tracer.ring.capacity,
+                "next_seq": tracer.ring.next_seq,
+                "dropped": tracer.ring.dropped,
+                "server_ids": sorted(bus.servers),
+                "domains": {d: list(s) for d, s in tracer.domains.items()},
+                "reason": "shard-worker-crash",
+                "error": repr(exc),
+            }
+        ]
+        rows.extend(
+            {"record": "event", **event._asdict()}
+            for event in tracer.ring.events()
+        )
+        record = {"path": path, "rows": rows}
+    return record
 
 
 def _dump_trace(trace: Optional[Trace]) -> Optional[dict]:
@@ -234,6 +292,21 @@ def _collect_state(bus: MessageBus) -> Dict[str, Any]:
     }
     tracer = getattr(bus, "_obs_tracer", None)
     state["obs_events"] = list(tracer.ring.events()) if tracer else None
+    state["obs_hists"] = (
+        {name: hist.dump_state() for name, hist in tracer.histograms.items()}
+        if tracer
+        else None
+    )
+    state["obs_cpu"] = list(tracer.cpu_slices) if tracer else None
+    state["obs_ring"] = (
+        {
+            "capacity": tracer.ring.capacity,
+            "next_seq": tracer.ring.next_seq,
+            "dropped": tracer.ring.dropped,
+        }
+        if tracer
+        else None
+    )
     return state
 
 
@@ -328,7 +401,17 @@ class ShardedBus:
         self._persisted_cells = 0
         self._clock_state_cells = 0
         self._server_rows: List[tuple] = []
-        self._obs_events: List[tuple] = []
+        self._obs_events: List[Any] = []
+        self._obs_hist_states: List[Dict[str, Any]] = []
+        self._obs_cpu: List[tuple] = []
+        self._obs_ring_meta: Optional[Dict[str, int]] = None
+        self._telemetry: Optional[CoordinatorTelemetry] = (
+            CoordinatorTelemetry(plan.worker_count, self.lookahead)
+            if telemetry_enabled()
+            else None
+        )
+        self._worker_telemetry: List[Optional[Dict[str, Any]]] = []
+        self._shard_telemetry: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Scripting (pre-start)
@@ -409,7 +492,10 @@ class ShardedBus:
             conns.append(parent_conn)
             self._procs.append(proc)
         self._coordinator = ShardCoordinator(
-            conns, self.lookahead, self._shard_map.__getitem__
+            conns,
+            self.lookahead,
+            self._shard_map.__getitem__,
+            telemetry=self._telemetry,
         )
 
     def run(self, until: Optional[float] = None) -> int:
@@ -532,12 +618,55 @@ class ShardedBus:
         self._server_rows = sorted(
             row for state in states for row in state["server_rows"]
         )
-        self._obs_events = sorted(
+        merged_events = sorted(
             (event.t, shard, event.seq, event)
             for shard, state in enumerate(states)
             if state["obs_events"] is not None
             for event in state["obs_events"]
         )
+        # Per-shard ring seqs collide after the merge; re-sequence in the
+        # global (t, shard, seq) order so seq-based reasoning — the `why`
+        # blocker scan, the critpath release linkage — works on merged
+        # dumps exactly as on sequential ones. Per-server relative order
+        # is preserved: a server lives on exactly one shard.
+        self._obs_events = [
+            entry[3]._replace(seq=index)
+            for index, entry in enumerate(merged_events)
+        ]
+        self._obs_hist_states = [
+            state["obs_hists"]
+            for state in states
+            if state.get("obs_hists")
+        ]
+        self._obs_cpu = sorted(
+            (
+                row
+                for state in states
+                for row in (state.get("obs_cpu") or [])
+            ),
+            key=lambda row: (row[1], row[0]),
+        )
+        ring_rows = [
+            state["obs_ring"] for state in states if state.get("obs_ring")
+        ]
+        self._obs_ring_meta = (
+            {
+                "capacity": sum(r["capacity"] for r in ring_rows),
+                "next_seq": sum(r["next_seq"] for r in ring_rows),
+                "dropped": sum(r["dropped"] for r in ring_rows),
+            }
+            if ring_rows
+            else None
+        )
+        self._worker_telemetry = list(self._coordinator.worker_telemetry)
+        if self._telemetry is not None:
+            self._shard_telemetry = merge_telemetry(
+                self._telemetry.dump(),
+                [row for row in self._worker_telemetry if row],
+                self.plan.worker_count,
+                self.lookahead,
+                coordinator_wait_s=self._telemetry.wall_wait_s,
+            )
 
     @staticmethod
     def _merge_traces(dumps: List[Optional[dict]]) -> Trace:
@@ -612,10 +741,39 @@ class ShardedBus:
     def total_clock_state_cells(self) -> int:
         return self._clock_state_cells
 
-    def trace_events(self) -> List[tuple]:
+    def trace_events(self) -> List[Any]:
         """Merged observability events (when ``REPRO_TRACE`` attached a
-        tracer inside each worker), ordered by ``(time, shard, seq)``."""
-        return [entry[3] for entry in self._obs_events]
+        tracer inside each worker), ordered by ``(time, shard, seq)`` and
+        re-sequenced globally in that order."""
+        return list(self._obs_events)
+
+    def obs_histogram_states(self) -> List[Dict[str, Any]]:
+        """Per-shard tracer histogram ``dump_state`` payloads (merge them
+        with :func:`repro.obs.shardmon.merged_trace_dump`)."""
+        return list(self._obs_hist_states)
+
+    def obs_cpu_slices(self) -> List[tuple]:
+        """Merged tracer CPU slices, ordered by (start, server)."""
+        return list(self._obs_cpu)
+
+    def obs_ring_meta(self) -> Optional[Dict[str, int]]:
+        """Summed ring capacity/next_seq/dropped across the worker rings."""
+        return None if self._obs_ring_meta is None else dict(
+            self._obs_ring_meta
+        )
+
+    def shard_telemetry(self) -> Optional[Dict[str, Any]]:
+        """The merged shardmon payload of the last sync: deterministic
+        ``sim`` observables plus the separated ``wallclock`` section.
+        ``None`` before the first run or under ``REPRO_SHARDMON=0``."""
+        return self._shard_telemetry
+
+    @property
+    def flight_records(self) -> List[str]:
+        """Artifact paths of worker flight records written on crashes."""
+        if self._coordinator is None:
+            return []
+        return list(self._coordinator.flight_records)
 
     def stats_table(self) -> str:
         """Per-server operational summary, merged across shards."""

@@ -11,9 +11,15 @@ Subcommands:
 - ``why``      the causal-wait explainer: for each hop of one message
   that was held back, name the dependency whose commit released it and
   how long the wait cost;
+- ``critpath`` the exact five-way latency decomposition of one delivery
+  ({transit, hop_relay, causal_holdback, queue, processing} summing
+  bit-identically to the end-to-end latency), or — with ``--run`` — the
+  chain of deliveries that determined the whole run's makespan;
+- ``shards``   render a ``repro.shardmon/v1`` shard-runtime telemetry
+  payload (or ``--demo`` to produce one live from a sharded run);
 - ``slowest``  the k messages with the worst end-to-end delivery time;
 - ``export``   convert a dump to Chrome ``trace_event`` JSON for
-  Perfetto / ``chrome://tracing``.
+  Perfetto / ``chrome://tracing`` (with the critical-path span overlay).
 
 Every subcommand that reads a dump accepts either the artifact directory
 written by the flight recorder / ``record`` or a bare ``events.jsonl``.
@@ -28,7 +34,8 @@ import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ReproError
-from repro.obs import flight_recorder
+from repro.obs import flight_recorder, shardmon
+from repro.obs.critpath import CATEGORIES, CriticalPathAnalyzer
 from repro.obs.events import TraceEvent
 from repro.obs.export import TraceDump, chrome_trace, read_jsonl
 from repro.obs.tracer import attach
@@ -185,12 +192,7 @@ def cmd_why(args: argparse.Namespace) -> int:
     if not events:
         print(f"no events for message {args.nid} in {args.dump}")
         return 1
-    enters = [e for e in events if e.kind == "holdback_enter"]
-    releases = {
-        (e.server, e.src, e.hop_seq): e
-        for e in events
-        if e.kind == "holdback_release"
-    }
+    waits = CriticalPathAnalyzer(dump.events).waits(args.nid)
     e2e = next(
         (
             e.value
@@ -203,49 +205,35 @@ def cmd_why(args: argparse.Namespace) -> int:
     if e2e is not None:
         header += f": delivered end-to-end in {e2e:.3f}ms"
     print(header)
-    if not enters:
+    if not waits:
         print(
             "  never held back: every hop was deliverable on arrival "
             "(no causal wait)"
         )
         return 0
-    commits = sorted(
-        (e for e in dump.events if e.kind == "commit"),
-        key=lambda e: e.seq,
-    )
     total_dwell = 0.0
-    for enter in enters:
-        release = releases.get((enter.server, enter.src, enter.hop_seq))
-        where = f"S{enter.server} [{enter.domain}]"
-        if release is None:
+    for wait in waits:
+        where = f"S{wait['server']} [{wait['domain']}]"
+        if wait["released_at"] is None:
             print(
-                f"  hop S{enter.src}->S{enter.dst} at {where}: "
-                f"held back at t={enter.t:.3f}ms and NEVER released "
-                "(crash wiped it, or the run stopped early)"
+                f"  hop S{wait['src']}->S{wait['dst']} at {where}: "
+                f"held back at t={wait['entered_at']:.3f}ms and NEVER "
+                "released (crash wiped it, or the run stopped early)"
             )
             continue
-        dwell = release.value
+        dwell = wait["dwell_ms"]
         total_dwell += dwell
-        blocker = None
-        for commit in commits:
-            if commit.seq >= release.seq:
-                break
-            if (
-                commit.server == enter.server
-                and commit.domain == enter.domain
-                and commit.nid != args.nid
-            ):
-                blocker = commit
         print(
-            f"  hop S{enter.src}->S{enter.dst} at {where}: held back "
-            f"{dwell:.3f}ms (t={enter.t:.3f} -> {release.t:.3f}ms)"
+            f"  hop S{wait['src']}->S{wait['dst']} at {where}: held back "
+            f"{dwell:.3f}ms (t={wait['entered_at']:.3f} -> "
+            f"{wait['released_at']:.3f}ms)"
         )
-        if blocker is not None:
+        if wait["blocker_nid"] is not None:
             print(
-                f"    released by the commit of message {blocker.nid} "
-                f"(hop S{blocker.src}->S{blocker.dst}, merged "
-                f"{int(blocker.value)} cells) — message {args.nid} "
-                f"causally depended on it"
+                f"    released by the commit of message "
+                f"{wait['blocker_nid']} (hop S{wait['blocker_src']}->"
+                f"S{wait['blocker_dst']}, merged {wait['blocker_cells']} "
+                f"cells) — message {args.nid} causally depended on it"
             )
         else:
             print(
@@ -261,6 +249,138 @@ def cmd_why(args: argparse.Namespace) -> int:
     else:
         print(f"  causal wait total: {total_dwell:.3f}ms")
     return 0
+
+
+def _print_breakdown(breakdown, verbose: bool = True) -> None:
+    route = " -> ".join(f"S{s}" for s in breakdown.route)
+    hops = max(0, len(breakdown.route) - 1)
+    print(
+        f"message {breakdown.nid}: delivered end-to-end in "
+        f"{breakdown.e2e_ms:.3f}ms  ({route}, {hops} hop"
+        f"{'s' if hops != 1 else ''})"
+    )
+    total = breakdown.total
+    print(f"  {'category':<17} {'ms':>12} {'share':>8}")
+    for name in CATEGORIES:
+        value = breakdown.totals[name]
+        share = 100.0 * float(value / total) if total else 0.0
+        print(f"  {name:<17} {float(value):>12.3f} {share:>7.1f}%")
+    exact = "exact" if breakdown.is_exact() else "INEXACT"
+    print(
+        f"  {'total':<17} {float(total):>12.3f} {100.0:>7.1f}%  "
+        f"[{exact}: categories sum to the measured latency]"
+    )
+    if verbose and breakdown.segments:
+        print("  segments:")
+        for segment in breakdown.segments:
+            print(
+                f"    t={segment.t0:10.3f} -> {segment.t1:10.3f}ms  "
+                f"{segment.category:<17} at S{segment.server}"
+                + (f" (hop {segment.hop})" if segment.hop >= 0 else "")
+            )
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    """Exact latency attribution: one delivery, or the run's makespan."""
+    dump = _load(args.dump)
+    analyzer = CriticalPathAnalyzer(dump.events)
+    if args.run:
+        steps = analyzer.run_critical_path()
+        if not steps:
+            print("no completed deliveries in the dump")
+            return 1
+        print(
+            f"run critical path: {len(steps)} chained deliver"
+            f"{'ies' if len(steps) != 1 else 'y'} (root cause first)"
+        )
+        for index, breakdown in enumerate(steps):
+            route = " -> ".join(f"S{s}" for s in breakdown.route)
+            held = float(breakdown.totals["causal_holdback"])
+            print(
+                f"  [{index}] message {breakdown.nid}: "
+                f"{breakdown.e2e_ms:.3f}ms  {route}"
+                + (f"  (held back {held:.3f}ms)" if held > 0 else "")
+            )
+        summary = analyzer.category_summary()
+        print(
+            f"\nrun summary: {summary['deliveries']} deliveries, "
+            f"{summary['e2e_ms_total']:.3f}ms total end-to-end"
+            + ("" if summary["exact"] else "  [INEXACT]")
+        )
+        print(f"  {'category':<17} {'ms':>12} {'share':>8}")
+        for name in CATEGORIES:
+            row = summary["categories"][name]
+            print(
+                f"  {name:<17} {row['ms']:>12.3f} "
+                f"{100.0 * row['share']:>7.1f}%"
+            )
+        return 0
+    if args.nid is None:
+        print("error: give a message nid, or --run", file=sys.stderr)
+        return 2
+    breakdown = analyzer.breakdown(args.nid)
+    if breakdown is None:
+        print(
+            f"message {args.nid} has no complete delivery chain in "
+            f"{args.dump} (in flight, local-only, or its head fell off "
+            "the ring)"
+        )
+        return 1
+    _print_breakdown(breakdown)
+    if float(breakdown.totals["causal_holdback"]) > 0:
+        print(
+            f"  try: python -m repro.obs why {args.nid} {args.dump}  "
+            "(names the blocking dependency)"
+        )
+    return 0
+
+
+def cmd_shards(args: argparse.Namespace) -> int:
+    """Render shard-runtime telemetry, from a file or a live demo run."""
+    if args.demo:
+        payload = _demo_shard_payload(args)
+        if payload is None:
+            return 1
+    else:
+        if args.telemetry is None:
+            print(
+                "error: give a telemetry JSON path, or --demo",
+                file=sys.stderr,
+            )
+            return 2
+        payload = shardmon.load(args.telemetry)
+    print(shardmon.render(payload))
+    return 0
+
+
+def _demo_shard_payload(args: argparse.Namespace):
+    # The `record` demo workload, but on the sharded kernel: routed
+    # ping-pong across a bus-of-domains, telemetry on.
+    from repro.mom.agent import EchoAgent
+    from repro.mom.config import BusConfig
+    from repro.mom.parallel import ShardedBus, make_bus
+    from repro.mom.workloads import PingPongDriver
+    from repro.topology import builders
+
+    os.environ["REPRO_PARALLEL"] = str(args.workers)
+    os.environ.pop("REPRO_SHARDMON", None)
+    topology = builders.bus(args.servers, args.domain_size)
+    config = BusConfig(topology=topology, seed=args.seed)
+    bus = make_bus(config)
+    if not isinstance(bus, ShardedBus):
+        print(
+            "error: this configuration is not shard-eligible on this "
+            "host (fork start method required)",
+            file=sys.stderr,
+        )
+        return None
+    echo_id = bus.deploy(EchoAgent(), topology.server_count - 1)
+    driver = PingPongDriver(args.rounds)
+    driver.bind(echo_id)
+    bus.deploy(driver, 0)
+    bus.start()
+    bus.run_until_idle()
+    return bus.shard_telemetry()
 
 
 def cmd_slowest(args: argparse.Namespace) -> int:
@@ -287,7 +407,7 @@ def cmd_slowest(args: argparse.Namespace) -> int:
 
 def cmd_export(args: argparse.Namespace) -> int:
     dump = _load(args.dump)
-    trace = chrome_trace(dump)
+    trace = chrome_trace(dump, critical_path=not args.no_critpath)
     out = args.output
     if out is None:
         base = args.dump.rstrip("/")
@@ -374,6 +494,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dump", help="dump directory or events.jsonl")
     p.set_defaults(fn=cmd_why)
 
+    p = sub.add_parser(
+        "critpath",
+        help="exact latency attribution: {transit, hop_relay, "
+        "causal_holdback, queue, processing}",
+    )
+    p.add_argument(
+        "nid", nargs="?", type=int, default=None,
+        help="notification id (omit with --run)",
+    )
+    p.add_argument("dump", help="dump directory or events.jsonl")
+    p.add_argument(
+        "--run", action="store_true",
+        help="the whole run's critical path instead of one delivery",
+    )
+    p.set_defaults(fn=cmd_critpath)
+
+    p = sub.add_parser(
+        "shards", help="shard-runtime telemetry report (repro.shardmon/v1)"
+    )
+    p.add_argument(
+        "telemetry", nargs="?", default=None,
+        help="shardmon JSON payload (omit with --demo)",
+    )
+    p.add_argument(
+        "--demo", action="store_true",
+        help="run a small sharded workload live and report it",
+    )
+    p.add_argument("--servers", type=int, default=12)
+    p.add_argument("--domain-size", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=2)
+    p.set_defaults(fn=cmd_shards)
+
     p = sub.add_parser("slowest", help="worst end-to-end deliveries")
     p.add_argument("dump", help="dump directory or events.jsonl")
     p.add_argument("-k", type=int, default=10, help="how many (default 10)")
@@ -384,6 +538,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chrome", action="store_true",
                    help="Chrome trace_event format (the only format, "
                    "flag kept for clarity)")
+    p.add_argument("--no-critpath", action="store_true",
+                   help="skip the critical-path async-span overlay")
     p.add_argument("-o", "--output", default=None, help="output path")
     p.set_defaults(fn=cmd_export)
 

@@ -68,6 +68,7 @@ KINDS = frozenset(
         "transmit",  # the hop left for the wire (first attempt)
         "retransmit",  # channel- or transport-level resend
         "ack",  # the hop's transaction ACK came back (QueueOUT removal)
+        "arrive",  # envelope reached the receiving channel (pre-holdback)
         "holdback_enter",  # arrived too early; parked in the hold-back store
         "holdback_release",  # the clock caught up; commit scheduled
         "commit",  # receiver transaction: clock merge + persist + ACK

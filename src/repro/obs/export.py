@@ -157,8 +157,18 @@ def _tid_of(event: TraceEvent, domain_tids: Dict[str, int]) -> int:
     return domain_tids[event.domain]
 
 
-def chrome_trace(dump: TraceDump) -> Dict[str, Any]:
-    """The dump in Chrome ``trace_event`` JSON object format."""
+def chrome_trace(
+    dump: TraceDump, critical_path: bool = False
+) -> Dict[str, Any]:
+    """The dump in Chrome ``trace_event`` JSON object format.
+
+    With ``critical_path=True`` the run's critical path (the chain of
+    deliveries that determined the makespan, each exactly attributed to
+    {transit, hop_relay, causal_holdback, queue, processing}) is overlaid
+    as nestable async spans in the ``critpath`` category — off by default
+    because flight-recorder crash dumps rarely contain complete chains
+    and must stay cheap to write.
+    """
     domains: Dict[str, List[int]] = dump.meta.get("domains", {})
     domain_tids = {
         d: TID_DOMAIN_BASE + i for i, d in enumerate(sorted(domains))
@@ -264,6 +274,12 @@ def chrome_trace(dump: TraceDump) -> Dict[str, Any]:
                 "dur": duration * 1000.0,
             }
         )
+
+    # -- async spans: the run's critical path, exactly attributed -----
+    if critical_path:
+        from repro.obs.critpath import critpath_spans
+
+        body.extend(critpath_spans(dump.events))
 
     body.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
     trace_events.extend(body)

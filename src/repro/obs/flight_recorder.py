@@ -30,6 +30,7 @@ the original error.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import tempfile
@@ -50,7 +51,11 @@ MAX_AUTODUMPS = 3
 MAX_MATRIX_SIZE = 32
 
 _registered: List["weakref.ref[Tracer]"] = []
-_dump_counter = 0
+# A counter object, not a rebound module int: shard workers dump flight
+# records too, and each process advancing its own post-fork copy is fine
+# (the pid in the artifact name disambiguates) — but it must not look
+# like a fork-boundary lost update to the R013 happens-before model.
+_dump_counter = itertools.count(1)
 _dumping = False
 
 
@@ -85,11 +90,9 @@ def _next_artifact_dir(reason: str) -> str:
     # Wall-clock naming is deliberate and safe: the name never feeds back
     # into the simulation (R002 bans time.time()/datetime.now(), not
     # strftime-based artifact labels).
-    global _dump_counter
-    _dump_counter += 1
     stamp = time.strftime("%Y%m%dT%H%M%S")
     slug = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
-    name = f"{stamp}-pid{os.getpid()}-{_dump_counter:03d}-{slug}"
+    name = f"{stamp}-pid{os.getpid()}-{next(_dump_counter):03d}-{slug}"
     return os.path.join(base_dir(), name)
 
 

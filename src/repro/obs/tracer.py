@@ -163,6 +163,18 @@ class Tracer:
             now, "ack", server, nid, hop_seq=hop_seq, value=rtt
         )
 
+    def channel_arrive(self, server: int, envelope: "Envelope") -> None:
+        self.ring.record(
+            self._sim.now,
+            "arrive",
+            server,
+            envelope.notification.nid,
+            domain=envelope.domain_id,
+            src=envelope.src_server,
+            dst=envelope.dst_server,
+            hop_seq=envelope.hop_seq,
+        )
+
     def channel_holdback_enter(
         self, server: int, envelope: "Envelope"
     ) -> None:

@@ -19,52 +19,92 @@ Messages on the worker pipes are plain tuples:
 - parent → worker: ``("grant", bound, arrivals, max_events)``,
   ``("collect", tag)``, ``("finish",)``;
 - worker → parent: ``("report", next_time, outbox, now, fired)``,
-  ``("state", payload)``, ``("error", exc, traceback_text)``.
+  ``("state", payload, telemetry)``, ``("error", exc, traceback_text,
+  flight)``.
+
+``telemetry`` is the worker's :class:`~repro.simulation.telemetry`
+dump (or ``None`` when shard monitoring is off); ``flight`` is the
+worker's flight record on a crash — the event ring and state it would
+otherwise take to the grave — which the coordinator writes to an
+artifact directory and names in the re-raised error ("[flight record:
+path]").
 
 This module is MOM-agnostic (layering rule R006): the worker loop drives
 a :class:`~repro.simulation.kernel.Simulator` and a
 :class:`~repro.simulation.shard.ShardNetwork`; everything bus-specific
-reaches it through the opaque ``collect`` callable.
+reaches it through the opaque ``collect`` and ``flight`` callables.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Any, Callable, List, Optional, Sequence
+import os
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.simulation.kernel import Simulator
 from repro.simulation.shard import OutboxEntry, ShardNetwork
 
 
-def serve(conn, sim: Simulator, network: ShardNetwork,
-          collect: Callable[[Any], Any]) -> None:
+def serve(
+    conn,
+    sim: Simulator,
+    network: ShardNetwork,
+    collect: Callable[[Any], Any],
+    telemetry: Optional[Any] = None,
+    flight: Optional[Callable[[BaseException], Any]] = None,
+) -> None:
     """The worker side: answer grant/collect requests until finished.
 
     Sends one unsolicited initial report so the coordinator can compute
     the first LBTS. Any exception (protocol errors included) is shipped to
     the parent, which re-raises it — a sharded run fails exactly where a
-    sequential one would.
+    sequential one would; ``flight`` (when given) builds the crash
+    payload shipped alongside, so the worker-side event ring survives.
+
+    ``telemetry`` is an optional
+    :class:`~repro.simulation.telemetry.WorkerTelemetry`; all its calls
+    are passive recording (observation-only, R008).
     """
     try:
         conn.send(("report", sim.next_event_time(), [], sim.now, 0))
         while True:
+            if telemetry is not None:
+                t_wait = time.perf_counter()
             message = conn.recv()
+            if telemetry is not None:
+                telemetry.add_blocked(time.perf_counter() - t_wait)
             command = message[0]
             if command == "grant":
                 _, bound, arrivals, max_events = message
-                for time, dst, src, link_seq, packet in arrivals:
-                    network.inject(time, dst, src, link_seq, packet)
+                if telemetry is not None:
+                    t_run = time.perf_counter()
+                for at, dst, src, link_seq, packet in arrivals:
+                    network.inject(at, dst, src, link_seq, packet)
                 fired = sim.run_window(bound, max_events=max_events)
+                outbox = network.drain_outbox()
+                if telemetry is not None:
+                    telemetry.record_window(len(arrivals), fired, len(outbox))
+                    telemetry.add_compute(time.perf_counter() - t_run)
+                    t_send = time.perf_counter()
                 conn.send((
                     "report",
                     sim.next_event_time(),
-                    network.drain_outbox(),
+                    outbox,
                     sim.now,
                     fired,
                 ))
+                if telemetry is not None:
+                    telemetry.add_pipe(time.perf_counter() - t_send)
             elif command == "collect":
-                conn.send(("state", collect(message[1])))
+                payload = collect(message[1])
+                runtime = None
+                if telemetry is not None:
+                    runtime = telemetry.dump()
+                conn.send(("state", payload, runtime))
             elif command == "finish":
                 return
             else:
@@ -72,14 +112,20 @@ def serve(conn, sim: Simulator, network: ShardNetwork,
     except BaseException as exc:  # ship the failure to the coordinator
         import traceback
 
+        record = None
+        if flight is not None:
+            try:
+                record = flight(exc)
+            except Exception:
+                record = None  # a broken flight dump must not mask exc
         try:
-            conn.send(("error", exc, traceback.format_exc()))
+            conn.send(("error", exc, traceback.format_exc(), record))
         except (OSError, ValueError, TypeError, AttributeError):
             # exc unpicklable or pipe gone: ship the text, or give up and
             # let the parent see EOF (it raises SimulationError on that)
             try:
-                conn.send(("error", None, traceback.format_exc()))
-            except OSError:
+                conn.send(("error", None, traceback.format_exc(), record))
+            except (OSError, ValueError, TypeError):
                 return
         raise
 
@@ -93,6 +139,9 @@ class ShardCoordinator:
         lookahead: the window width ``L`` — must be positive (it equals
             the minimum network latency, checked by the eligibility gate).
         shard_of: destination server id → worker index.
+        telemetry: optional
+            :class:`~repro.simulation.telemetry.CoordinatorTelemetry`;
+            records the grant timeline and cross-shard traffic.
     """
 
     def __init__(
@@ -100,6 +149,7 @@ class ShardCoordinator:
         conns: Sequence[Any],
         lookahead: float,
         shard_of: Callable[[int], int],
+        telemetry: Optional[Any] = None,
     ):
         if lookahead <= 0:
             raise SimulationError(
@@ -108,10 +158,18 @@ class ShardCoordinator:
         self._conns = list(conns)
         self._lookahead = lookahead
         self._shard_of = shard_of
+        self._telemetry = telemetry
         self._pending: List[List[OutboxEntry]] = [[] for _ in self._conns]
         self._next_times: List[float] = []
         self._now = 0.0
         self._fired_total = 0
+        self._crash_dumps = 0
+        #: Per-worker telemetry dumps gathered at the last :meth:`collect`.
+        self.worker_telemetry: List[Optional[Dict[str, Any]]] = [
+            None for _ in self._conns
+        ]
+        #: Artifact paths of worker flight records written on crashes.
+        self.flight_records: List[str] = []
         for conn in self._conns:
             self._next_times.append(self._recv_report(conn)[0])
 
@@ -124,16 +182,75 @@ class ShardCoordinator:
     def processed_events(self) -> int:
         return self._fired_total
 
+    @property
+    def telemetry(self) -> Optional[Any]:
+        return self._telemetry
+
     def _recv_report(self, conn):
         message = conn.recv()
         if message[0] == "error":
-            exc, text = message[1], message[2]
-            if isinstance(exc, BaseException):
-                raise exc
-            raise SimulationError(f"shard worker failed:\n{text}")
+            self._raise_worker_error(message)
         if message[0] != "report":
             raise SimulationError(f"unexpected shard reply {message[0]!r}")
         return message[1:]
+
+    def _raise_worker_error(self, message: tuple) -> None:
+        """Re-raise a worker failure, writing its flight record first.
+
+        The worker ships its event ring/state alongside the exception;
+        writing it here preserves the post-mortem even though the worker
+        process is about to die — and the re-raised error's message names
+        the artifact, exactly like a sanitizer violation does.
+        """
+        exc, text = message[1], message[2]
+        record = message[3] if len(message) > 3 else None
+        path = self._write_flight_record(record)
+        if path is not None:
+            self.flight_records.append(path)
+            note = f"[flight record: {path}]"
+            text = f"{text}\n{note}"
+            if (
+                isinstance(exc, BaseException)
+                and exc.args
+                and isinstance(exc.args[0], str)
+            ):
+                exc.args = (f"{exc.args[0]} {note}",) + exc.args[1:]
+        if isinstance(exc, BaseException):
+            raise exc
+        raise SimulationError(f"shard worker failed:\n{text}")
+
+    def _write_flight_record(self, record: Any) -> Optional[str]:
+        """Persist a shipped worker flight record; returns its path.
+
+        The worker may have managed a full dump itself (``"path"``); when
+        it could not — or when only the ring rows survived the pipe — the
+        coordinator writes the ``events.jsonl`` artifact, in the same
+        format the ``python -m repro.obs`` CLI reads. Best-effort: any
+        failure degrades to "no record" rather than masking the error.
+        """
+        if not isinstance(record, dict):
+            return None
+        path = record.get("path")
+        if path:
+            return str(path)
+        rows = record.get("rows")
+        if not rows:
+            return None
+        base = os.environ.get("REPRO_OBS_DIR") or os.path.join(
+            tempfile.gettempdir(), "repro-obs"
+        )
+        self._crash_dumps += 1
+        directory = os.path.join(
+            base, f"shard-crash-pid{os.getpid()}-{self._crash_dumps:03d}"
+        )
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with open(os.path.join(directory, "events.jsonl"), "w") as stream:
+                for row in rows:
+                    stream.write(json.dumps(row) + "\n")
+        except (OSError, TypeError, ValueError):
+            return None
+        return directory
 
     def _lbts(self) -> float:
         lbts = min(self._next_times)
@@ -175,14 +292,24 @@ class ShardCoordinator:
             )
             for conn, arrivals in zip(self._conns, granted):
                 conn.send(("grant", bound, arrivals, budget))
+            if self._telemetry is not None:
+                t_wait = time.perf_counter()
+            fired_per_shard = [0] * len(self._conns)
             for index, conn in enumerate(self._conns):
                 next_time, outbox, now, fired = self._recv_report(conn)
                 self._next_times[index] = next_time
                 if now > self._now:
                     self._now = now
                 fired_this_call += fired
+                fired_per_shard[index] = fired
                 for entry in outbox:
-                    self._pending[self._shard_of(entry[1])].append(entry)
+                    dst_shard = self._shard_of(entry[1])
+                    if self._telemetry is not None:
+                        self._telemetry.record_route(index, dst_shard, entry)
+                    self._pending[dst_shard].append(entry)
+            if self._telemetry is not None:
+                self._telemetry.add_wait(time.perf_counter() - t_wait)
+                self._telemetry.record_window(lbts, bound, fired_per_shard)
         if until is not None and self._lbts() >= cap and until > self._now:
             # mirror Simulator.run(): the clock lands exactly on `until`
             # when no event beyond it stopped us early
@@ -197,22 +324,23 @@ class ShardCoordinator:
 
     def collect(self, tag: Any = None) -> List[Any]:
         """Gather one opaque state payload from every worker, in shard
-        order (used by the bus to merge metrics/traces/agent state)."""
+        order (used by the bus to merge metrics/traces/agent state).
+        Worker telemetry dumps ride along into :attr:`worker_telemetry`."""
         for conn in self._conns:
             conn.send(("collect", tag))
         states = []
-        for conn in self._conns:
+        for index, conn in enumerate(self._conns):
             message = conn.recv()
             if message[0] == "error":
-                exc, text = message[1], message[2]
-                if isinstance(exc, BaseException):
-                    raise exc
-                raise SimulationError(f"shard worker failed:\n{text}")
+                self._raise_worker_error(message)
             if message[0] != "state":
                 raise SimulationError(
                     f"unexpected shard reply {message[0]!r}"
                 )
             states.append(message[1])
+            self.worker_telemetry[index] = (
+                message[2] if len(message) > 2 else None
+            )
         return states
 
     def finish(self) -> None:

@@ -1,0 +1,224 @@
+"""Shard-state merge edge cases: ``Registry.merge_state``,
+``LogHistogram.merge_state`` and the shardmon histogram fold.
+
+The parallel kernel's merge step (``repro.mom.parallel``) reassembles
+one read surface from per-shard instrument dumps; docs/parallel.md
+promises the fold is associative and commutative, so *any* merge order
+reproduces the sequential instrument bit for bit. These tests pin the
+edges of that promise: empty shards, single-bucket geometries, and
+3+-shard permutations of the integer-quanta running sums.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.histogram import LogHistogram
+from repro.metrics.instruments import Counter, EwmaRate, Gauge
+from repro.metrics.registry import Registry
+from repro.obs.shardmon import merge_histogram_states
+
+
+def _hist(values=(), **kwargs):
+    hist = LogHistogram("lat", **kwargs)
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+class TestHistogramMerge:
+    def test_empty_shard_is_identity(self):
+        target = _hist([0.5, 3.0, 700.0])
+        before = target.dump_state()
+        target.merge_state(_hist().dump_state())
+        assert target.dump_state() == before
+
+    def test_empty_into_empty_stays_empty(self):
+        target = _hist()
+        target.merge_state(_hist().dump_state())
+        assert target.count == 0
+        assert math.isnan(target.mean)
+        assert math.isnan(target.minimum)
+        assert math.isnan(target.percentile(99))
+        assert list(target.buckets()) == []
+
+    def test_single_bucket_geometry(self):
+        # low=1, high=10, per_decade=1: one real bucket plus the
+        # under/overflow pair — the smallest legal geometry
+        kwargs = {"low": 1.0, "high": 10.0, "per_decade": 1}
+        target = _hist([2.0, 0.1], **kwargs)
+        target.merge_state(_hist([5.0, 42.0], **kwargs).dump_state())
+        assert target.count == 4
+        assert target.minimum == 0.1
+        assert target.maximum == 42.0
+        buckets = list(target.buckets())
+        assert [count for (_, _, count) in buckets] == [1, 2, 1]
+        lo, hi = target.percentile_bounds(50)
+        assert lo <= 2.0 <= 5.0 <= hi
+
+    def test_three_shard_sum_associative_in_any_order(self):
+        # values chosen so the float sum is order-sensitive in IEEE
+        # arithmetic; the integer 2**-20 quanta must not be
+        shard_values = [
+            [0.1, 0.2, 0.30000000000000004],
+            [1e6, 1e-3, 7.7],
+            [3.14159, 2.71828, 123.456],
+        ]
+        sequential = _hist(
+            [v for values in shard_values for v in values]
+        )
+        reference = None
+        for order in itertools.permutations(range(3)):
+            target = _hist()
+            for index in order:
+                target.merge_state(_hist(shard_values[index]).dump_state())
+            state = target.dump_state()
+            if reference is None:
+                reference = state
+            assert state == reference, f"merge order {order} diverged"
+            assert state == sequential.dump_state()
+            assert target.total == sequential.total  # bitwise, not approx
+
+    def test_incompatible_geometry_rejected(self):
+        target = _hist()
+        foreign = _hist(per_decade=8)
+        with pytest.raises(ConfigurationError):
+            target.merge_state(foreign.dump_state())
+
+
+class TestInstrumentMerge:
+    def test_counter_adds(self):
+        counter = Counter()
+        counter.inc(3)
+        counter.merge_state(4)
+        assert counter.value == 7
+
+    def test_counter_rejects_negative_state(self):
+        with pytest.raises(ConfigurationError):
+            Counter().merge_state(-1)
+
+    def test_gauge_adopts_value_and_folds_high_water(self):
+        gauge = Gauge()
+        gauge.set(9.0)
+        gauge.set(2.0)
+        shard = Gauge()
+        shard.set(5.0)
+        shard.set(4.0)
+        gauge.merge_state(shard.dump_state())
+        assert gauge.value == 4.0
+        assert gauge.max_value == 9.0
+
+    def test_rate_zero_state_is_bitwise_noop(self):
+        rate = EwmaRate(tau_ms=100.0)
+        rate.mark(50.0)
+        rate.mark(60.0)
+        before = rate.dump_state()
+        rate.merge_state(EwmaRate(tau_ms=100.0).dump_state())
+        # a never-marked shard decays to the marked shard's last_ms and
+        # contributes rate += 0.0 — every bit unchanged
+        assert rate.dump_state() == before
+
+    def test_rate_adopted_into_fresh_instrument(self):
+        marked = EwmaRate(tau_ms=100.0)
+        marked.mark(50.0)
+        fresh = EwmaRate(tau_ms=100.0)
+        fresh.merge_state(marked.dump_state())
+        assert fresh.per_second(75.0) == marked.per_second(75.0)
+
+    def test_rate_window_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EwmaRate(tau_ms=100.0).merge_state(
+                EwmaRate(tau_ms=200.0).dump_state()
+            )
+
+
+def _shard_registry(server, deliveries, latencies):
+    registry = Registry()
+    registry.counter("deliveries_total").inc(deliveries)
+    registry.gauge(
+        "queue_depth", {"server": str(server)}
+    ).set(float(server))
+    hist = registry.histogram("sojourn_ms", {"server": str(server)})
+    for value in latencies:
+        hist.record(value)
+    return registry
+
+
+class TestRegistryMerge:
+    def test_empty_rows_are_a_noop(self):
+        registry = Registry()
+        registry.merge_state([])
+        assert len(registry) == 0
+
+    def test_three_shards_merge_order_free(self):
+        shards = [
+            _shard_registry(0, 5, [1.0, 2.0]),
+            _shard_registry(1, 7, [0.5]),
+            _shard_registry(2, 11, [300.0, 0.001, 9.9]),
+        ]
+        dumps = [shard.dump_state() for shard in shards]
+        reference = None
+        for order in itertools.permutations(range(3)):
+            merged = Registry()
+            for index in order:
+                merged.merge_state(dumps[index])
+            snap = merged.snapshot(now=100.0)
+            if reference is None:
+                reference = snap
+            assert snap == reference, f"merge order {order} diverged"
+        shared = reference["instruments"][0]
+        assert shared["name"] == "deliveries_total"
+        assert shared["value"] == 23
+        per_server = [
+            row
+            for row in reference["instruments"]
+            if row["name"] == "sojourn_ms"
+        ]
+        assert len(per_server) == 3  # label-disjoint: one per shard
+
+    def test_kind_collision_rejected(self):
+        shard = Registry()
+        shard.counter("mixed").inc(1)
+        target = Registry()
+        target.gauge("mixed")
+        with pytest.raises(ConfigurationError):
+            target.merge_state(shard.dump_state())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Registry().merge_state(
+                [{"kind": "summary", "name": "x", "labels": [],
+                  "help": "", "state": None}]
+            )
+
+
+class TestShardmonHistogramFold:
+    def test_fold_is_order_free_and_matches_sequential(self):
+        shard_values = [
+            {"a": [1.0, 2.0], "b": [5.0]},
+            {"a": [0.25]},
+            {"b": [700.0, 0.001], "a": [9.0]},
+        ]
+        states = [
+            {
+                name: _hist(values).dump_state()
+                for name, values in shard.items()
+            }
+            for shard in shard_values
+        ]
+        sequential = {
+            name: _hist(
+                [v for shard in shard_values for v in shard.get(name, [])]
+            )
+            for name in ("a", "b")
+        }
+        for order in itertools.permutations(range(3)):
+            merged = merge_histogram_states([states[i] for i in order])
+            assert sorted(merged) == ["a", "b"]
+            for name, hist in merged.items():
+                assert hist.dump_state() == sequential[name].dump_state()
+
+    def test_no_shards_no_histograms(self):
+        assert merge_histogram_states([]) == {}

@@ -89,6 +89,7 @@ class TestKinds:
             "transmit",
             "retransmit",
             "ack",
+            "arrive",
             "holdback_enter",
             "holdback_release",
             "commit",

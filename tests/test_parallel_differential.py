@@ -59,10 +59,18 @@ def config_controls_parallel(monkeypatch):
 @pytest.fixture(autouse=True)
 def sanitized():
     """Attach the causality sanitizer to every bus — including the ones
-    the forked shard workers build (they inherit the patched class)."""
-    sanitizer.install()
+    the forked shard workers build (they inherit the patched class).
+
+    A ``REPRO_SANITIZE=1`` suite run installs the hook once in conftest;
+    uninstalling it here would also strip any tracer patch stacked on
+    top of it (``REPRO_SANITIZE=1 REPRO_TRACE=1``), so only remove what
+    this fixture itself installed."""
+    installed_here = not sanitizer.is_installed()
+    if installed_here:
+        sanitizer.install()
     yield
-    sanitizer.uninstall()
+    if installed_here:
+        sanitizer.uninstall()
 
 
 def _config(parallel, *, seed=0, clock="matrix", topology=None, workers=4):
@@ -262,6 +270,7 @@ def test_obs_trace_rings_merge_across_shards():
     from collections import Counter
 
     from repro.obs import install as obs_install
+    from repro.obs import is_installed as obs_is_installed
     from repro.obs import uninstall as obs_uninstall
 
     def run(parallel):
@@ -274,12 +283,19 @@ def test_obs_trace_rings_merge_across_shards():
         bus.run_until_idle()
         return bus
 
-    obs_install()
+    # only install (and later remove) the hook if a REPRO_TRACE=1 suite
+    # run has not already done so: uninstalling the conftest's hook here
+    # would un-pair it from the sanitizer fixture's own class patch and
+    # silently untrace the rest of the suite
+    installed_here = not obs_is_installed()
+    if installed_here:
+        obs_install()
     try:
         seq_bus = run("off")
         par_bus = run("auto")
     finally:
-        obs_uninstall()
+        if installed_here:
+            obs_uninstall()
     assert isinstance(par_bus, ShardedBus)
 
     def key(event):
@@ -337,3 +353,98 @@ def test_windowed_runs_match_single_run():
     assert json.dumps(par_bus.cost_snapshot(), sort_keys=True) == json.dumps(
         seq_bus.cost_snapshot(), sort_keys=True
     )
+
+
+# ----------------------------------------------------------------------
+# Critical-path profiler and the why machinery on merged traces
+# ----------------------------------------------------------------------
+
+
+def _traced_pair(build):
+    """Run ``build`` sequentially and sharded with the obs tracer
+    installed; returns the two event streams (sequential ring, merged
+    per-shard rings)."""
+    from repro.obs import install as obs_install
+    from repro.obs import is_installed as obs_is_installed
+    from repro.obs import uninstall as obs_uninstall
+
+    # leave a suite-wide REPRO_TRACE=1 hook alone (see
+    # test_obs_trace_rings_merge_across_shards)
+    installed_here = not obs_is_installed()
+    if installed_here:
+        obs_install()
+    try:
+        seq_bus = build(_config("off"))
+        seq_bus.start()
+        seq_bus.run_until_idle()
+        par_bus = build(_config("auto"))
+        assert isinstance(par_bus, ShardedBus)
+        par_bus.start()
+        par_bus.run_until_idle()
+    finally:
+        if installed_here:
+            obs_uninstall()
+    return seq_bus._obs_tracer.ring.events(), par_bus.trace_events()
+
+
+def _churn_bus(config):
+    bus = make_bus(config)
+    for src, dst in [(0, 9), (9, 0), (4, 11)]:
+        sink = SinkAgent()
+        sink_id = bus.deploy(sink, dst)
+        driver = OpenLoopDriver(period_ms=7.0, count=15)
+        driver.bind(sink_id)
+        bus.deploy(driver, src)
+    return bus
+
+
+def test_critpath_attribution_identical_across_kernels():
+    """Every delivered message's five-way latency attribution — computed
+    from the merged per-shard rings — is bit-identical to the sequential
+    run's, and exact in both: the categories sum to the measured
+    end-to-end sim-time latency with no float slack."""
+    from repro.obs.critpath import CriticalPathAnalyzer
+
+    seq_events, par_events = _traced_pair(_churn_bus)
+    seq = CriticalPathAnalyzer(seq_events)
+    par = CriticalPathAnalyzer(par_events)
+
+    nids = seq.delivered_nids()
+    assert nids, "churn zoo must complete deliveries"
+    assert nids == par.delivered_nids()
+    for nid in nids:
+        a = seq.breakdown(nid)
+        b = par.breakdown(nid)
+        assert a is not None and b is not None, f"nid {nid} incomplete"
+        assert a.is_exact(), f"nid {nid}: sequential attribution inexact"
+        assert b.is_exact(), f"nid {nid}: sharded attribution inexact"
+        assert a.totals == b.totals, f"nid {nid}: category sums diverged"
+        assert a.as_dict() == b.as_dict()
+        assert [s[:5] for s in a.segments] == [s[:5] for s in b.segments]
+
+    seq_summary = seq.category_summary()
+    assert seq_summary["exact"] is True
+    assert seq_summary == par.category_summary()
+
+
+def test_why_waits_identical_on_merged_trace():
+    """The ``repro.obs why`` machinery — hold-back dwells resolved to the
+    releasing commit — answers identically on a ShardedBus merged trace.
+    This leans on the merged ring's global re-sequencing: blocker_of
+    orders commits by ``seq``, which per-shard numbering would break."""
+    from repro.obs.critpath import CriticalPathAnalyzer
+
+    seq_events, par_events = _traced_pair(_churn_bus)
+    assert any(e.kind == "holdback_enter" for e in seq_events), (
+        "scenario must exercise the hold-back store"
+    )
+    seq = CriticalPathAnalyzer(seq_events)
+    par = CriticalPathAnalyzer(par_events)
+    checked_waits = 0
+    for nid in seq.delivered_nids():
+        seq_waits = seq.waits(nid)
+        assert seq_waits == par.waits(nid), f"nid {nid}: waits diverged"
+        checked_waits += sum(
+            1 for w in seq_waits if w["blocker_nid"] is not None
+        )
+    assert checked_waits > 0, "no resolved blockers exercised"
