@@ -1,0 +1,121 @@
+"""Wall-clock bench for the cold-path replay/diff tooling.
+
+Records one traced s=150 churn run (the hold-back-heavy scenario the
+observability tools exist for), then times the tool under test:
+
+    PYTHONPATH=src python benchmarks/replay_bench.py --mode replay
+    PYTHONPATH=src python benchmarks/replay_bench.py --mode diff
+
+``--mode replay`` times full state reconstruction — a seek to mid-run, a
+backward seek (checkpoint restore + re-apply), and a seek to the end —
+and verifies the end snapshot against the live bus byte for byte.
+``--mode diff`` times the canonical alignment + prefix-hash binary
+search, on the identical pair (the worst case: every probe hashes equal)
+and on a perturbed pair, verifying the seeded divergence is found.
+
+The bench gate (tools/bench_baseline.json ``runtime`` entries) runs both
+modes inside generous wall-clock bands: this is cold-path tooling, the
+band exists so a quadratic regression cannot land silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def _churn_dump():
+    from repro.mom.bus import MessageBus
+    from repro.mom.config import BusConfig
+    from repro.mom.workloads import OpenLoopDriver, SinkAgent
+    from repro.obs.export import TraceDump
+    from repro.obs.tracer import attach
+    from repro.topology import builders
+
+    config = BusConfig(
+        topology=builders.bus(150, 10),
+        record_delivered_log=True,
+    )
+    bus = MessageBus(config)
+    for src, dst in [(0, 149), (149, 0), (74, 120)]:
+        sink_id = bus.deploy(SinkAgent(), dst)
+        driver = OpenLoopDriver(period_ms=7.0, count=15)
+        driver.bind(sink_id)
+        bus.deploy(driver, src)
+    tracer = attach(bus)
+    bus.start()
+    bus.run_until_idle()
+    return TraceDump.from_tracer(tracer), bus
+
+
+def bench_replay(dump, bus):
+    from repro.obs.replay import Replayer
+
+    end = bus.sim.now
+    started = time.perf_counter()
+    replay = Replayer(dump)
+    replay.seek(end * 0.5)
+    mid = replay.snapshot_json()
+    replay.seek(end)
+    final = replay.snapshot_json()
+    replay.seek(end * 0.25)  # backward: checkpoint restore + re-apply
+    replay.seek(end)
+    elapsed = time.perf_counter() - started
+    assert replay.snapshot_json() == final
+    live = json.dumps(bus.protocol_snapshot(), sort_keys=True)
+    assert final == live, "replay bench identity check failed"
+    return {
+        "wall_s": round(elapsed, 4),
+        "events": len(replay.events),
+        "mid_bytes": len(mid),
+        "identity_ok": True,
+    }
+
+
+def bench_diff(dump, bus):
+    from repro.obs.diff import diff_dumps
+    from repro.obs.export import TraceDump
+
+    started = time.perf_counter()
+    clean = diff_dumps(dump, dump)
+    target = next(
+        e for e in dump.events if e.kind == "commit" and e.nid >= 0
+    )
+    perturbed = TraceDump(
+        dict(dump.meta),
+        [
+            e._replace(value=e.value + 1.0) if e is target else e
+            for e in dump.events
+        ],
+        dump.cpu,
+        dump.histograms,
+    )
+    report = diff_dumps(dump, perturbed)
+    elapsed = time.perf_counter() - started
+    assert clean is None, "self-diff must be clean"
+    assert report is not None
+    assert report.classification == "stamp-mismatch"
+    assert report.nid == target.nid
+    return {
+        "wall_s": round(elapsed, 4),
+        "events": len(dump.events),
+        "found": report.classification,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=("replay", "diff"), required=True)
+    args = parser.parse_args(argv)
+    dump, bus = _churn_dump()
+    result = (bench_replay if args.mode == "replay" else bench_diff)(
+        dump, bus
+    )
+    print(json.dumps({"mode": args.mode, **result}))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

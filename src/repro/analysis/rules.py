@@ -685,6 +685,10 @@ HOOK_HANDLES = frozenset(
 )
 
 #: Modules that *are* the observation layer (hook targets for R008).
+#: The ``repro.obs`` prefix closes over every submodule, including the
+#: offline read surfaces (``repro.obs.replay``, ``repro.obs.diff``) that
+#: reconstruct protocol state from dumps — they may read anything but
+#: must never mutate live protocol state.
 _OBSERVATION_PREFIXES = (
     "repro.obs",
     "repro.metrics",

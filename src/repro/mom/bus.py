@@ -382,6 +382,63 @@ class MessageBus:
         }
         return dump_trace(Trace.from_histories(histories), stream)
 
+    def protocol_snapshot(self) -> Dict[str, Any]:
+        """The bus's observable protocol state as plain JSON types.
+
+        Per server: crash flag and epoch, the channel's hop counter and
+        in-flight sets (unacked QueueOUT entries, held-back hop ids per
+        domain, charged-but-unfired commits), the engine's QueueIN nids,
+        every domain clock matrix — and, when ``record_delivered_log`` is
+        on, the committed-delivery prefix.
+
+        This is the replay identity oracle's live side: at any sim-time
+        ``T`` reached with ``run(until=T)``,
+        ``json.dumps(bus.protocol_snapshot(), sort_keys=True)`` is
+        byte-identical to :meth:`repro.obs.replay.Replayer.snapshot_json`
+        over a dump of the same run. Sim-time itself is deliberately
+        excluded (the dump's clock keeps running past ``T``).
+        """
+        servers: Dict[str, Any] = {}
+        for server_id in sorted(self.servers):
+            server = self.servers[server_id]
+            channel = server.channel
+            entry: Dict[str, Any] = {
+                "crashed": server.is_crashed,
+                "epoch": server.epoch,
+                "hop_seq": channel.hop_seq,
+                "unacked": channel.unacked_hop_seqs(),
+                "holdback": channel.heldback_mids(),
+                "pending": channel.pending_mids(),
+                "queued": server.engine.queued_nids(),
+                "clocks": {
+                    domain_id: [
+                        [item.clock.cell(row, col)
+                         for col in range(item.clock.size)]
+                        for row in range(item.clock.size)
+                    ]
+                    for domain_id, item in sorted(
+                        channel.domain_items.items()
+                    )
+                },
+            }
+            delivered = server.engine.delivered_log
+            if delivered is not None:
+                entry["delivered"] = list(delivered)
+            servers[str(server_id)] = entry
+        return {"servers": servers}
+
+    def snapshot_at(self, t: float) -> Dict[str, Any]:
+        """Run to sim-time ``t`` (inclusive of events scheduled at ``t``)
+        and return :meth:`protocol_snapshot` — the mid-run snapshot hook
+        the replay identity oracle compares against."""
+        if t < self.sim.now:
+            raise ConfigurationError(
+                f"cannot snapshot at t={t}: the simulation is already at "
+                f"{self.sim.now}"
+            )
+        self.run(until=t)
+        return self.protocol_snapshot()
+
     def stats_table(self) -> str:
         """A per-server operational summary (queues, clocks, disk, CPU)."""
         header = (

@@ -175,6 +175,32 @@ class Channel:
         """Envelopes currently held back in one domain's store."""
         return self._holdback[domain_id].count
 
+    @property
+    def hop_seq(self) -> int:
+        """The last hop sequence number stamped by this channel."""
+        return self._hop_seq
+
+    def unacked_hop_seqs(self) -> List[int]:
+        """Hop sequence numbers still awaiting a transaction ACK
+        (QueueOUT), ascending."""
+        return sorted(self._unacked)
+
+    def heldback_mids(self) -> Dict[str, List[List[int]]]:
+        """Held-back hop ids per domain, each as ``[src, hop_seq]``,
+        sorted — the JSON-ready view :meth:`MessageBus.protocol_snapshot`
+        and the replay identity oracle compare."""
+        return {
+            domain_id: sorted(
+                [mid[1], mid[2]] for mid in store.mids
+            )
+            for domain_id, store in sorted(self._holdback.items())
+        }
+
+    def pending_mids(self) -> List[List[int]]:
+        """Hop ids with a receive commit charged but not yet fired, each
+        as ``[src, hop_seq]``, sorted."""
+        return sorted([mid[1], mid[2]] for mid in self._pending_commits)
+
     # ------------------------------------------------------------------
     # Send path
     # ------------------------------------------------------------------

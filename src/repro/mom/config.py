@@ -67,6 +67,14 @@ class BusConfig:
     """Record per-hop (intra-domain) messages too — needed by the
     per-domain causality checks, sizeable for big runs."""
 
+    record_delivered_log: bool = False
+    """Keep each engine's committed-delivery prefix (the ordered nid list
+    of every non-boot reaction commit). Off by default — it grows with
+    run length. The replay identity oracle
+    (:meth:`~repro.mom.bus.MessageBus.protocol_snapshot` vs.
+    :class:`repro.obs.replay.Replayer`) turns it on to compare delivered
+    prefixes too."""
+
     validate: bool = True
     """Run :func:`repro.topology.graph.validate_topology` at boot. The
     theorem tests set this to False to boot cyclic topologies on purpose."""

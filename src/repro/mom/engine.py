@@ -38,6 +38,11 @@ class Engine:
         self._reacting = False
         # observability hook (repro.obs); None = tracing off
         self._tracer: Optional["Tracer"] = None
+        # committed-delivery prefix (ordered nids), observer state: it is
+        # not volatile protocol state, so crashes do not wipe it
+        self._delivered_log: Optional[List[int]] = (
+            [] if server.config.record_delivered_log else None
+        )
 
     # ------------------------------------------------------------------
     # Deployment
@@ -90,6 +95,21 @@ class Engine:
     @property
     def queued(self) -> int:
         return len(self._queue_in)
+
+    def queued_nids(self) -> List[int]:
+        """The notification ids in QueueIN, FIFO order (boot markers carry
+        no nid and are excluded)."""
+        return [
+            entry.nid
+            for entry in self._queue_in
+            if isinstance(entry, Notification)
+        ]
+
+    @property
+    def delivered_log(self) -> Optional[List[int]]:
+        """Ordered nids of every committed non-boot reaction, or ``None``
+        when ``record_delivered_log`` is off."""
+        return self._delivered_log
 
     def _schedule_next(self) -> None:
         if self._reacting or not self._queue_in or self._server.is_crashed:
@@ -150,6 +170,8 @@ class Engine:
         self._queue_in.popleft()
         self._persist_queue()
         self._persist_agent(local)
+        if receive_of is not None and self._delivered_log is not None:
+            self._delivered_log.append(receive_of.nid)
         # ---- end commit ----
 
         if tracer is not None:

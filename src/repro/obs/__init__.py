@@ -21,6 +21,19 @@ from repro.obs.events import DEFAULT_CAPACITY, KINDS, EventRing, TraceEvent
 from repro.obs.histogram import LogHistogram
 from repro.obs.export import TraceDump, chrome_trace, read_jsonl, write_jsonl
 from repro.obs import flight_recorder
+from repro.obs.diff import (
+    DiffReport,
+    canonical_events,
+    diff_dumps,
+    explain,
+    watch_explain,
+)
+from repro.obs.replay import (
+    Replayer,
+    check_dump_complete,
+    watch_deliverable,
+    watch_holdback_exceeds,
+)
 from repro.obs.tracer import (
     Tracer,
     attach,
@@ -41,6 +54,15 @@ __all__ = [
     "read_jsonl",
     "write_jsonl",
     "flight_recorder",
+    "DiffReport",
+    "canonical_events",
+    "diff_dumps",
+    "explain",
+    "watch_explain",
+    "Replayer",
+    "check_dump_complete",
+    "watch_deliverable",
+    "watch_holdback_exceeds",
     "Tracer",
     "attach",
     "detach",

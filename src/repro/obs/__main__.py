@@ -17,6 +17,14 @@ Subcommands:
   chain of deliveries that determined the whole run's makespan;
 - ``shards``   render a ``repro.shardmon/v1`` shard-runtime telemetry
   payload (or ``--demo`` to produce one live from a sharded run);
+- ``replay``   time-travel debugging: reconstruct every server's protocol
+  state (clock matrices, hold-back queues, in-flight sets, delivered
+  prefixes) at any sim-time ``--at T``, or run forward to a watchpoint
+  (``--watch-holdback SERVER:DEPTH`` / ``--watch-deliverable NID``);
+- ``diff``     causal run-diff of two dumps: binary-search the first
+  causally-meaningful divergence, classify it (delivery-order flip,
+  dwell change, missing message, stamp mismatch, timing shift) and — with
+  ``--explain`` — chain into the ``why``/``critpath`` explainers;
 - ``slowest``  the k messages with the worst end-to-end delivery time;
 - ``export``   convert a dump to Chrome ``trace_event`` JSON for
   Perfetto / ``chrome://tracing`` (with the critical-path span overlay).
@@ -38,6 +46,7 @@ from repro.obs import flight_recorder, shardmon
 from repro.obs.critpath import CATEGORIES, CriticalPathAnalyzer
 from repro.obs.events import TraceEvent
 from repro.obs.export import TraceDump, chrome_trace, read_jsonl
+from repro.obs.replay import check_dump_complete
 from repro.obs.tracer import attach
 
 
@@ -85,6 +94,7 @@ def _fmt_event(event: TraceEvent) -> str:
 
 def cmd_summary(args: argparse.Namespace) -> int:
     dump = _load(args.dump)
+    check_dump_complete(dump)
     meta = dump.meta
     print(f"trace dump: {args.dump}")
     print(
@@ -188,6 +198,7 @@ def cmd_why(args: argparse.Namespace) -> int:
     than the ``holdback_release``.
     """
     dump = _load(args.dump)
+    check_dump_complete(dump)
     events = dump.events_of(args.nid)
     if not events:
         print(f"no events for message {args.nid} in {args.dump}")
@@ -283,6 +294,7 @@ def _print_breakdown(breakdown, verbose: bool = True) -> None:
 def cmd_critpath(args: argparse.Namespace) -> int:
     """Exact latency attribution: one delivery, or the run's makespan."""
     dump = _load(args.dump)
+    check_dump_complete(dump)
     analyzer = CriticalPathAnalyzer(dump.events)
     if args.run:
         steps = analyzer.run_critical_path()
@@ -381,6 +393,116 @@ def _demo_shard_payload(args: argparse.Namespace):
     bus.start()
     bus.run_until_idle()
     return bus.shard_telemetry()
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Time-travel replay: state at ``--at T``, or run to a watchpoint."""
+    from repro.obs.replay import (
+        Replayer,
+        watch_deliverable,
+        watch_holdback_exceeds,
+    )
+
+    dump = _load(args.dump)
+    replay = Replayer(dump)
+    watch = None
+    if args.watch_holdback is not None:
+        try:
+            server_text, depth_text = args.watch_holdback.split(":", 1)
+            watch = watch_holdback_exceeds(
+                int(server_text), int(depth_text)
+            )
+        except ValueError:
+            print(
+                "error: --watch-holdback takes SERVER:DEPTH (e.g. 3:5)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.watch_deliverable is not None:
+        watch = watch_deliverable(args.watch_deliverable)
+
+    if watch is not None:
+        hit = replay.run_until(watch, limit=args.at)
+        if hit is None:
+            bound = (
+                f" by t={args.at:.3f}ms" if args.at is not None
+                else " before the dump ended"
+            )
+            print(f"watchpoint never triggered{bound}")
+            return 1
+        print(f"watchpoint hit at event #{replay.cursor - 1}:")
+        print(_fmt_event(hit))
+        print()
+    elif args.at is not None:
+        replay.seek(args.at)
+    else:
+        replay.seek(float("inf"))
+
+    snapshot = replay.snapshot(include_delivered=not args.no_delivered)
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
+        return 0
+    print(
+        f"replayed {replay.cursor}/{len(replay.events)} events, "
+        f"state at t={replay.now:.3f}ms"
+    )
+    print(
+        f"  {'server':<8} {'state':<9} {'epoch':>5} {'hop_seq':>7} "
+        f"{'unacked':>7} {'holdback':>8} {'pending':>7} {'queued':>6} "
+        f"{'delivered':>9}"
+    )
+    for server_key in sorted(snapshot["servers"], key=int):
+        entry = snapshot["servers"][server_key]
+        held = sum(len(v) for v in entry["holdback"].values())
+        print(
+            f"  S{server_key:<7} "
+            f"{'CRASHED' if entry['crashed'] else 'up':<9} "
+            f"{entry['epoch']:>5} {entry['hop_seq']:>7} "
+            f"{len(entry['unacked']):>7} {held:>8} "
+            f"{len(entry['pending']):>7} {len(entry['queued']):>6} "
+            f"{len(entry.get('delivered', [])):>9}"
+        )
+    print("  (use --json for the full state: clocks, mids, prefixes)")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Causal run-diff: first meaningful divergence of two dumps."""
+    from repro.obs.diff import diff_dumps, explain
+
+    dump_a = _load(args.dump_a)
+    dump_b = _load(args.dump_b)
+    report = diff_dumps(dump_a, dump_b)
+    if report is None:
+        print(
+            f"runs are causally identical "
+            f"({len(dump_a.events)} vs {len(dump_b.events)} events, "
+            "canonical streams match)"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+        return 1
+    if args.explain:
+        print(explain(report, dump_a, dump_b))
+        return 1
+    print(
+        f"first divergence at canonical event {report.index}: "
+        f"{report.classification}"
+    )
+    print(
+        f"  nid {report.nid}, t={report.t:.3f}ms, server S{report.server}"
+    )
+    print(f"  {report.detail}")
+    if report.a_event is not None:
+        print(f"  run A:{_fmt_event(report.a_event)}")
+    if report.b_event is not None:
+        print(f"  run B:{_fmt_event(report.b_event)}")
+    print(
+        "  try: python -m repro.obs diff --explain "
+        f"{args.dump_a} {args.dump_b}  (chains into why/critpath)"
+    )
+    return 1
 
 
 def cmd_slowest(args: argparse.Namespace) -> int:
@@ -527,6 +649,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=2)
     p.set_defaults(fn=cmd_shards)
+
+    p = sub.add_parser(
+        "replay",
+        help="time-travel replay: protocol state at sim-time T, "
+        "or run to a watchpoint",
+    )
+    p.add_argument("dump", help="dump directory or events.jsonl")
+    p.add_argument(
+        "--at", type=float, default=None, metavar="T",
+        help="sim-time to reconstruct (default: end of dump); with a "
+        "watchpoint, the sim-time search bound",
+    )
+    p.add_argument(
+        "--watch-holdback", default=None, metavar="SERVER:DEPTH",
+        help="stop when SERVER's held-back envelope count exceeds DEPTH",
+    )
+    p.add_argument(
+        "--watch-deliverable", type=int, default=None, metavar="NID",
+        help="stop when message NID becomes deliverable",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="full snapshot as canonical JSON (protocol_snapshot shape)",
+    )
+    p.add_argument(
+        "--no-delivered", action="store_true",
+        help="omit delivered prefixes (match a live bus without "
+        "record_delivered_log)",
+    )
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser(
+        "diff",
+        help="first causally-meaningful divergence between two dumps",
+    )
+    p.add_argument("dump_a", help="first dump directory or events.jsonl")
+    p.add_argument("dump_b", help="second dump directory or events.jsonl")
+    p.add_argument(
+        "--explain", "--watch", dest="explain", action="store_true",
+        help="chain the divergent nid into the why/critpath explainers "
+        "(what --watch mode prints on a failed differential)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable divergence report",
+    )
+    p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser("slowest", help="worst end-to-end deliveries")
     p.add_argument("dump", help="dump directory or events.jsonl")

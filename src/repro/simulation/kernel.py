@@ -260,6 +260,15 @@ class Simulator:
         """Scheduled-but-unfired events (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def settled(self) -> bool:
+        """True when no pending event is scheduled at (or before) ``now``
+        — i.e. the current instant has fully fired. ``run(until=T)``
+        always leaves the clock settled at ``T``, which is what makes a
+        mid-run :meth:`~repro.mom.bus.MessageBus.protocol_snapshot`
+        well-defined (and replayable from a trace dump)."""
+        return self.next_event_time() > self._now
+
     def __repr__(self) -> str:
         return f"Simulator(now={self._now:.3f}, pending={self.pending})"
 

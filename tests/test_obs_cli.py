@@ -166,6 +166,105 @@ def test_why_unknown_nid_fails(jittery_dump, capsys):
     assert main(["why", "999999", path]) == 1
 
 
+# ----------------------------------------------------------------------
+# Partial dumps: one-line exit-2 diagnosis, not a traceback
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def partial_dump(dump_dir, tmp_path_factory):
+    """The demo dump with every ``arrive`` event stripped — the shape of
+    a recording made with partial hooks."""
+    root = tmp_path_factory.mktemp("obs-partial")
+    path = str(root / "events.jsonl")
+    with open(os.path.join(dump_dir, "events.jsonl")) as stream:
+        rows = [json.loads(line) for line in stream]
+    with open(path, "w") as stream:
+        for row in rows:
+            if row.get("record") == "event" and row["kind"] == "arrive":
+                continue
+            stream.write(json.dumps(row) + "\n")
+    return path
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["summary"],
+        ["why", "1099511627776"],
+        ["critpath", "1099511627776"],
+        ["critpath", "--run"],
+    ],
+    ids=["summary", "why", "critpath", "critpath-run"],
+)
+def test_partial_dump_is_a_one_line_exit_2(partial_dump, argv, capsys):
+    assert main(argv + [partial_dump]) == 2
+    captured = capsys.readouterr()
+    assert captured.err.count("\n") == 1, "diagnosis must be one line"
+    assert (
+        "error: dump is missing event kind 'arrive' — re-record with "
+        "REPRO_TRACE=1 full hooks"
+    ) in captured.err
+
+
+def test_full_dump_still_passes_the_completeness_gate(dump_dir, capsys):
+    assert main(["summary", dump_dir]) == 0
+
+
+# ----------------------------------------------------------------------
+# replay / diff subcommands, end to end
+# ----------------------------------------------------------------------
+
+
+def test_replay_renders_state_table(dump_dir, capsys):
+    assert main(["replay", dump_dir]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out
+    assert "delivered" in out
+    assert "S0" in out
+
+
+def test_replay_at_json_is_the_protocol_snapshot_shape(dump_dir, capsys):
+    assert main(["replay", dump_dir, "--at", "100.0", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    entry = snapshot["servers"]["0"]
+    for key in (
+        "crashed", "epoch", "hop_seq", "unacked", "holdback",
+        "pending", "queued", "clocks", "delivered",
+    ):
+        assert key in entry
+    assert main(["replay", dump_dir, "--json", "--no-delivered"]) == 0
+    bare = json.loads(capsys.readouterr().out)
+    assert "delivered" not in bare["servers"]["0"]
+
+
+def test_replay_watch_deliverable_stops_early(dump_dir, capsys):
+    nid = routed_nid(dump_dir)
+    assert main(["replay", dump_dir, "--watch-deliverable", str(nid)]) == 0
+    out = capsys.readouterr().out
+    assert "watchpoint hit" in out
+
+
+def test_replay_watchpoint_never_triggering_exits_1(dump_dir, capsys):
+    assert main(["replay", dump_dir, "--watch-holdback", "0:99999"]) == 1
+    assert "never triggered" in capsys.readouterr().out
+
+
+def test_replay_bad_watch_syntax_exits_2(dump_dir, capsys):
+    assert main(["replay", dump_dir, "--watch-holdback", "three:five"]) == 2
+    assert "SERVER:DEPTH" in capsys.readouterr().err
+
+
+def test_replay_partial_dump_exits_2(partial_dump, capsys):
+    assert main(["replay", partial_dump]) == 2
+    assert "missing event kind" in capsys.readouterr().err
+
+
+def test_diff_of_a_dump_with_itself_is_clean(dump_dir, capsys):
+    assert main(["diff", dump_dir, dump_dir]) == 0
+    assert "causally identical" in capsys.readouterr().out
+
+
 def test_why_blocker_is_causally_consistent(jittery_dump, capsys):
     """The named blocker must have committed at the same server/domain
     strictly before our release — re-derive it from the raw events."""
