@@ -119,6 +119,105 @@ def _cmd_rules(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Packages whose changes retrigger the model-checker admission gate.
+_MODEL_TRIGGER_PARTS = ("clocks", "mom", "protocol")
+
+
+def _model_relevant(paths: Set[Path]) -> bool:
+    for path in paths:
+        if any(part in _MODEL_TRIGGER_PARTS for part in path.parts):
+            return True
+    return False
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.analysis.model import (
+        ScanError,
+        check_core,
+        check_named,
+        checkable_cores,
+        load_candidate,
+    )
+
+    if args.changed:
+        try:
+            changed = _git_changed_files()
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"error: --changed needs a git checkout: {exc}", file=sys.stderr)
+            return 2
+        if not _model_relevant(changed):
+            print(
+                "model: no changes under clocks/, mom/ or protocol/ — "
+                "admission gate skipped",
+                file=sys.stderr,
+            )
+            return 0
+    results = []
+    try:
+        if args.all:
+            for name, causal in checkable_cores():
+                if args.core and name != args.core:
+                    continue
+                if not causal:
+                    print(
+                        f"core '{name}': skipped (causal=False baseline; "
+                        "check it explicitly to see its counterexample)",
+                        file=sys.stderr,
+                    )
+                    continue
+                results.append(
+                    check_named(
+                        name, servers=args.servers, messages=args.messages
+                    )
+                )
+        else:
+            if not args.core:
+                print("error: name a core or pass --all", file=sys.stderr)
+                return 2
+            if args.core.endswith(".py"):
+                core = load_candidate(Path(args.core))
+                results.append(
+                    check_core(
+                        core, servers=args.servers, messages=args.messages
+                    )
+                )
+            else:
+                results.append(
+                    check_named(
+                        args.core,
+                        servers=args.servers,
+                        messages=args.messages,
+                    )
+                )
+    except ScanError as exc:
+        print(f"error: admission scan failed: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # ProtocolError: unknown core name, bad boot
+        from repro.errors import ProtocolError
+
+        if not isinstance(exc, ProtocolError):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "results": [r.to_dict() for r in results],
+                    "ok": all(r.ok for r in results),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for result in results:
+            print(result.format())
+    return 0 if all(r.ok for r in results) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -178,6 +277,47 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     rules_parser = sub.add_parser("rules", help="list the rule catalogue")
     rules_parser.set_defaults(func=_cmd_rules)
+
+    model_parser = sub.add_parser(
+        "model",
+        help="small-scope model-check a causal core (admission gate)",
+    )
+    model_parser.add_argument(
+        "core",
+        nargs="?",
+        default=None,
+        help="registered core name, or a path to a candidate .py file",
+    )
+    model_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="check every registered causal core (causal=False baselines "
+        "are skipped)",
+    )
+    model_parser.add_argument(
+        "--servers",
+        type=int,
+        default=3,
+        metavar="N",
+        help="servers in the explored scope (capped at 3)",
+    )
+    model_parser.add_argument(
+        "--messages",
+        type=int,
+        default=3,
+        metavar="M",
+        help="messages in the explored scope (capped at 4)",
+    )
+    model_parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="run only when git-changed files touch clocks/, mom/ or "
+        "protocol/; otherwise exit 0 immediately",
+    )
+    model_parser.add_argument(
+        "--json", action="store_true", help="emit results as JSON"
+    )
+    model_parser.set_defaults(func=_cmd_model)
 
     args = parser.parse_args(argv)
     if not getattr(args, "func", None):

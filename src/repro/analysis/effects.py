@@ -47,7 +47,7 @@ from repro.analysis.cfg import CFGNode
 from repro.analysis.dataflow import expr_chain, solve_forward
 
 #: Packages whose classes hold protocol state.
-PROTOCOL_PACKAGES = ("repro.mom", "repro.clocks")
+PROTOCOL_PACKAGES = ("repro.mom", "repro.clocks", "repro.protocol")
 #: …except the accounting bundles, which are the metrics hot-path layer.
 PROTOCOL_EXEMPT_MODULES = frozenset({"repro.mom.accounting"})
 
@@ -78,9 +78,9 @@ _MUTATORS = frozenset(
 def is_protocol_module(module: Optional[str]) -> bool:
     if module is None or module in PROTOCOL_EXEMPT_MODULES:
         return False
-    return module.startswith(PROTOCOL_PACKAGES[0] + ".") or module.startswith(
-        PROTOCOL_PACKAGES[1] + "."
-    ) or module in PROTOCOL_PACKAGES
+    if module in PROTOCOL_PACKAGES:
+        return True
+    return any(module.startswith(pkg + ".") for pkg in PROTOCOL_PACKAGES)
 
 
 @dataclass

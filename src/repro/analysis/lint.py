@@ -61,7 +61,7 @@ _NOQA_RE = re.compile(
     re.IGNORECASE,
 )
 
-CACHE_FORMAT = "repro.analysis-cache/v2"
+CACHE_FORMAT = "repro.analysis-cache/v3"
 BASELINE_FORMAT = "repro.analysis-baseline/v1"
 
 
@@ -256,6 +256,14 @@ def selection_key(select: Optional[Iterable[str]]) -> str:
     return ",".join(codes) if codes else "*"
 
 
+def _rule_catalogue() -> List[str]:
+    """Sorted rule ids of the active catalogue (imported lazily: the
+    rule modules import this one for the base classes)."""
+    from repro.analysis.rules import ALL_RULES
+
+    return sorted(rule.rule_id for rule in ALL_RULES)
+
+
 class LintCache:
     """JSON cache: per-file findings keyed by content hash, project
     findings keyed by the combined hash of every file.
@@ -263,12 +271,20 @@ class LintCache:
     Since v2 results are bucketed per rule *selection*: a ``--rule R001``
     run and a full run read and write different buckets of the same
     cache file, so partial results never poison full ones, yet repeated
-    selected runs still go warm."""
+    selected runs still go warm.
+
+    Since v3 the payload also records the rule catalogue that produced
+    it: an entry written by an older toolchain (or one with a different
+    rule set — e.g. before the R018–R023 contract tier landed) is
+    rejected wholesale, even if the analysis-package signature check is
+    ever weakened, so stale caches can never mask findings from newly
+    added rules."""
 
     def __init__(self, path: Path, selection: str = "*") -> None:
         self.path = path
         self.selection = selection
         self.signature = analysis_signature()
+        self.rules = _rule_catalogue()
         self._runs: Dict[str, Dict[str, object]] = {}
         self._files: Dict[str, Dict[str, object]] = {}
         self._project: Dict[str, object] = {}
@@ -281,6 +297,7 @@ class LintCache:
             isinstance(raw, dict)
             and raw.get("format") == CACHE_FORMAT
             and raw.get("signature") == self.signature
+            and raw.get("rules") == self.rules
             and isinstance(raw.get("runs"), dict)
         ):
             self._runs = raw["runs"]
@@ -330,6 +347,7 @@ class LintCache:
         payload = {
             "format": CACHE_FORMAT,
             "signature": self.signature,
+            "rules": self.rules,
             "runs": self._runs,
         }
         try:

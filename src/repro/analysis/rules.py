@@ -82,6 +82,11 @@ sharded kernel:
   worker-reachable code must embed the shard id (constant names would
   give every worker an identical stream), unless lexically guarded by
   the sequential-only ``shard is None`` branch.
+
+R018–R023 are the plug-in contract tier guarding the
+:class:`~repro.protocol.core.CausalCore` boundary; they live in
+:mod:`repro.analysis.contract` and are appended to ``ALL_RULES`` at the
+bottom of this module.
 """
 
 from __future__ import annotations
@@ -100,6 +105,14 @@ from repro.analysis.dataflow import (
 )
 from repro.analysis.effects import EffectEngine, stream_call_sites
 from repro.analysis.lint import Diagnostic, LintContext
+from repro.analysis.rulebase import (
+    MUTATOR_METHODS as _MUTATOR_METHODS,
+    ProjectRule,
+    Rule,
+    effect_engine,
+    function_defs as _function_defs,
+    package_of as _package_of,
+)
 
 # Attributes that are private to the clock implementations: the flat
 # stamp/clock buffers, the change log, the persistence image/journal and
@@ -123,30 +136,10 @@ CLOCK_INTERNALS = frozenset(
     }
 )
 
-_MUTATOR_METHODS = frozenset(
-    {
-        "append",
-        "appendleft",
-        "extend",
-        "insert",
-        "remove",
-        "pop",
-        "popleft",
-        "popitem",
-        "clear",
-        "add",
-        "discard",
-        "update",
-        "setdefault",
-        "sort",
-        "reverse",
-        "frombytes",
-        "fromlist",
-        "byteswap",
-    }
-)
-
 # Layer order for R006; a package may import itself and anything below.
+# ``protocol`` sits between ``baselines`` and ``mom``: the built-in cores
+# wrap clock classes from ``clocks`` and ``baselines``, and the MOM
+# resolves everything through the core registry.
 LAYERS: Dict[str, int] = {
     "errors": 0,
     "metrics": 1,
@@ -155,11 +148,12 @@ LAYERS: Dict[str, int] = {
     "causality": 4,
     "topology": 5,
     "baselines": 6,
-    "mom": 7,
-    "pubsub": 8,
-    "obs": 9,
-    "bench": 10,
-    "analysis": 11,
+    "protocol": 7,
+    "mom": 8,
+    "pubsub": 9,
+    "obs": 10,
+    "bench": 11,
+    "analysis": 12,
 }
 
 _TIMELIKE_NAMES = frozenset(
@@ -184,27 +178,6 @@ _PROTOCOL_ERRORS = frozenset({"ClockError", "ReproError", "SanitizerViolation"})
 _BROAD_ERRORS = frozenset({"Exception", "BaseException"})
 
 _DATETIME_NOW = frozenset({"now", "utcnow", "today", "fromtimestamp"})
-
-
-class Rule:
-    """Base class: subclasses set ``rule_id``/``title`` and yield
-    diagnostics from :meth:`check`."""
-
-    rule_id: str = ""
-    title: str = ""
-
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
-        raise NotImplementedError
-
-
-def _package_of(module: Optional[str]) -> Optional[str]:
-    """``repro.mom.channel`` → ``mom``; ``None``/non-repro → ``None``."""
-    if not module or not module.startswith("repro"):
-        return None
-    parts = module.split(".")
-    if len(parts) < 2:
-        return None
-    return parts[1]
 
 
 class ClockInternalMutation(Rule):
@@ -647,29 +620,6 @@ class LayeredImports(Rule):
 # ----------------------------------------------------------------------
 
 
-class ProjectRule(Rule):
-    """A rule that needs the whole :class:`Project` (call graph, effect
-    summaries). The per-file :meth:`check` yields nothing; the lint
-    driver calls :meth:`check_project` once per run."""
-
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Diagnostic]:
-        return iter(())
-
-    def check_project(
-        self, project: Project, contexts: Dict[str, LintContext]
-    ) -> Iterator[Diagnostic]:
-        raise NotImplementedError
-
-
-def effect_engine(project: Project) -> EffectEngine:
-    """One :class:`EffectEngine` per project, shared across rules."""
-    engine = getattr(project, "_effect_engine", None)
-    if engine is None:
-        engine = EffectEngine(project)
-        project._effect_engine = engine  # type: ignore[attr-defined]
-    return engine
-
-
 #: Attribute-chain tails that carry an optional observation handle.
 HOOK_HANDLES = frozenset(
     {
@@ -704,12 +654,6 @@ def _is_observation_module(module: Optional[str]) -> bool:
         module == prefix or module.startswith(prefix + ".")
         for prefix in _OBSERVATION_PREFIXES
     )
-
-
-def _function_defs(tree: ast.AST) -> Iterator[ast.AST]:
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node
 
 
 def _owned_exprs(node: CFGNode) -> List[ast.AST]:
@@ -875,7 +819,16 @@ class ObservationPurity(ProjectRule):
 
 
 _GUARD_SCOPE = frozenset(
-    {"simulation", "clocks", "causality", "topology", "baselines", "mom", "pubsub"}
+    {
+        "simulation",
+        "clocks",
+        "causality",
+        "topology",
+        "baselines",
+        "protocol",
+        "mom",
+        "pubsub",
+    }
 )
 
 
@@ -1408,6 +1361,11 @@ class ShardScopedStreams(ProjectRule):
         return False
 
 
+# Imported at the bottom on purpose: the contract tier builds on the
+# shared bases in repro.analysis.rulebase, and this module appends its
+# rules to the catalogue — a top-of-file import would be cyclic.
+from repro.analysis.contract import CONTRACT_RULES  # noqa: E402
+
 ALL_RULES: Tuple[Rule, ...] = (
     ClockInternalMutation(),
     AmbientNondeterminism(),
@@ -1426,7 +1384,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     EpochDiscipline(),
     CoordinatorFlushDiscipline(),
     ShardScopedStreams(),
-)
+) + CONTRACT_RULES
 
 FILE_RULES: Tuple[Rule, ...] = tuple(
     rule for rule in ALL_RULES if not isinstance(rule, ProjectRule)

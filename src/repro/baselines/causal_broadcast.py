@@ -28,6 +28,11 @@ from repro.simulation.kernel import Processor, Simulator
 from repro.simulation.network import ConstantLatency, LatencyModel, Network
 from repro.simulation.rng import RngFactory
 
+# R023: BSS broadcast runs on CausalBroadcastClock (a vector clock, not
+# a CausalClock) under its own group harness — it is never selected by
+# name through make_bus, so it registers no CausalCore.
+PROTOCOL_EXEMPT = "causal-broadcast baseline; not bootable via the core registry"
+
 
 @dataclass(frozen=True)
 class _BroadcastPacket:

@@ -34,6 +34,11 @@ from repro.simulation.kernel import Processor, Simulator
 from repro.simulation.network import ConstantLatency, LatencyModel, Network
 from repro.simulation.rng import RngFactory
 
+# R023: the Daisy baseline rides on CausalBroadcastClock (a vector
+# clock, not a CausalClock) and is driven by its own harness, never
+# booted through make_bus — so it registers no CausalCore.
+PROTOCOL_EXEMPT = "causal-broadcast baseline; not bootable via the core registry"
+
 
 @dataclass(frozen=True)
 class _DaisyPacket:

@@ -64,6 +64,10 @@ class ReferenceMatrixStamp(Stamp):
 class ReferenceMatrixClock(CausalClock):
     """The seed full-matrix clock: nested lists, full deep copies."""
 
+    # R023: differential-testing oracle only — never booted through the
+    # core registry, so it has no registered CausalCore.
+    protocol_exempt = "reference oracle for differential tests"
+
     __slots__ = ("_size", "_owner", "_matrix", "_dirty")
 
     def __init__(self, size: int, owner: int):
@@ -222,6 +226,10 @@ class ReferenceUpdateStamp(Stamp):
 
 class ReferenceUpdatesClock(CausalClock):
     """The seed Appendix-A clock: nested lists, O(s²) delta extraction."""
+
+    # R023: differential-testing oracle only — never booted through the
+    # core registry, so it has no registered CausalCore.
+    protocol_exempt = "reference oracle for differential tests"
 
     __slots__ = (
         "_size",

@@ -48,6 +48,12 @@ class ClockError(ReproError):
     unknown process index, merging clocks of different shapes, ...)."""
 
 
+class ProtocolError(ReproError):
+    """A causal-delivery core was misused: unknown core name, conflicting
+    registration, an unsupported hook (wire codec, domain resize), or a
+    malformed wire payload."""
+
+
 class CausalityViolationError(ReproError):
     """A trace checker found messages delivered against causal order.
 

@@ -8,6 +8,15 @@ arrived too early, and — once deliverable — commits atomically: merge the
 clock, persist, hand the message to the local Engine (QueueIN) or back to
 QueueOUT for the next hop, then ACK.
 
+Every protocol decision on both paths — stamping, the deliverability and
+duplicate tests, the merge, and the hold-back indexing — is delegated to
+the server's :class:`~repro.protocol.core.CausalCore`, so the channel
+itself is protocol-agnostic: plugging in a different causal-delivery
+algorithm is a registration (:mod:`repro.protocol.registry`), not a
+channel change. The contract the channel relies on is verified statically
+by rules R018–R023 (:mod:`repro.analysis.contract`) and the small-scope
+model checker (:mod:`repro.analysis.model`).
+
 Crash-consistency invariants:
 
 - a hop is stamped, recorded in the unacked table and persisted in one
@@ -47,6 +56,7 @@ from repro.errors import RoutingError, TopologyError
 from repro.mom.accounting import CELL_BYTES
 from repro.mom.domain_item import DomainItem
 from repro.mom.payloads import ChannelAck, Envelope, Notification
+from repro.protocol.core import CausalCore
 from repro.simulation.metrics import LazyCounter
 
 if TYPE_CHECKING:
@@ -62,19 +72,21 @@ class _HoldbackStore:
     tagged with a monotonically increasing arrival number (the seed's
     queue position, used to release in the same order). ``mids`` mirrors
     the hop message-ids for O(1) duplicate detection on retransmissions.
+    The bucket key is the core's :meth:`~repro.protocol.core.CausalCore.
+    holdback_key`, so protocol plug-ins with a different FIFO structure
+    keep the O(1) probe.
     """
 
-    __slots__ = ("by_sender", "mids", "count")
+    __slots__ = ("core", "by_sender", "mids", "count")
 
-    def __init__(self) -> None:
+    def __init__(self, core: CausalCore) -> None:
+        self.core = core
         self.by_sender: Dict[int, Dict[int, List[Tuple[int, Envelope]]]] = {}
         self.mids: Set[Tuple] = set()
         self.count = 0
 
-    @staticmethod
-    def _key(envelope: Envelope) -> Tuple[int, int]:
-        stamp = envelope.stamp
-        return stamp.sender, stamp.entry(stamp.sender, stamp.dest)
+    def _key(self, envelope: Envelope) -> Tuple[int, int]:
+        return self.core.holdback_key(envelope.stamp)
 
     def add(self, arrival: int, envelope: Envelope) -> None:
         sender, seq = self._key(envelope)
@@ -109,11 +121,10 @@ class Channel:
 
     def __init__(self, server: AgentServer) -> None:
         self._server = server
+        self._core: CausalCore = server.core
         self._items: Dict[str, DomainItem] = {}
         for domain in server.domains:
-            item = DomainItem(
-                domain, server.server_id, server.config.clock_cls
-            )
+            item = DomainItem(domain, server.server_id, self._core)
             if server.bus.acct is not None:
                 item.acct = server.bus.acct.domain(
                     server.server_id, domain.domain_id
@@ -122,7 +133,7 @@ class Channel:
         self._hop_seq = 0
         self._unacked: Dict[int, Envelope] = {}
         self._holdback: Dict[str, _HoldbackStore] = {
-            d: _HoldbackStore() for d in self._items
+            d: _HoldbackStore(self._core) for d in self._items
         }
         self._arrivals = 0
         self._pending_commits: Set[Tuple] = set()
@@ -222,7 +233,7 @@ class Channel:
         next_hop = self._server.routing.next_hop(dest)
         domain = self._server.topology.shared_domain(me, next_hop)
         item = self._items[domain.domain_id]
-        stamp = item.clock.prepare_send(item.local_id(next_hop))
+        stamp = self._core.stamp(item.clock, item.local_id(next_hop))
 
         self._hop_seq += 1
         envelope = Envelope(
@@ -341,7 +352,7 @@ class Channel:
         key = envelope.hop_mid()
         if key in self._pending_commits:
             return  # commit already charged; the retransmission is stale
-        if item.clock.is_duplicate(envelope.stamp):
+        if self._core.duplicate(item.clock, envelope.stamp):
             self._ctr_duplicates.add()
             self._ack(envelope)
             return
@@ -349,7 +360,7 @@ class Channel:
             # the wire leg ends here; the critical-path profiler splits
             # transit from receive processing on this edge
             self._tracer.channel_arrive(self._server.server_id, envelope)
-        if item.clock.can_deliver(envelope.stamp):
+        if self._core.deliverable(item.clock, envelope.stamp):
             self._start_commit(envelope, item)
         else:
             store = self._holdback[envelope.domain_id]
@@ -385,7 +396,7 @@ class Channel:
             return
         self._pending_commits.discard(envelope.hop_mid())
         item = self._items[envelope.domain_id]
-        item.clock.deliver(envelope.stamp)
+        self._core.merge(item.clock, envelope.stamp)
         if item.acct is not None:
             item.acct.merge_cells.inc(item.clock.dirty_cells())
             item.acct.commits.inc()
@@ -433,16 +444,16 @@ class Channel:
             return
         item = self._items[domain_id]
         clock = item.clock
-        me = item.domain_server_id
+        core = self._core
         ready: List[Tuple[int, Envelope]] = []
         for sender, buckets in by_sender.items():
-            bucket = buckets.get(clock.cell(sender, me) + 1)
+            bucket = buckets.get(core.next_expected(clock, sender))
             if not bucket:
                 continue
             for arrival, env in bucket:
                 if env.hop_mid() in self._pending_commits:
                     continue
-                if clock.can_deliver(env.stamp):
+                if core.deliverable(clock, env.stamp):
                     ready.append((arrival, env))
         if not ready:
             return

@@ -17,10 +17,11 @@ causal-router-server".
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Type
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.clocks.base import CausalClock
 from repro.errors import TopologyError
+from repro.protocol.core import CausalCore
 from repro.topology.domains import Domain
 
 if TYPE_CHECKING:
@@ -28,18 +29,20 @@ if TYPE_CHECKING:
 
 
 class DomainItem:
-    """One server's view of one domain: local identity + matrix clock."""
+    """One server's view of one domain: local identity + domain clock."""
 
-    __slots__ = ("domain", "domain_server_id", "_clock", "_local_ids", "acct")
+    __slots__ = (
+        "domain", "domain_server_id", "core", "_clock", "_local_ids", "acct"
+    )
 
     def __init__(
-        self, domain: Domain, server_id: int, clock_cls: Type[CausalClock]
+        self, domain: Domain, server_id: int, core: CausalCore
     ) -> None:
         """Args:
         domain: the topology domain this item covers.
         server_id: this server's *global* id; must be a member.
-        clock_cls: :class:`~repro.clocks.matrix.MatrixClock` or
-            :class:`~repro.clocks.updates.UpdatesClock`.
+        core: the causal-delivery core (:mod:`repro.protocol`) that
+            creates and drives this domain's clock.
         """
         self.domain = domain
         # The idTable, materialized once: Domain.local_id is a linear
@@ -48,7 +51,8 @@ class DomainItem:
             server: local for local, server in enumerate(domain.servers)
         }
         self.domain_server_id = self._local_ids_lookup(server_id)
-        self._clock = clock_cls(domain.size, self.domain_server_id)
+        self.core = core
+        self._clock = core.create_clock(domain.size, self.domain_server_id)
         # cost-accounting handle bundle, attached by the Channel at boot;
         # None = accounting off (one pointer compare on the hot path)
         self.acct: Optional["DomainAccounting"] = None

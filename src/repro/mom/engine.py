@@ -9,6 +9,13 @@ QueueIN after recovery and the reaction replays.
 
 The engine runs at most one reaction at a time on the server's processor
 (one JVM thread), charging ``agent_reaction_ms`` each.
+
+The engine sits strictly *above* the causal-delivery boundary: by the time
+a notification reaches QueueIN, the channel's
+:class:`~repro.protocol.core.CausalCore` has already decided deliverability
+and merged the domain clock, so reactions never see (or touch) protocol
+state — rule R018 (:mod:`repro.analysis.contract`) proves that isolation
+statically.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from repro.mom.channel import Channel
 from repro.mom.config import BusConfig
 from repro.mom.engine import Engine
 from repro.mom.persistence import PersistentStore
+from repro.protocol.core import CausalCore
 from repro.simulation.kernel import Processor
 from repro.simulation.transport import ReliableTransport
 from repro.topology.domains import Domain
@@ -55,6 +56,9 @@ class AgentServer:
         )
         self.store = PersistentStore(server_id)
         self.processor = Processor(self.sim, owner=server_id)
+        # the causal-delivery core, resolved once per server: the Channel
+        # and its DomainItems route every protocol decision through it
+        self.core: CausalCore = self.config.core
         self.channel = Channel(self)
         self.engine = Engine(self)
         self.transport = ReliableTransport(

@@ -1,0 +1,60 @@
+"""The core registry: name → :class:`~repro.protocol.core.CausalCore`.
+
+Registration happens at import time of :mod:`repro.protocol.cores` (which
+``repro.protocol``'s ``__init__`` triggers), so the registration sites are
+plain module-level ``register_core(SomeCore())`` calls — statically
+discoverable, which is what the contract verifier (rule R023 and friends,
+:mod:`repro.analysis.contract`) keys on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ProtocolError
+from repro.protocol.core import CausalCore
+
+_REGISTRY: Dict[str, CausalCore] = {}
+
+
+def register_core(core: CausalCore) -> CausalCore:
+    """Register ``core`` under ``core.name``; returns it for chaining.
+
+    Re-registering the same core class under the same name is idempotent
+    (module reloads, test re-imports); a *different* class claiming a
+    taken name is a configuration bug and raises.
+    """
+    name = core.name
+    existing = _REGISTRY.get(name)
+    if existing is not None and type(existing) is not type(core):
+        raise ProtocolError(
+            f"core name {name!r} already registered by "
+            f"{type(existing).__name__}"
+        )
+    _REGISTRY[name] = core
+    return core
+
+
+def get_core(name: str) -> CausalCore:
+    """The registered core called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"no causal core registered as {name!r}; "
+            f"known cores: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def has_core(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def core_names() -> List[str]:
+    """All registered core names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def registered_cores() -> List[CausalCore]:
+    """All registered cores, in name order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

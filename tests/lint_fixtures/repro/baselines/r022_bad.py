@@ -1,0 +1,24 @@
+"""R022 fixture: rng jitter leaking into a plug-in core's clock state.
+
+Self-contained on purpose: baselines sits *below* the protocol package
+in the layer order, so this fixture cannot import the shared core_defs
+scaffolding.  The contract rules match the ``CausalClock`` base by
+name — fixtures are parsed, never executed, so the bare name suffices.
+"""
+
+
+class TaintClock(CausalClock):  # parsed-only: base resolves by name
+    # R023: fixture variant, deliberately unregistered.
+    protocol_exempt = "lint fixture, not a bootable protocol"
+
+    def __init__(self, size: int, rng) -> None:
+        self._row = [0] * size
+        jitter = rng.stream("clock").random()
+        skew = jitter * 2.0
+        self.skew = skew  # transitive taint into core state
+
+    def can_deliver(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]

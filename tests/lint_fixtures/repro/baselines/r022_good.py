@@ -1,0 +1,23 @@
+"""R022 twin: randomness stays in the harness, outside core state."""
+
+
+class CleanJitterClock(CausalClock):  # parsed-only: base resolves by name
+    # R023: fixture variant, deliberately unregistered.
+    protocol_exempt = "lint fixture, not a bootable protocol"
+
+    def __init__(self, size: int) -> None:
+        self._row = [0] * size
+        self.skew = 0.0  # deterministic initial state
+
+    def can_deliver(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]
+
+
+def sample_latency(rng) -> float:
+    # rng draws feeding the *network* model are fine — only core state
+    # must stay deterministic
+    draw = rng.stream("latency").random()
+    return draw * 2.0

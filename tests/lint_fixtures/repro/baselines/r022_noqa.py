@@ -1,0 +1,16 @@
+"""R022 noqa twin: one rng-seeded core field is explicitly waived."""
+
+
+class WaivedTaintClock(CausalClock):  # parsed-only: base resolves by name
+    # R023: fixture variant, deliberately unregistered.
+    protocol_exempt = "lint fixture, not a bootable protocol"
+
+    def __init__(self, size: int, rng) -> None:
+        self._row = [0] * size
+        self.skew = rng.stream("clock").random()  # noqa: R022
+
+    def can_deliver(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]

@@ -1,0 +1,15 @@
+"""R018 fixture: the messaging layer reaches past the core boundary."""
+
+from repro.protocol.core_defs import DemoClock, DemoStamp
+
+
+class R018Channel:
+    def __init__(self, size: int, owner: int) -> None:
+        self.clock = DemoClock(size, owner)
+
+    def force_advance(self, stamp: DemoStamp) -> None:
+        row = self.clock._row  # private read of core state
+        row[stamp.sender] = stamp.entries[stamp.sender]
+
+    def hijack_owner(self) -> None:
+        self.clock._owner = 0  # direct write to core state

@@ -1,0 +1,14 @@
+"""R018 twin: the messaging layer stays on the core's public surface."""
+
+from repro.protocol.core_defs import DemoClock, DemoStamp
+
+
+class R018CleanChannel:
+    def __init__(self, size: int, owner: int) -> None:
+        self.clock = DemoClock(size, owner)
+
+    def deliverable(self, stamp: DemoStamp) -> bool:
+        return self.clock.can_deliver(stamp)
+
+    def duplicate(self, stamp: DemoStamp) -> bool:
+        return self.clock.is_duplicate(stamp)

@@ -1,0 +1,11 @@
+"""R018 noqa twin: one private peek is explicitly waived."""
+
+from repro.protocol.core_defs import DemoClock
+
+
+class R018Waived:
+    def __init__(self, size: int, owner: int) -> None:
+        self.clock = DemoClock(size, owner)
+
+    def snapshot(self) -> list:
+        return list(self.clock._row)  # noqa: R018

@@ -1,0 +1,93 @@
+"""Shared scaffolding for the R018–R023 contract-rule fixtures.
+
+Miniature stand-ins for the real ``repro.protocol`` surface: the
+``Stamp``/``CausalClock``/``CausalCore`` bases, a registry stub, and one
+conformant registered core (``DemoCore``).  The contract rules discover
+all of this statically — by class *name* and ``register_core`` call
+sites — exactly as they do for the real package, so the fixtures never
+import the production code.
+"""
+
+import abc
+from typing import Tuple
+
+
+class Stamp(abc.ABC):
+    """Fixture stand-in for the protocol stamp base."""
+
+
+class CausalClock(abc.ABC):
+    """Fixture stand-in for the causal-clock base."""
+
+    @abc.abstractmethod
+    def can_deliver(self, stamp):
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def is_duplicate(self, stamp):
+        raise NotImplementedError
+
+
+class CausalCore(abc.ABC):
+    """Fixture stand-in for the plug-in core contract."""
+
+    name: str
+    clock_cls: type
+    stamp_cls: type
+    causal = True
+
+    @abc.abstractmethod
+    def create_clock(self, size: int, owner: int) -> "CausalClock":
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def deliverable(self, clock: "CausalClock", stamp: "Stamp") -> bool:
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def encode_stamp(self, stamp: "Stamp") -> Tuple[int, ...]:
+        raise NotImplementedError
+
+
+_REGISTRY = {}
+
+
+def register_core(core):
+    _REGISTRY[core.name] = core
+    return core
+
+
+class DemoStamp(Stamp):
+    def __init__(self, sender: int, entries: Tuple[int, ...]) -> None:
+        self.sender = sender
+        self.entries = entries
+
+
+class DemoClock(CausalClock):
+    def __init__(self, size: int, owner: int) -> None:
+        self._row = [0] * size
+        self._owner = owner
+
+    def can_deliver(self, stamp: "DemoStamp") -> bool:
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp: "DemoStamp") -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]
+
+
+class DemoCore(CausalCore):
+    name = "demo"
+    clock_cls = DemoClock
+    stamp_cls = DemoStamp
+
+    def create_clock(self, size: int, owner: int) -> DemoClock:
+        return DemoClock(size, owner)
+
+    def deliverable(self, clock: DemoClock, stamp: DemoStamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    def encode_stamp(self, stamp: DemoStamp) -> Tuple[int, ...]:
+        return (stamp.sender,) + tuple(stamp.entries)
+
+
+register_core(DemoCore())

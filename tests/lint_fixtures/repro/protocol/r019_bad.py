@@ -1,0 +1,25 @@
+"""R019 fixture: a registered core drifts from the CausalCore surface."""
+
+from repro.protocol.core_defs import (
+    CausalCore,
+    DemoClock,
+    DemoStamp,
+    register_core,
+)
+
+
+class DriftingCore(CausalCore):
+    name = "drifting"
+    clock_cls = DemoClock
+    stamp_cls = DemoStamp
+
+    def create_clock(self, size: int, owner: int) -> DemoClock:
+        return DemoClock(size, owner)
+
+    def deliverable(self, clock: DemoClock) -> bool:  # dropped the stamp
+        return clock is not None
+
+    # encode_stamp is missing entirely
+
+
+register_core(DriftingCore())

@@ -1,0 +1,28 @@
+"""R019 twin: a registered core that matches the contract exactly."""
+
+from typing import Tuple
+
+from repro.protocol.core_defs import (
+    CausalCore,
+    DemoClock,
+    DemoStamp,
+    register_core,
+)
+
+
+class PoliteCore(CausalCore):
+    name = "polite"
+    clock_cls = DemoClock
+    stamp_cls = DemoStamp
+
+    def create_clock(self, size: int, owner: int) -> DemoClock:
+        return DemoClock(size, owner)
+
+    def deliverable(self, clock: DemoClock, stamp: DemoStamp) -> bool:
+        return clock.can_deliver(stamp) and not clock.is_duplicate(stamp)
+
+    def encode_stamp(self, stamp: DemoStamp) -> Tuple[int, ...]:
+        return (stamp.sender,) + tuple(stamp.entries)
+
+
+register_core(PoliteCore())

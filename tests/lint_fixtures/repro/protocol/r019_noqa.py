@@ -1,0 +1,25 @@
+"""R019 noqa twin: a known-incomplete core is explicitly waived."""
+
+from repro.protocol.core_defs import (
+    CausalCore,
+    DemoClock,
+    DemoStamp,
+    register_core,
+)
+
+
+class WaivedCore(CausalCore):  # noqa: R019
+    name = "waived"
+    clock_cls = DemoClock
+    stamp_cls = DemoStamp
+
+    def create_clock(self, size: int, owner: int) -> DemoClock:
+        return DemoClock(size, owner)
+
+    def deliverable(self, clock: DemoClock, stamp: DemoStamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    # encode_stamp intentionally missing; the waiver acknowledges it
+
+
+register_core(WaivedCore())

@@ -1,0 +1,42 @@
+"""R020 fixture: a deliverability guard that mutates clock state."""
+
+from typing import Tuple
+
+from repro.protocol.core_defs import (
+    CausalClock,
+    CausalCore,
+    DemoStamp,
+    register_core,
+)
+
+
+class CountingClock(CausalClock):
+    def __init__(self, size: int, owner: int) -> None:
+        self._row = [0] * size
+        self._owner = owner
+        self._probes = 0
+
+    def can_deliver(self, stamp: DemoStamp) -> bool:
+        self._probes += 1  # state change on a speculative probe
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp: DemoStamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]
+
+
+class CountingCore(CausalCore):
+    name = "counting"
+    clock_cls = CountingClock
+    stamp_cls = DemoStamp
+
+    def create_clock(self, size: int, owner: int) -> CountingClock:
+        return CountingClock(size, owner)
+
+    def deliverable(self, clock: CountingClock, stamp: DemoStamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    def encode_stamp(self, stamp: DemoStamp) -> Tuple[int, ...]:
+        return (stamp.sender,) + tuple(stamp.entries)
+
+
+register_core(CountingCore())

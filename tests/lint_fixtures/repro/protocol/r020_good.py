@@ -1,0 +1,52 @@
+"""R020 twin: a pure guard, plus the sanctioned lazy-memo idiom."""
+
+from typing import Optional, Tuple
+
+from repro.protocol.core_defs import (
+    CausalClock,
+    CausalCore,
+    Stamp,
+    register_core,
+)
+
+
+class MemoStamp(Stamp):
+    def __init__(self, sender: int, entries: Tuple[int, ...]) -> None:
+        self.sender = sender
+        self.entries = entries
+        self._top: Optional[int] = None
+
+    def top_entry(self) -> int:
+        if self._top is None:
+            self._top = max(self.entries)  # memo of a pure computation
+        return self._top
+
+
+class MemoClock(CausalClock):
+    def __init__(self, size: int, owner: int) -> None:
+        self._row = [0] * size
+        self._owner = owner
+
+    def can_deliver(self, stamp: MemoStamp) -> bool:
+        return stamp.top_entry() <= self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp: MemoStamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]
+
+
+class MemoCore(CausalCore):
+    name = "memo"
+    clock_cls = MemoClock
+    stamp_cls = MemoStamp
+
+    def create_clock(self, size: int, owner: int) -> MemoClock:
+        return MemoClock(size, owner)
+
+    def deliverable(self, clock: MemoClock, stamp: MemoStamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    def encode_stamp(self, stamp: MemoStamp) -> Tuple[int, ...]:
+        return (stamp.sender,) + tuple(stamp.entries)
+
+
+register_core(MemoCore())

@@ -1,0 +1,41 @@
+"""R020 noqa twin: a guard-side counter is explicitly waived."""
+
+from typing import Tuple
+
+from repro.protocol.core_defs import (
+    CausalClock,
+    CausalCore,
+    DemoStamp,
+    register_core,
+)
+
+
+class TallyClock(CausalClock):
+    def __init__(self, size: int, owner: int) -> None:
+        self._row = [0] * size
+        self._hits = 0
+
+    def can_deliver(self, stamp: DemoStamp) -> bool:
+        self._hits += 1  # noqa: R020
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp: DemoStamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]
+
+
+class TallyCore(CausalCore):
+    name = "tally"
+    clock_cls = TallyClock
+    stamp_cls = DemoStamp
+
+    def create_clock(self, size: int, owner: int) -> TallyClock:
+        return TallyClock(size, owner)
+
+    def deliverable(self, clock: TallyClock, stamp: DemoStamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    def encode_stamp(self, stamp: DemoStamp) -> Tuple[int, ...]:
+        return (stamp.sender,) + tuple(stamp.entries)
+
+
+register_core(TallyCore())

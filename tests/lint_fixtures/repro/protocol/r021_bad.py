@@ -1,0 +1,37 @@
+"""R021 fixture: a registered stamp type that cannot cross the pipe."""
+
+import threading
+from typing import Tuple
+
+from repro.protocol.core_defs import (
+    CausalClock,
+    CausalCore,
+    DemoClock,
+    Stamp,
+    register_core,
+)
+
+
+class LockedStamp:
+    def __init__(self, sender: int, entries: Tuple[int, ...]) -> None:
+        self.sender = sender
+        self.entries = entries
+        self._guard = threading.Lock()
+
+
+class LockedCore(CausalCore):
+    name = "locked"
+    clock_cls = DemoClock
+    stamp_cls = LockedStamp
+
+    def create_clock(self, size: int, owner: int) -> DemoClock:
+        return DemoClock(size, owner)
+
+    def deliverable(self, clock: CausalClock, stamp: Stamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    def encode_stamp(self, stamp: Stamp) -> Tuple[int, ...]:
+        return (stamp.sender, *stamp.entries)
+
+
+register_core(LockedCore())

@@ -1,0 +1,36 @@
+"""R021 twin: a registered stamp made only of picklable fields."""
+
+from typing import Tuple
+
+from repro.protocol.core_defs import (
+    CausalClock,
+    CausalCore,
+    DemoClock,
+    Stamp,
+    register_core,
+)
+
+
+class PlainStamp(Stamp):
+    def __init__(self, sender: int, entries: Tuple[int, ...]) -> None:
+        self.sender = sender
+        self.entries = tuple(entries)
+        self.hops = 0
+
+
+class PlainCore(CausalCore):
+    name = "plain"
+    clock_cls = DemoClock
+    stamp_cls = PlainStamp
+
+    def create_clock(self, size: int, owner: int) -> DemoClock:
+        return DemoClock(size, owner)
+
+    def deliverable(self, clock: CausalClock, stamp: Stamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    def encode_stamp(self, stamp: Stamp) -> Tuple[int, ...]:
+        return (stamp.sender, *stamp.entries)
+
+
+register_core(PlainCore())

@@ -1,0 +1,36 @@
+"""R021 noqa twin: one unpicklable stamp field is explicitly waived."""
+
+from typing import Tuple
+
+from repro.protocol.core_defs import (
+    CausalClock,
+    CausalCore,
+    DemoClock,
+    Stamp,
+    register_core,
+)
+
+
+class WaivedStamp:
+    def __init__(self, sender: int, entries: Tuple[int, ...]) -> None:
+        self.sender = sender
+        self.entries = entries
+        self._fmt = lambda e: str(e)  # noqa: R021
+
+
+class WaivedPickleCore(CausalCore):
+    name = "waived-pickle"
+    clock_cls = DemoClock
+    stamp_cls = WaivedStamp
+
+    def create_clock(self, size: int, owner: int) -> DemoClock:
+        return DemoClock(size, owner)
+
+    def deliverable(self, clock: CausalClock, stamp: Stamp) -> bool:
+        return clock.can_deliver(stamp)
+
+    def encode_stamp(self, stamp: Stamp) -> Tuple[int, ...]:
+        return (stamp.sender, *stamp.entries)
+
+
+register_core(WaivedPickleCore())

@@ -1,0 +1,15 @@
+"""R023 fixture: a bootable clock nobody registered or exempted."""
+
+from repro.protocol.core_defs import CausalClock
+
+
+class RogueClock(CausalClock):
+    def __init__(self, size: int, owner: int) -> None:
+        self._row = [0] * size
+        self._owner = owner
+
+    def can_deliver(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]

@@ -1,0 +1,17 @@
+"""R023 twin: an unregistered clock that states why it is exempt."""
+
+from repro.protocol.core_defs import CausalClock
+
+
+class ExemptClock(CausalClock):
+    protocol_exempt = "teaching example; never booted through the registry"
+
+    def __init__(self, size: int, owner: int) -> None:
+        self._row = [0] * size
+        self._owner = owner
+
+    def can_deliver(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]

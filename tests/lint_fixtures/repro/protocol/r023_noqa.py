@@ -1,0 +1,15 @@
+"""R023 noqa twin: the missing registration is explicitly waived."""
+
+from repro.protocol.core_defs import CausalClock
+
+
+class WaivedRogueClock(CausalClock):  # noqa: R023
+    def __init__(self, size: int, owner: int) -> None:
+        self._row = [0] * size
+        self._owner = owner
+
+    def can_deliver(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] == self._row[stamp.sender] + 1
+
+    def is_duplicate(self, stamp) -> bool:
+        return stamp.entries[stamp.sender] <= self._row[stamp.sender]

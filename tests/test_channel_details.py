@@ -7,6 +7,7 @@ from repro.clocks import MatrixClock, UpdatesClock
 from repro.errors import RoutingError, TopologyError
 from repro.mom import BusConfig, EchoAgent, FunctionAgent, MessageBus
 from repro.mom.domain_item import DomainItem
+from repro.protocol import get_core
 from repro.simulation.network import UniformLatency
 from repro.topology import Domain, bus as bus_topology, from_domain_map, single_domain
 
@@ -14,25 +15,25 @@ from repro.topology import Domain, bus as bus_topology, from_domain_map, single_
 class TestDomainItem:
     def test_local_identity(self):
         domain = Domain("D", (4, 7, 9))
-        item = DomainItem(domain, server_id=7, clock_cls=MatrixClock)
+        item = DomainItem(domain, server_id=7, core=get_core("matrix"))
         assert item.domain_server_id == 1
         assert item.clock.owner == 1
         assert item.clock.size == 3
 
     def test_id_table_lookups(self):
         domain = Domain("D", (4, 7, 9))
-        item = DomainItem(domain, 7, MatrixClock)
+        item = DomainItem(domain, 7, get_core("matrix"))
         assert item.local_id(9) == 2
         assert item.global_id(0) == 4
 
     def test_non_member_rejected(self):
         domain = Domain("D", (4, 7))
         with pytest.raises(TopologyError):
-            DomainItem(domain, 5, MatrixClock)
+            DomainItem(domain, 5, get_core("matrix"))
 
     def test_updates_clock_selectable(self):
         domain = Domain("D", (0, 1))
-        item = DomainItem(domain, 0, UpdatesClock)
+        item = DomainItem(domain, 0, get_core("updates"))
         assert isinstance(item.clock, UpdatesClock)
 
 

@@ -343,6 +343,89 @@ class TestR017ShardScopedStreams:
         assert fired_at(fixture_project_findings, "r017_noqa.py") == []
 
 
+class TestR018CoreIsolation:
+    def test_fires_on_private_read_and_direct_write(
+        self, fixture_project_findings
+    ):
+        fired = fired_at(fixture_project_findings, "r018_bad.py")
+        assert fired.count("R018") == 2
+
+    def test_public_surface_passes(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r018_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r018_noqa.py") == []
+
+    def test_core_own_methods_are_exempt(self, fixture_project_findings):
+        # core_defs mutates its own state freely — the boundary only
+        # binds outsiders
+        assert fired_at(fixture_project_findings, "core_defs.py") == []
+
+
+class TestR019InterfaceConformance:
+    def test_fires_on_missing_method_and_arity_drift(
+        self, fixture_project_findings
+    ):
+        fired = fired_at(fixture_project_findings, "r019_bad.py")
+        assert fired.count("R019") == 2
+
+    def test_conforming_core_passes(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r019_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r019_noqa.py") == []
+
+
+class TestR020DeliverabilityPurity:
+    def test_fires_on_guard_side_mutation(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r020_bad.py")
+        assert fired.count("R020") == 1
+
+    def test_pure_guard_and_memo_fill_pass(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r020_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r020_noqa.py") == []
+
+
+class TestR021StampPicklability:
+    def test_fires_on_lock_field(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r021_bad.py")
+        assert fired.count("R021") == 1
+
+    def test_plain_fields_pass(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r021_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r021_noqa.py") == []
+
+
+class TestR022CoreRngTaint:
+    def test_fires_on_transitive_taint_outside_guard_scope(
+        self, fixture_project_findings
+    ):
+        fired = fired_at(fixture_project_findings, "r022_bad.py")
+        assert fired.count("R022") == 1
+
+    def test_harness_side_randomness_passes(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r022_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r022_noqa.py") == []
+
+
+class TestR023RegistrationCompleteness:
+    def test_fires_on_unregistered_clock(self, fixture_project_findings):
+        fired = fired_at(fixture_project_findings, "r023_bad.py")
+        assert fired.count("R023") == 1
+
+    def test_protocol_exempt_marker_passes(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r023_good.py") == []
+
+    def test_noqa_suppresses(self, fixture_project_findings):
+        assert fired_at(fixture_project_findings, "r023_noqa.py") == []
+
+
 class TestNoqaStripping:
     """Every ``r*_noqa.py`` fixture must fire again once its waiver is
     stripped — proving the noqa comment is the only thing keeping the
@@ -408,8 +491,14 @@ class TestFramework:
             "R013",
             "R014",
             "R017",
+            "R018",
+            "R019",
+            "R020",
+            "R021",
+            "R022",
+            "R023",
         }
-        assert len(ALL_RULES) == 17
+        assert len(ALL_RULES) == 23
 
     def test_every_rule_has_a_firing_fixture(self, fixture_project_findings):
         all_fired = {d.rule for d in fixture_project_findings}
@@ -478,6 +567,51 @@ class TestCache:
         cache = tmp_path / "cache.json"
         cache.write_text("{not json")
         findings = lint_paths([FIXTURES / "mom" / "r001_bad.py"], cache=cache)
+        assert [d.rule for d in findings] == ["R001"] * 4
+
+    def test_v2_format_cache_is_rejected(self, tmp_path):
+        """Regression for the v3 bump: a v2-era payload (same signature,
+        old format string, poisoned empty results) must be ignored, not
+        trusted."""
+        from repro.analysis.lint import analysis_signature
+
+        cache = tmp_path / "cache.json"
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        cache.write_text(
+            json.dumps(
+                {
+                    "format": "repro.analysis-cache/v2",
+                    "signature": analysis_signature(),
+                    "runs": {"*": {"files": {}, "project": {"key": "x"}}},
+                }
+            )
+        )
+        findings = lint_paths([bad], cache=cache)
+        assert [d.rule for d in findings] == ["R001"] * 4
+        payload = json.loads(cache.read_text())
+        assert payload["format"] == "repro.analysis-cache/v3"
+
+    def test_stale_rule_catalogue_busts_the_cache(self, tmp_path):
+        """A v3 payload whose recorded rule catalogue predates the
+        contract tier (no R018–R023) is rejected wholesale — newly added
+        rules can never be masked by warm entries."""
+        from repro.analysis.lint import analysis_signature
+
+        cache = tmp_path / "cache.json"
+        bad = FIXTURES / "mom" / "r001_bad.py"
+        cold = lint_paths([bad], cache=cache)
+        assert [d.rule for d in cold] == ["R001"] * 4
+        payload = json.loads(cache.read_text())
+        assert payload["signature"] == analysis_signature()
+        assert "R018" in payload["rules"] and "R023" in payload["rules"]
+        # age the catalogue and poison the stored findings: a trusted
+        # reload would now return []
+        payload["rules"] = [r for r in payload["rules"] if r < "R018"]
+        for bucket in payload["runs"].values():
+            for entry in bucket["files"].values():
+                entry["findings"] = []
+        cache.write_text(json.dumps(payload))
+        findings = lint_paths([bad], cache=cache)
         assert [d.rule for d in findings] == ["R001"] * 4
 
 

@@ -1,0 +1,243 @@
+"""The CausalCore plug-in boundary: registry, delegation, codecs, resize.
+
+The simulation-level guarantee (factoring the protocol behind the core
+changed no result) is pinned by the differential and bench tests; this
+file covers the contract surface itself.
+"""
+
+import pickle
+
+import pytest
+
+from repro.baselines.causal_histories import HistoryClock
+from repro.baselines.local_fifo import FifoClock
+from repro.clocks.matrix import MatrixClock
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mom import BusConfig
+from repro.mom import config as mom_config
+from repro.protocol import (
+    AdHocCore,
+    CausalCore,
+    core_names,
+    get_core,
+    has_core,
+    register_core,
+    registered_cores,
+)
+from repro.protocol.cores import MatrixCore
+from repro.topology import single_domain
+
+ALL_CORE_NAMES = ["matrix", "updates", "histories", "fifo"]
+
+
+class TestRegistry:
+    def test_builtin_cores_are_registered(self):
+        assert core_names() == sorted(ALL_CORE_NAMES)
+        for name in ALL_CORE_NAMES:
+            assert has_core(name)
+            assert get_core(name).name == name
+
+    def test_registered_cores_in_name_order(self):
+        cores = registered_cores()
+        assert [c.name for c in cores] == sorted(ALL_CORE_NAMES)
+        assert all(isinstance(c, CausalCore) for c in cores)
+
+    def test_unknown_name_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="no causal core"):
+            get_core("nosuch")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        before = get_core("matrix")
+        register_core(MatrixCore())
+        assert type(get_core("matrix")) is type(before)
+
+    def test_conflicting_class_for_taken_name_raises(self):
+        class Impostor(MatrixCore):
+            name = "matrix"
+
+        with pytest.raises(ProtocolError, match="already registered"):
+            register_core(Impostor())
+
+    def test_only_fifo_is_non_causal(self):
+        assert not get_core("fifo").causal
+        for name in ("matrix", "updates", "histories"):
+            assert get_core(name).causal
+
+
+class TestDelegation:
+    """DelegatingCore routes every decision to the clock unchanged."""
+
+    @pytest.mark.parametrize("name", ALL_CORE_NAMES)
+    def test_create_clock_builds_the_declared_class(self, name):
+        core = get_core(name)
+        clock = core.create_clock(3, 1)
+        assert isinstance(clock, core.clock_cls)
+        assert clock.size == 3
+        assert clock.owner == 1
+
+    @pytest.mark.parametrize("name", ALL_CORE_NAMES)
+    def test_decisions_match_direct_clock_calls(self, name):
+        core = get_core(name)
+        sender = core.create_clock(2, 0)
+        shadow = core.create_clock(2, 0)
+        receiver = core.create_clock(2, 1)
+        mirror = core.create_clock(2, 1)
+
+        stamp = core.stamp(sender, 1)
+        direct = shadow.prepare_send(1)
+        assert isinstance(stamp, core.stamp_cls)
+
+        assert core.deliverable(receiver, stamp) == mirror.can_deliver(direct)
+        assert core.duplicate(receiver, stamp) == mirror.is_duplicate(direct)
+        core.merge(receiver, stamp)
+        mirror.deliver(direct)
+        assert core.duplicate(receiver, stamp)
+        assert mirror.is_duplicate(direct)
+
+    def test_fifo_ordering_through_the_core(self):
+        core = get_core("matrix")
+        sender = core.create_clock(2, 0)
+        receiver = core.create_clock(2, 1)
+        first = core.stamp(sender, 1)
+        second = core.stamp(sender, 1)
+        assert core.deliverable(receiver, first)
+        assert not core.deliverable(receiver, second)
+        core.merge(receiver, first)
+        assert core.deliverable(receiver, second)
+
+    def test_holdback_key_and_next_expected_defaults(self):
+        core = get_core("matrix")
+        sender = core.create_clock(2, 0)
+        receiver = core.create_clock(2, 1)
+        stamp = core.stamp(sender, 1)
+        assert core.holdback_key(stamp) == (0, 1)
+        assert core.next_expected(receiver, 0) == 1
+        core.merge(receiver, stamp)
+        assert core.next_expected(receiver, 0) == 2
+
+
+class TestWireCodec:
+    @pytest.mark.parametrize("name", ALL_CORE_NAMES)
+    def test_round_trip_preserves_protocol_decisions(self, name):
+        core = get_core(name)
+        sender = core.create_clock(3, 0)
+        stamps = [core.stamp(sender, 1) for _ in range(2)]
+        original = core.create_clock(3, 1)
+        decoded_side = core.create_clock(3, 1)
+        for stamp in stamps:
+            payload = core.encode_stamp(stamp)
+            # The wire form must be a plain picklable tuple.
+            assert isinstance(payload, tuple)
+            assert pickle.loads(pickle.dumps(payload)) == payload
+            decoded = core.decode_stamp(payload)
+            assert isinstance(decoded, core.stamp_cls)
+            assert decoded.sender == stamp.sender
+            assert decoded.dest == stamp.dest
+            assert core.deliverable(original, stamp) == core.deliverable(
+                decoded_side, decoded
+            )
+            if core.deliverable(original, stamp):
+                core.merge(original, stamp)
+                core.merge(decoded_side, decoded)
+            assert core.duplicate(original, stamp) == core.duplicate(
+                decoded_side, decoded
+            )
+
+    def test_re_encoding_a_decoded_stamp_is_stable(self):
+        for name in ALL_CORE_NAMES:
+            core = get_core(name)
+            sender = core.create_clock(2, 0)
+            payload = core.encode_stamp(core.stamp(sender, 1))
+            assert core.encode_stamp(core.decode_stamp(payload)) == payload
+
+    def test_matrix_codec_rejects_truncated_payload(self):
+        core = get_core("matrix")
+        sender = core.create_clock(2, 0)
+        sender_s, dest, size, cells = core.encode_stamp(core.stamp(sender, 1))
+        with pytest.raises(ProtocolError, match="cells"):
+            core.decode_stamp((sender_s, dest, size, cells[:-1]))
+
+    def test_codec_rejects_foreign_stamp(self):
+        matrix = get_core("matrix")
+        fifo_stamp = get_core("fifo").create_clock(2, 0).prepare_send(1)
+        with pytest.raises(ProtocolError, match="expected MatrixStamp"):
+            matrix.encode_stamp(fifo_stamp)
+
+
+class TestResize:
+    def test_matrix_core_grows_preserving_knowledge(self):
+        core = get_core("matrix")
+        clock = core.create_clock(2, 0)
+        core.merge(core.create_clock(2, 1), core.stamp(clock, 1))
+        grown = core.resize(clock, 4)
+        assert isinstance(grown, MatrixClock)
+        assert grown.size == 4
+        assert grown.owner == 0
+        assert grown.cell(0, 1) == clock.cell(0, 1)
+        assert grown.cell(3, 3) == 0
+
+    def test_matrix_core_resize_rejects_foreign_clock(self):
+        with pytest.raises(ProtocolError, match="MatrixClock"):
+            get_core("matrix").resize(FifoClock(2, 0), 4)
+
+    @pytest.mark.parametrize("name", ["updates", "histories", "fifo"])
+    def test_cores_without_a_growth_story_raise(self, name):
+        core = get_core(name)
+        clock = core.create_clock(2, 0)
+        with pytest.raises(ProtocolError, match="does not support"):
+            core.resize(clock, 4)
+
+
+class TestAdHocCore:
+    def test_delegates_to_the_wrapped_clock(self):
+        core = AdHocCore("history-adhoc", HistoryClock)
+        sender = core.create_clock(2, 0)
+        receiver = core.create_clock(2, 1)
+        stamp = core.stamp(sender, 1)
+        assert core.deliverable(receiver, stamp)
+        core.merge(receiver, stamp)
+        assert core.duplicate(receiver, stamp)
+
+    def test_has_no_wire_codec(self):
+        core = AdHocCore("history-adhoc", HistoryClock)
+        stamp = core.stamp(core.create_clock(2, 0), 1)
+        with pytest.raises(ProtocolError, match="no wire codec"):
+            core.encode_stamp(stamp)
+        with pytest.raises(ProtocolError, match="no wire codec"):
+            core.decode_stamp((0, 1, 1))
+
+
+class TestBusConfigResolution:
+    def test_registered_core_is_used_directly(self):
+        config = BusConfig(topology=single_domain(2))
+        assert config.core is get_core("matrix")
+        assert config.clock_cls is MatrixClock
+
+    def test_core_only_algorithms_resolve_without_clocks_entry(self):
+        config = BusConfig(
+            topology=single_domain(2), clock_algorithm="histories"
+        )
+        assert "histories" not in mom_config._CLOCKS
+        assert config.core is get_core("histories")
+
+    def test_unknown_algorithm_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown clock"):
+            BusConfig(topology=single_domain(2), clock_algorithm="nosuch")
+
+    def test_clocks_table_override_wraps_in_adhoc_core(self):
+        mom_config._CLOCKS["override-demo"] = HistoryClock
+        try:
+            config = BusConfig(
+                topology=single_domain(2), clock_algorithm="override-demo"
+            )
+            core = config.core
+            assert isinstance(core, AdHocCore)
+            assert core.clock_cls is HistoryClock
+        finally:
+            del mom_config._CLOCKS["override-demo"]
+
+    def test_matching_clocks_entry_prefers_the_registered_core(self):
+        # "matrix" sits in _CLOCKS *and* the registry with the same clock
+        # class: the first-class core must win over the ad-hoc wrapper.
+        config = BusConfig(topology=single_domain(2))
+        assert not isinstance(config.core, AdHocCore)
